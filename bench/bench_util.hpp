@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "fastcast/harness/experiment.hpp"
+#include "fastcast/harness/table.hpp"
+
+/// \file bench_util.hpp
+/// Shared runners for the figure-reproduction benches. Each figure binary
+/// prints the same series the paper plots: median latency with a 95th
+/// percentile, or mean throughput with a 95% confidence interval.
+///
+/// Simulated durations are shorter than the paper's multi-minute runs so a
+/// full bench sweep finishes in minutes; the confidence intervals printed
+/// alongside show the windows are long enough for stable shapes.
+
+namespace fastcast::bench {
+
+using namespace fastcast::harness;
+
+inline const std::vector<Protocol> kThreeProtocols = {
+    Protocol::kBaseCast, Protocol::kFastCast, Protocol::kMultiPaxos};
+
+inline const std::vector<Protocol> kFourProtocols = {
+    Protocol::kBaseCast, Protocol::kFastCast, Protocol::kMultiPaxos,
+    Protocol::kFastCastSlowPath};
+
+/// Single closed-loop client multicasting to `dst` in a `groups`-group
+/// deployment (the paper's "latency without queueing effects" setup).
+inline ExperimentResult run_single_client(Environment env, Protocol proto,
+                                          std::size_t groups, DstPicker dst,
+                                          std::uint64_t seed = 1) {
+  ExperimentConfig cfg;
+  cfg.topo.env = env;
+  cfg.topo.groups = groups;
+  cfg.topo.clients = 1;
+  cfg.topo.protocol = proto;
+  cfg.seed = seed;
+  cfg.dst_factory = same_dst_for_all(std::move(dst));
+  const bool lan = env == Environment::kLan;
+  cfg.warmup = lan ? milliseconds(50) : milliseconds(600);
+  cfg.measure = lan ? milliseconds(400) : milliseconds(3500);
+  cfg.check_level = Checker::Level::kFast;
+  return run_experiment(cfg);
+}
+
+/// "Operational load": kc clients multicasting to kg random destination
+/// groups each, in a `groups`-group system (kg · kc = 1536 in the paper).
+inline ExperimentResult run_load(Environment env, Protocol proto,
+                                 std::size_t groups, std::size_t kg,
+                                 std::size_t kc, std::uint64_t seed = 1) {
+  ExperimentConfig cfg;
+  cfg.topo.env = env;
+  cfg.topo.groups = groups;
+  cfg.topo.clients = kc;
+  cfg.topo.protocol = proto;
+  cfg.seed = seed;
+  cfg.dst_factory = [groups, kg, kc](std::size_t i) -> DstPicker {
+    if (kg == 1) return fixed_group(static_cast<GroupId>(i % groups));
+    (void)kc;
+    return random_subset(groups, kg);
+  };
+  const bool lan = env == Environment::kLan;
+  cfg.warmup = lan ? milliseconds(150) : milliseconds(900);
+  cfg.measure = lan ? milliseconds(300) : milliseconds(2000);
+  cfg.slice = cfg.measure / 8;
+  cfg.drain = false;  // safety-only checks; keeps big runs fast
+  cfg.check_level = Checker::Level::kFast;
+  return run_experiment(cfg);
+}
+
+inline std::string lat_cell(const ExperimentResult& r) {
+  if (r.latency.empty()) return "-";
+  return format_ms(r.latency.median()) + " (p95 " +
+         format_ms(r.latency.percentile(95)) + ")";
+}
+
+inline std::string tput_cell(const ExperimentResult& r) {
+  return fmt_count(r.throughput.mean_per_sec) + " ±" +
+         fmt_count(r.throughput.ci95_per_sec);
+}
+
+inline void check_or_warn(const ExperimentResult& r, const char* what) {
+  if (!r.report.ok) {
+    std::fprintf(stderr, "WARNING: checker violations in %s:\n", what);
+    for (const auto& v : r.report.violations) {
+      std::fprintf(stderr, "  %s\n", v.c_str());
+    }
+  }
+}
+
+}  // namespace fastcast::bench

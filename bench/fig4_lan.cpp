@@ -1,0 +1,15 @@
+// Figure 4: microbenchmark in a LAN.
+//
+// Paper shapes: with one client MultiPaxos is lowest almost everywhere
+// (3 communication delays and tiny RTTs), FastCast beats BaseCast below
+// ~8 destination groups and loses above (fast-path message overhead);
+// under load FastCast wins at 2 destination groups, BaseCast at more, and
+// MultiPaxos wins only when messages address all 16 groups.
+
+#include "figure_panels.hpp"
+
+int main() {
+  fastcast::bench::run_figure_panels(fastcast::harness::Environment::kLan,
+                                     "Fig. 4 (LAN)", /*slow_path_ablation=*/false);
+  return 0;
+}

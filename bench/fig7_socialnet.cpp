@@ -1,0 +1,125 @@
+// Figure 7: the social network application in the emulated WAN — 10 000
+// users partitioned over 16 groups (paper spread: 7110/2474/376/40 users
+// spanning 1/2/3/4-5 partitions), posts atomically multicast to every
+// group holding a follower.
+//
+// Paper shapes: single client — FastCast ≈ MultiPaxos ≈ 1 RTT (73–76 ms),
+// BaseCast ≈ 2×; throughput — FastCast leads up to ~3200 clients and
+// saturates ~12 500 posts/s with BaseCast catching up near saturation
+// while MultiPaxos is overwhelmed; at 800/1600 clients FastCast's latency
+// stays near 1 RTT while BaseCast is ~2x and MultiPaxos degrades.
+
+#include "bench_util.hpp"
+#include "fastcast/app/socialnet/service.hpp"
+
+using namespace fastcast;
+using namespace fastcast::bench;
+
+namespace {
+
+std::shared_ptr<const app::SocialNetworkService> make_service() {
+  auto pg = app::generate_paper_spread_graph(10000, 16, /*seed=*/7);
+  return std::make_shared<app::SocialNetworkService>(std::move(pg.graph),
+                                                     std::move(pg.partition_of), 16);
+}
+
+ExperimentResult run_social(Protocol proto, std::size_t clients, DstPicker dst,
+                            Duration measure = milliseconds(2000)) {
+  ExperimentConfig cfg;
+  cfg.topo.env = Environment::kEmulatedWan;
+  cfg.topo.groups = 16;
+  cfg.topo.clients = clients;
+  cfg.topo.protocol = proto;
+  cfg.dst_factory = same_dst_for_all(std::move(dst));
+  cfg.warmup = milliseconds(900);
+  cfg.measure = measure;
+  cfg.slice = measure / 8;
+  cfg.drain = false;
+  cfg.check_level = Checker::Level::kFast;
+  return run_experiment(cfg);
+}
+
+}  // namespace
+
+int main() {
+  auto service = make_service();
+
+  {
+    Table t("Fig. 7 top-left — single client 'post' latency vs #groups in "
+            "the poster's follower spread [median ms (p95)]",
+            {"dest groups", "BaseCast", "FastCast", "MultiPaxos"});
+    for (std::size_t span : {1, 2, 3, 4}) {
+      std::vector<std::string> row{std::to_string(span)};
+      for (Protocol proto : kThreeProtocols) {
+        const auto r = run_social(proto, 1,
+                                  app::social_post_picker_with_span(service, span),
+                                  milliseconds(3500));
+        check_or_warn(r, "fig7 top-left");
+        row.push_back(lat_cell(r));
+      }
+      t.add_row(std::move(row));
+    }
+    t.print();
+  }
+
+  {
+    Table t("Fig. 7 top-right — post throughput vs number of clients "
+            "[posts/s, ±95% CI]",
+            {"clients", "BaseCast", "FastCast", "MultiPaxos"});
+    for (std::size_t clients : {800, 1600, 2400, 3200, 4000}) {
+      std::vector<std::string> row{std::to_string(clients)};
+      for (Protocol proto : kThreeProtocols) {
+        const auto r =
+            run_social(proto, clients, app::social_post_picker(service));
+        check_or_warn(r, "fig7 top-right");
+        row.push_back(tput_cell(r));
+      }
+      t.add_row(std::move(row));
+    }
+    t.print();
+  }
+
+  for (std::size_t clients : {800, 1600}) {
+    Table t("Fig. 7 bottom — latency by destination-group count with " +
+                std::to_string(clients) + " clients [median ms (p95)]",
+            {"dest groups", "BaseCast", "FastCast", "MultiPaxos"});
+    std::vector<std::vector<std::string>> rows(4);
+    for (std::size_t span = 1; span <= 4; ++span) {
+      rows[span - 1].push_back(std::to_string(span));
+    }
+    for (Protocol proto : kThreeProtocols) {
+      ExperimentConfig cfg;
+      cfg.topo.env = Environment::kEmulatedWan;
+      cfg.topo.groups = 16;
+      cfg.topo.clients = clients;
+      cfg.topo.protocol = proto;
+      cfg.dst_factory = same_dst_for_all(app::social_post_picker(service));
+      cfg.warmup = milliseconds(900);
+      cfg.measure = milliseconds(2000);
+      cfg.slice = milliseconds(400);
+      cfg.drain = false;
+      cfg.check_level = Checker::Level::kFast;
+      Cluster cluster(cfg);
+      cluster.start();
+      auto& sim = cluster.simulator();
+      sim.run_until(cfg.warmup);
+      cluster.metrics().open_window(cfg.warmup, cfg.warmup + cfg.measure, cfg.slice);
+      sim.run_until(cfg.warmup + cfg.measure);
+      cluster.metrics().close_window();
+      for (std::size_t span = 1; span <= 4; ++span) {
+        const auto& lat = cluster.metrics().latency_for_tag(span);
+        rows[span - 1].push_back(
+            lat.empty() ? "-" : format_ms(lat.median()) + " (p95 " +
+                                    format_ms(lat.percentile(95)) + ")");
+      }
+      const auto report = cluster.checker().check(false, Checker::Level::kFast);
+      if (!report.ok) {
+        std::fprintf(stderr, "WARNING: checker violations in fig7 bottom: %s\n",
+                     report.violations[0].c_str());
+      }
+    }
+    for (auto& row : rows) t.add_row(std::move(row));
+    t.print();
+  }
+  return 0;
+}

@@ -1,0 +1,84 @@
+#pragma once
+
+#include "bench_util.hpp"
+
+/// \file figure_panels.hpp
+/// The four-panel microbenchmark layout shared by Figures 4 (LAN),
+/// 5 (emulated WAN) and 6 (real WAN):
+///   top-left    — single-client latency, multicast to all groups, versus
+///                 the number of groups in the configuration;
+///   top-right   — single-client latency, 16 groups, multicast to k groups;
+///   bottom-left — latency under load, 16 groups, kg×kc = 1536;
+///   bottom-right— throughput under load, same configurations.
+
+namespace fastcast::bench {
+
+inline void run_figure_panels(Environment env, const char* fig,
+                              bool slow_path_ablation) {
+  const std::vector<std::size_t> group_counts = {1, 2, 4, 8, 16};
+  const std::vector<std::pair<std::size_t, std::size_t>> load_points = {
+      {1, 1536}, {2, 768}, {4, 384}, {8, 192}, {16, 96}};
+  const std::vector<Protocol> protos =
+      slow_path_ablation ? kFourProtocols : kThreeProtocols;
+
+  std::vector<std::string> columns{"config"};
+  for (Protocol p : protos) columns.push_back(to_string(p));
+
+  {
+    Table t(std::string(fig) + " top-left — 1 client multicasts to ALL "
+                               "groups vs #groups [median ms (p95)]",
+            {"groups", "BaseCast", "FastCast", "MultiPaxos"});
+    for (std::size_t g : group_counts) {
+      std::vector<std::string> row{std::to_string(g)};
+      for (Protocol proto : kThreeProtocols) {
+        const auto r = run_single_client(env, proto, g, all_groups(g));
+        check_or_warn(r, fig);
+        row.push_back(lat_cell(r));
+      }
+      t.add_row(std::move(row));
+    }
+    t.print();
+  }
+
+  {
+    Table t(std::string(fig) + " top-right — 1 client multicasts to k of "
+                               "16 groups [median ms (p95)]",
+            {"k dest groups", "BaseCast", "FastCast", "MultiPaxos"});
+    for (std::size_t k : group_counts) {
+      std::vector<std::string> row{std::to_string(k)};
+      for (Protocol proto : kThreeProtocols) {
+        const auto r = run_single_client(env, proto, 16, random_subset(16, k));
+        check_or_warn(r, fig);
+        row.push_back(lat_cell(r));
+      }
+      t.add_row(std::move(row));
+    }
+    t.print();
+  }
+
+  {
+    Table lat(std::string(fig) + " bottom-left — latency under load, 16 "
+                                 "groups, kg x kc = 1536 [median ms (p95)]",
+              columns);
+    Table tput(std::string(fig) + " bottom-right — throughput under load "
+                                  "[msgs/s, ±95% CI]",
+               columns);
+    for (auto [kg, kc] : load_points) {
+      std::vector<std::string> lrow{std::to_string(kg) + "G/" +
+                                    std::to_string(kc) + "C"};
+      std::vector<std::string> trow = lrow;
+      for (Protocol proto : protos) {
+        const auto r = run_load(env, proto, 16, kg, kc);
+        check_or_warn(r, fig);
+        lrow.push_back(lat_cell(r));
+        trow.push_back(tput_cell(r));
+      }
+      lat.add_row(std::move(lrow));
+      tput.add_row(std::move(trow));
+    }
+    lat.print();
+    tput.print();
+  }
+}
+
+}  // namespace fastcast::bench

@@ -1,0 +1,157 @@
+// Substrate microbenchmarks (google-benchmark): the per-operation costs of
+// the building blocks — codec, event queue, RNG, delivery buffer, and a
+// whole simulated consensus instance — that determine how much simulated
+// time per wall-clock second the figure benches can chew through.
+
+#include <benchmark/benchmark.h>
+
+#include "fastcast/amcast/delivery_buffer.hpp"
+#include "fastcast/paxos/group_consensus.hpp"
+#include "fastcast/sim/simulator.hpp"
+
+namespace fastcast {
+namespace {
+
+Message sample_rm_data() {
+  MulticastMessage m;
+  m.id = make_msg_id(7, 42);
+  m.sender = 7;
+  m.dst = {0, 3, 5};
+  m.payload = std::string(64, 'p');
+  RmData d;
+  d.origin = 9;
+  d.seq = 1234;
+  d.dst_groups = {0, 3, 5};
+  d.dest_nodes = {0, 1, 2, 9, 10, 11, 15, 16, 17};
+  d.dest_seqs = {1, 1, 1, 1, 1, 1, 1, 1, 1};
+  d.inner = AmStart{m};
+  return Message{d};
+}
+
+void BM_EncodeMessage(benchmark::State& state) {
+  const Message msg = sample_rm_data();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encode_message(msg));
+  }
+}
+BENCHMARK(BM_EncodeMessage);
+
+void BM_DecodeMessage(benchmark::State& state) {
+  const auto bytes = encode_message(sample_rm_data());
+  for (auto _ : state) {
+    Message out;
+    benchmark::DoNotOptimize(decode_message(bytes, out));
+  }
+}
+BENCHMARK(BM_DecodeMessage);
+
+void BM_EncodeTupleBatch(benchmark::State& state) {
+  std::vector<Tuple> batch;
+  for (int i = 0; i < 32; ++i) {
+    batch.push_back(Tuple{TupleKind::kSyncHard, 3, static_cast<Ts>(i),
+                          make_msg_id(1, static_cast<std::uint32_t>(i)),
+                          {0, 1, 2, 3}});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encode_tuples(batch));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 32);
+}
+BENCHMARK(BM_EncodeTupleBatch);
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  sim::EventQueue q;
+  Rng rng(1);
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      q.push(static_cast<Time>(rng.uniform(1000000)), [] {});
+    }
+    for (int i = 0; i < 64; ++i) q.pop();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_EventQueuePushPop);
+
+void BM_RngNext(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.next());
+}
+BENCHMARK(BM_RngNext);
+
+/// One fully-simulated consensus decision (3 replicas, LAN): the unit of
+/// work behind every SET-HARD / SYNC-* step in the figure benches.
+void BM_SimulatedConsensusDecision(benchmark::State& state) {
+  struct Node : Process {
+    explicit Node(paxos::GroupConsensus::Config cfg, NodeId self)
+        : cons(cfg, self) {}
+    void on_start(Context& ctx) override { cons.on_start(ctx); }
+    void on_message(Context& ctx, NodeId from, const Message& msg) override {
+      cons.handle(ctx, from, msg);
+    }
+    paxos::GroupConsensus cons;
+  };
+
+  Membership membership;
+  membership.add_group(3, {0, 0, 0});
+  sim::Simulator sim(membership, sim::make_paper_lan(), {});
+  paxos::GroupConsensus::Config cfg;
+  cfg.group = 0;
+  cfg.members = membership.members(0);
+  std::vector<std::shared_ptr<Node>> nodes;
+  std::uint64_t decided = 0;
+  for (NodeId n = 0; n < 3; ++n) {
+    nodes.push_back(std::make_shared<Node>(cfg, n));
+    nodes.back()->cons.set_decide(
+        [&decided](InstanceId, const std::vector<std::byte>&) { ++decided; });
+    sim.add_process(n, nodes.back());
+  }
+  sim.start();
+  const std::vector<std::byte> value(64, std::byte{1});
+  for (auto _ : state) {
+    nodes[0]->cons.propose(*const_cast<Context*>(&sim.context(0)), value);
+    sim.run_to_idle();
+  }
+  benchmark::DoNotOptimize(decided);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SimulatedConsensusDecision);
+
+void BM_DeliveryBufferLocalCycle(benchmark::State& state) {
+  class NullContext final : public Context {
+   public:
+    NullContext() { membership_.add_group(1, {0}); }
+    NodeId self() const override { return 0; }
+    Time now() const override { return 0; }
+    void send(NodeId, const Message&) override {}
+    TimerId set_timer(Duration, std::function<void()>) override { return 1; }
+    void cancel_timer(TimerId) override {}
+    Rng& rng() override { return rng_; }
+    const Membership& membership() const override { return membership_; }
+
+   private:
+    Rng rng_;
+    Membership membership_;
+  };
+  NullContext ctx;
+  DeliveryBuffer buffer;
+  std::uint64_t delivered = 0;
+  buffer.set_deliver([&delivered](Context&, const MulticastMessage&) { ++delivered; });
+  MulticastMessage m;
+  m.sender = 1;
+  m.dst = {0};
+  m.payload = std::string(64, 'x');
+  Ts ts = 0;
+  std::uint32_t seq = 0;
+  for (auto _ : state) {
+    m.id = make_msg_id(1, seq++);
+    buffer.store_body(ctx, m);
+    buffer.add_entry(ctx, EntryKind::kSyncHard, 0, ++ts, m.id);
+  }
+  benchmark::DoNotOptimize(delivered);
+}
+BENCHMARK(BM_DeliveryBufferLocalCycle);
+
+}  // namespace
+}  // namespace fastcast
+
+BENCHMARK_MAIN();

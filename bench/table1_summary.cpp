@@ -1,0 +1,88 @@
+// Table 1: which protocol performs best per (benchmark, environment,
+// load, destination count) cell, 16-group system.
+//
+// Paper's table: under low load MultiPaxos wins in the LAN and for
+// messages addressed to all groups; FastCast wins WAN cells with 2–8
+// destinations; local messages are a tie between the genuine protocols;
+// BaseCast takes the many-but-not-all LAN cells under load.
+
+#include "bench_util.hpp"
+
+using namespace fastcast;
+using namespace fastcast::bench;
+
+namespace {
+
+/// Winners within 5% are reported as a tie (the paper's "equal" cells).
+std::string winner_by(const std::vector<std::pair<std::string, double>>& scores,
+                      bool lower_is_better) {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < scores.size(); ++i) {
+    const bool better = lower_is_better ? scores[i].second < scores[best].second
+                                        : scores[i].second > scores[best].second;
+    if (better) best = i;
+  }
+  std::string cell = scores[best].first;
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    if (i == best) continue;
+    const double ratio = scores[i].second / scores[best].second;
+    const bool close = lower_is_better ? ratio < 1.05 : ratio > 0.95;
+    if (close) cell += "=" + scores[i].first;
+  }
+  return cell;
+}
+
+const char* short_name(Protocol p) {
+  switch (p) {
+    case Protocol::kBaseCast: return "BC";
+    case Protocol::kFastCast: return "FC";
+    case Protocol::kMultiPaxos: return "MP";
+    case Protocol::kFastCastSlowPath: return "FCs";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<std::size_t> dest_counts = {1, 2, 4, 8, 16};
+  Table table(
+      "Table 1 — best protocol per configuration (16 groups; FC=FastCast, "
+      "BC=BaseCast, MP=MultiPaxos; '=' marks results within 5%)",
+      {"environment", "load", "1", "2", "4", "8", "16 (all)"});
+
+  for (Environment env : {Environment::kLan, Environment::kEmulatedWan,
+                          Environment::kRealWan}) {
+    // Low load: one client; winner by median latency.
+    {
+      std::vector<std::string> row{to_string(env), "low"};
+      for (std::size_t k : dest_counts) {
+        std::vector<std::pair<std::string, double>> scores;
+        for (Protocol proto : kThreeProtocols) {
+          const auto r = run_single_client(env, proto, 16, random_subset(16, k));
+          check_or_warn(r, "table1 low");
+          scores.emplace_back(short_name(proto),
+                              to_milliseconds(r.latency.median()));
+        }
+        row.push_back(winner_by(scores, /*lower_is_better=*/true));
+      }
+      table.add_row(std::move(row));
+    }
+    // High load: kg·kc = 1536; winner by throughput.
+    {
+      std::vector<std::string> row{to_string(env), "high"};
+      for (std::size_t k : dest_counts) {
+        std::vector<std::pair<std::string, double>> scores;
+        for (Protocol proto : kThreeProtocols) {
+          const auto r = run_load(env, proto, 16, k, 1536 / k);
+          check_or_warn(r, "table1 high");
+          scores.emplace_back(short_name(proto), r.throughput.mean_per_sec);
+        }
+        row.push_back(winner_by(scores, /*lower_is_better=*/false));
+      }
+      table.add_row(std::move(row));
+    }
+  }
+  table.print("low load: winner by median latency; high load: by throughput");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Quickstart: two replica groups in the simulator, a handful of global and
+// local multicasts through FastCast, and the delivery order printed from
+// every replica — the five-minute tour of the public API.
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "fastcast/harness/experiment.hpp"
+
+using namespace fastcast;
+using namespace fastcast::harness;
+
+int main() {
+  ExperimentConfig cfg;
+  cfg.topo.env = Environment::kLan;
+  cfg.topo.groups = 2;
+  cfg.topo.clients = 2;
+  cfg.topo.protocol = Protocol::kFastCast;
+  // Client 0 sends global messages (both groups); client 1 local to group 1.
+  cfg.dst_factory = [](std::size_t idx) -> DstPicker {
+    if (idx == 0) return all_groups(2);
+    return fixed_group(1);
+  };
+  cfg.warmup = milliseconds(0);
+  cfg.measure = milliseconds(50);
+  cfg.check_level = Checker::Level::kFull;
+
+  Cluster cluster(cfg);
+
+  // Record every replica's delivery sequence for printing.
+  std::map<NodeId, std::vector<MsgId>> orders;
+  for (NodeId n : cluster.deployment().membership.all_replicas()) {
+    cluster.replica(n).add_observer(
+        [&orders](Context& ctx, const MulticastMessage& msg) {
+          orders[ctx.self()].push_back(msg.id);
+        });
+  }
+
+  cluster.start();
+  cluster.stop_clients(milliseconds(50));
+  cluster.simulator().run_to_idle();
+
+  std::printf("FastCast quickstart: 2 groups x 3 replicas, 2 clients\n\n");
+  for (const auto& [node, seq] : orders) {
+    std::printf("replica %u (group %u) a-delivered %zu messages:",
+                node, cluster.deployment().membership.group_of(node), seq.size());
+    for (MsgId mid : seq) {
+      std::printf(" %u.%u", msg_id_sender(mid), msg_id_seq(mid));
+    }
+    std::printf("\n");
+  }
+
+  const auto report = cluster.checker().check(/*quiesced=*/true);
+  std::printf("\nchecker: %s (%llu multicasts, %llu deliveries)\n",
+              report.ok ? "all atomic-multicast properties hold" : "VIOLATIONS",
+              static_cast<unsigned long long>(report.multicast_count),
+              static_cast<unsigned long long>(report.delivery_count));
+  for (const auto& v : report.violations) std::printf("  %s\n", v.c_str());
+  return report.ok ? 0 : 1;
+}

@@ -1,0 +1,30 @@
+#include "fastcast/amcast/client_stub.hpp"
+
+#include "fastcast/common/assert.hpp"
+
+namespace fastcast {
+
+void MultiPaxosClientStub::amulticast(Context& ctx, const MulticastMessage& msg) {
+  FC_ASSERT(!cfg_.ordering_members.empty());
+  pending_.emplace(msg.id, msg);
+  ctx.send(cfg_.ordering_members.front(), Message{MpSubmit{msg}});
+  if (!cfg_.reliable_links) arm_retry(ctx);
+}
+
+void MultiPaxosClientStub::arm_retry(Context& ctx) {
+  if (timer_armed_) return;
+  timer_armed_ = true;
+  ctx.set_timer(cfg_.retry_interval, [this, &ctx] {
+    timer_armed_ = false;
+    if (pending_.empty()) return;
+    // Rotate through ordering members so a crashed leader is bypassed.
+    retry_target_ = (retry_target_ + 1) % cfg_.ordering_members.size();
+    const NodeId target = cfg_.ordering_members[retry_target_];
+    for (const auto& [mid, msg] : pending_) {
+      ctx.send(target, Message{MpSubmit{msg}});
+    }
+    arm_retry(ctx);
+  });
+}
+
+}  // namespace fastcast

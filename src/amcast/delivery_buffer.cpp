@@ -1,0 +1,147 @@
+#include "fastcast/amcast/delivery_buffer.hpp"
+
+#include <algorithm>
+
+#include "fastcast/common/assert.hpp"
+#include "fastcast/common/logging.hpp"
+
+namespace fastcast {
+
+void DeliveryBuffer::note_dst(MsgId mid, const std::vector<GroupId>& dst) {
+  if (delivered_.contains(mid)) return;
+  auto& pm = msgs_[mid];
+  if (!pm.dst_known) {
+    pm.dst = dst;
+    pm.dst_known = true;
+  }
+}
+
+void DeliveryBuffer::store_body(Context& ctx, const MulticastMessage& msg) {
+  if (delivered_.contains(msg.id)) return;
+  auto& pm = msgs_[msg.id];
+  if (!pm.body.has_value()) {
+    pm.body = msg;
+    note_dst(msg.id, msg.dst);
+    // A formed FINAL may have been waiting for this body.
+    if (pm.final_formed) try_deliver(ctx);
+  }
+}
+
+bool DeliveryBuffer::has_body(MsgId mid) const {
+  auto it = msgs_.find(mid);
+  return it != msgs_.end() && it->second.body.has_value();
+}
+
+void DeliveryBuffer::add_entry(Context& ctx, EntryKind kind, GroupId group,
+                               Ts ts, MsgId mid) {
+  if (delivered_.contains(mid)) return;
+  auto& pm = msgs_[mid];
+  // A SYNC-SOFT can be ordered after the slow path already completed the
+  // message's FINAL; it is no longer relevant (the paper's B would keep it
+  // forever, blocking deliveries — see DESIGN.md).
+  if (pm.final_formed) return;
+  for (const Entry& e : pm.entries) {
+    if (e.kind == kind && e.group == group) return;  // duplicate
+  }
+  pm.entries.push_back(Entry{kind, group, ts});
+  blocking_.insert(TsKey{ts, mid});
+  if (kind == EntryKind::kSyncHard) {
+    ++pm.sync_hard_count;
+    try_form_final(ctx, mid, pm);
+  }
+  try_deliver(ctx);
+}
+
+void DeliveryBuffer::remove_pending_hard(Context& ctx, MsgId mid, GroupId group) {
+  auto it = msgs_.find(mid);
+  if (it == msgs_.end()) return;
+  auto& entries = it->second.entries;
+  for (auto e = entries.begin(); e != entries.end(); ++e) {
+    if (e->kind == EntryKind::kPendingHard && e->group == group) {
+      auto b = blocking_.find(TsKey{e->ts, mid});
+      FC_ASSERT(b != blocking_.end());
+      blocking_.erase(b);
+      entries.erase(e);
+      // Deliberately no try_deliver() here: the caller immediately inserts
+      // the ordered SYNC-HARD that replaces this placeholder (with the
+      // same timestamp). Attempting delivery in the gap would let another
+      // message with a larger final timestamp jump ahead of this one.
+      (void)ctx;
+      return;
+    }
+  }
+}
+
+std::optional<Ts> DeliveryBuffer::sync_soft_ts(MsgId mid, GroupId group) const {
+  auto it = msgs_.find(mid);
+  if (it == msgs_.end()) return std::nullopt;
+  for (const Entry& e : it->second.entries) {
+    if (e.kind == EntryKind::kSyncSoft && e.group == group) return e.ts;
+  }
+  return std::nullopt;
+}
+
+bool DeliveryBuffer::has_sync_hard(MsgId mid, GroupId group) const {
+  auto it = msgs_.find(mid);
+  if (it == msgs_.end()) return false;
+  for (const Entry& e : it->second.entries) {
+    if (e.kind == EntryKind::kSyncHard && e.group == group) return true;
+  }
+  return false;
+}
+
+void DeliveryBuffer::try_form_final(Context& ctx, MsgId mid, PerMessage& pm) {
+  (void)ctx;
+  if (pm.final_formed || !pm.dst_known) return;
+  if (pm.sync_hard_count < pm.dst.size()) return;
+  // Sanity: one SYNC-HARD per destination group.
+  Ts max_ts = 0;
+  std::size_t hard_seen = 0;
+  for (const Entry& e : pm.entries) {
+    if (e.kind != EntryKind::kSyncHard) continue;
+    FC_ASSERT_MSG(std::find(pm.dst.begin(), pm.dst.end(), e.group) != pm.dst.end(),
+                  "SYNC-HARD from a non-destination group");
+    max_ts = std::max(max_ts, e.ts);
+    ++hard_seen;
+  }
+  FC_ASSERT(hard_seen == pm.dst.size());
+
+  // Replace every tentative entry of this message by its FINAL.
+  for (const Entry& e : pm.entries) {
+    auto b = blocking_.find(TsKey{e.ts, mid});
+    FC_ASSERT(b != blocking_.end());
+    blocking_.erase(b);
+  }
+  pm.entries.clear();
+  pm.final_formed = true;
+  pm.final_key = TsKey{max_ts, mid};
+  finals_.insert(pm.final_key);
+  blocking_.insert(pm.final_key);
+}
+
+void DeliveryBuffer::try_deliver(Context& ctx) {
+  // Deliver while the smallest FINAL is smaller than every other buffered
+  // timestamp — since a FINAL's own tentative entries were removed, that
+  // is exactly "the FINAL is the minimum of the blocking set".
+  while (!finals_.empty()) {
+    const TsKey f = *finals_.begin();
+    FC_ASSERT(!blocking_.empty());
+    if (*blocking_.begin() < f) return;  // some other message may precede
+    FC_ASSERT(*blocking_.begin() == f);
+
+    auto it = msgs_.find(f.mid);
+    FC_ASSERT(it != msgs_.end());
+    PerMessage& pm = it->second;
+    if (!pm.body.has_value()) return;  // START still in flight; stall
+
+    const MulticastMessage body = std::move(*pm.body);
+    finals_.erase(finals_.begin());
+    blocking_.erase(blocking_.find(f));
+    msgs_.erase(it);
+    delivered_.insert(f.mid);
+    ++delivered_count_;
+    if (deliver_) deliver_(ctx, body);
+  }
+}
+
+}  // namespace fastcast

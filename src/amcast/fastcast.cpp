@@ -1,0 +1,142 @@
+#include "fastcast/amcast/fastcast.hpp"
+
+#include "fastcast/common/assert.hpp"
+#include "fastcast/common/logging.hpp"
+#include <string>
+
+namespace fastcast {
+
+void FastCast::on_rdeliver(Context& ctx, NodeId origin, const AmcastPayload& payload) {
+  (void)origin;
+  if (const auto* start = std::get_if<AmStart>(&payload)) {
+    // Task 1.
+    buffer_.store_body(ctx, start->msg);
+    stage(ctx, Tuple{TupleKind::kSetHard, cfg_.group, 0, start->msg.id,
+                     start->msg.dst});
+    return;
+  }
+  if (const auto* soft = std::get_if<AmSendSoft>(&payload)) {
+    // Task 2.
+    buffer_.note_dst(soft->mid, soft->dst);
+    stage(ctx, Tuple{TupleKind::kSyncSoft, soft->from_group, soft->ts, soft->mid,
+                     soft->dst});
+    return;
+  }
+  const auto& hard = std::get<AmSendHard>(payload);
+  // Task 3. Whether the tuple is queued for the second consensus depends
+  // on the fast path's state:
+  //   * soft already ordered with the same x — Task 6 fires now, no
+  //     consensus needed;
+  //   * soft seen but not ordered yet — defer; its decision resolves the
+  //     match (Task 6) or promotes the hard for consensus (mismatch);
+  //   * no soft seen / ordered with a different x — genuine slow path,
+  //     propose immediately as BaseCast would.
+  buffer_.note_dst(hard.mid, hard.dst);
+  const Tuple tuple{TupleKind::kSyncHard, hard.from_group, hard.ts, hard.mid,
+                    hard.dst};
+  const TupleId id = id_of(tuple);
+  if (known(id)) {
+    try_task6(ctx, tuple);
+    return;
+  }
+  const auto soft_ts = buffer_.sync_soft_ts(hard.mid, hard.from_group);
+  if (soft_ts.has_value() && *soft_ts == hard.ts) {
+    try_task6(ctx, tuple);
+    return;
+  }
+  const TupleId soft_id{TupleKind::kSyncSoft, hard.from_group, hard.mid};
+  if (!options_.eager_hard_propose && !soft_ts.has_value() && known(soft_id)) {
+    track_deferred(tuple);
+    return;
+  }
+  stage(ctx, tuple);
+}
+
+void FastCast::before_propose(Context& ctx, const std::vector<Tuple>& batch) {
+  // Algorithm 2, Task 4 (leader only): guess hard timestamps with the soft
+  // clock and propagate the guesses one consensus earlier than SEND-HARD.
+  if (cs_ < ch_) cs_ = ch_;
+  for (const Tuple& t : batch) {
+    if (t.kind == TupleKind::kSetHard) {
+      ++cs_;
+      if (t.dst.size() > 1 && !soft_sent_.contains(t.mid)) {
+        soft_sent_.insert(t.mid);
+        const Ts wire_ts = options_.force_slow_path ? cs_ + kForcedSlowOffset : cs_;
+        ++guesses_sent_;
+        sent_guess_.emplace(t.mid, wire_ts);
+        rm_.multicast(ctx, t.dst, AmSendSoft{cfg_.group, wire_ts, t.mid, t.dst});
+      }
+    } else if (t.ts > cs_) {
+      cs_ = t.ts;  // soft clock must not trail unordered timestamps
+    }
+  }
+}
+
+void FastCast::apply_tuple(Context& ctx, const Tuple& tuple) {
+  switch (tuple.kind) {
+    case TupleKind::kSetHard: {
+      auto it = sent_guess_.find(tuple.mid);
+      if (it != sent_guess_.end()) {
+        if (it->second != ch_ + 1) ++guess_mismatches_;
+        sent_guess_.erase(it);
+      }
+      handle_set_hard(ctx, tuple);
+      return;
+    }
+    case TupleKind::kSyncSoft: {
+      // Task 5: Lamport update, then buffer the ordered guess; the guess
+      // may immediately validate a SEND-HARD that arrived earlier (Task 6).
+      if (tuple.ts > ch_) ch_ = tuple.ts;
+      buffer_.note_dst(tuple.mid, tuple.dst);
+      buffer_.add_entry(ctx, EntryKind::kSyncSoft, tuple.group, tuple.ts, tuple.mid);
+      const TupleId hard_id{TupleKind::kSyncHard, tuple.group, tuple.mid};
+      if (const Tuple* hard = find_unordered(hard_id)) {
+        if (hard->ts == tuple.ts) {
+          try_task6(ctx, *hard);
+        } else {
+          // Wrong guess: the deferred SYNC-HARD now needs the second
+          // consensus round (the BaseCast slow path).
+          promote_deferred(ctx, hard_id);
+        }
+      }
+      return;
+    }
+    case TupleKind::kSyncHard:
+      // Task 5 slow-path completion (Task 6 missed or mismatched).
+      ++slow_hits_;
+      handle_sync_hard(ctx, tuple);
+      return;
+  }
+}
+
+void FastCast::try_task6(Context& ctx, Tuple hard_tuple) {
+  FC_ASSERT(hard_tuple.kind == TupleKind::kSyncHard);
+  const TupleId id = id_of(hard_tuple);
+  if (is_ordered(id)) return;
+  const auto soft = buffer_.sync_soft_ts(hard_tuple.mid, hard_tuple.group);
+  if (!soft.has_value() || *soft != hard_tuple.ts) {
+    FC_TRACE("node %u task6 miss: mid=%llu group=%u hard=%llu soft=%s", ctx.self(),
+             (unsigned long long)hard_tuple.mid, hard_tuple.group,
+             (unsigned long long)hard_tuple.ts,
+             soft ? std::to_string(*soft).c_str() : "absent");
+    return;
+  }
+  FC_TRACE("node %u task6 match: mid=%llu group=%u ts=%llu", ctx.self(),
+           (unsigned long long)hard_tuple.mid, hard_tuple.group,
+           (unsigned long long)hard_tuple.ts);
+
+  // Match: the guess was right — treat the SYNC-HARD as ordered without
+  // the second consensus. CH is not updated here: the SYNC-SOFT with the
+  // same x already raised it in Task 5, identically on every member, so
+  // members that order this tuple through the decision stream instead
+  // compute the same clock.
+  ++fast_hits_;
+  mark_ordered_out_of_band(id);
+  buffer_.note_dst(hard_tuple.mid, hard_tuple.dst);
+  if (hard_tuple.group == cfg_.group) settle_own_hard(ctx, hard_tuple.mid);
+  buffer_.add_entry(ctx, EntryKind::kSyncHard, hard_tuple.group, hard_tuple.ts,
+                    hard_tuple.mid);
+  buffer_.try_deliver(ctx);
+}
+
+}  // namespace fastcast

@@ -1,0 +1,68 @@
+#include "fastcast/amcast/multipaxos_amcast.hpp"
+
+#include <algorithm>
+
+#include "fastcast/common/assert.hpp"
+
+namespace fastcast {
+
+MultiPaxosAmcast::MultiPaxosAmcast(Config config, NodeId self)
+    : cfg_(std::move(config)), self_(self), cons_(cfg_.consensus, self) {
+  cons_.set_decide([this](InstanceId, const std::vector<std::byte>& value) {
+    FC_ASSERT_MSG(ctx_ != nullptr, "decision before on_start");
+    on_decide(*ctx_, value);
+  });
+}
+
+void MultiPaxosAmcast::on_start(Context& ctx) {
+  ctx_ = &ctx;
+  cons_.on_start(ctx);
+}
+
+bool MultiPaxosAmcast::handle(Context& ctx, NodeId from, const Message& msg) {
+  if (cons_.handle(ctx, from, msg)) return true;
+  if (const auto* submit = std::get_if<MpSubmit>(&msg.payload)) {
+    on_submit(ctx, submit->msg);
+    return true;
+  }
+  return false;
+}
+
+void MultiPaxosAmcast::on_submit(Context& ctx, const MulticastMessage& msg) {
+  if (!cons_.is_leader(ctx)) return;  // client will retry against the leader
+  if (!seen_submissions_.insert(msg.id).second) return;  // duplicate retry
+  staged_.push_back(msg);
+  flush(ctx);
+}
+
+void MultiPaxosAmcast::flush(Context& ctx) {
+  while (!staged_.empty() && cons_.window_open()) {
+    std::vector<MulticastMessage> batch;
+    const std::size_t n = std::min(staged_.size(), cfg_.max_batch);
+    batch.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      batch.push_back(std::move(staged_.front()));
+      staged_.pop_front();
+    }
+    cons_.propose(ctx, encode_msg_batch(batch));
+  }
+}
+
+void MultiPaxosAmcast::on_decide(Context& ctx, const std::vector<std::byte>& value) {
+  if (!value.empty()) {
+    std::vector<MulticastMessage> batch;
+    FC_ASSERT_MSG(decode_msg_batch(value, batch), "undecodable MultiPaxos batch");
+    for (const MulticastMessage& msg : batch) {
+      ++ordered_count_;
+      if (cfg_.my_group == kNoGroup) continue;  // pure orderer delivers nothing
+      if (std::find(msg.dst.begin(), msg.dst.end(), cfg_.my_group) == msg.dst.end()) {
+        continue;  // not addressed to this replica's group
+      }
+      if (!delivered_.insert(msg.id).second) continue;  // re-proposed duplicate
+      deliver(ctx, msg);
+    }
+  }
+  flush(ctx);
+}
+
+}  // namespace fastcast

@@ -1,0 +1,31 @@
+#include "fastcast/amcast/node.hpp"
+
+#include "fastcast/common/assert.hpp"
+#include "fastcast/common/logging.hpp"
+
+namespace fastcast {
+
+ReplicaNode::ReplicaNode(std::shared_ptr<AtomicMulticast> protocol, Options options)
+    : protocol_(std::move(protocol)), options_(options) {
+  FC_ASSERT(protocol_ != nullptr);
+  protocol_->set_deliver([this](Context& ctx, const MulticastMessage& msg) {
+    ++delivered_count_;
+    if (options_.send_acks && msg.sender != kInvalidNode) {
+      ctx.send(msg.sender, Message{AmAck{msg.id, ctx.my_group(), ctx.self()}});
+    }
+    for (const auto& observer : observers_) observer(ctx, msg);
+  });
+}
+
+ReplicaNode::ReplicaNode(std::shared_ptr<AtomicMulticast> protocol)
+    : ReplicaNode(std::move(protocol), Options{}) {}
+
+void ReplicaNode::on_start(Context& ctx) { protocol_->on_start(ctx); }
+
+void ReplicaNode::on_message(Context& ctx, NodeId from, const Message& msg) {
+  if (!protocol_->handle(ctx, from, msg)) {
+    FC_TRACE("node %u: unhandled %s from %u", ctx.self(), message_kind(msg), from);
+  }
+}
+
+}  // namespace fastcast

@@ -1,0 +1,173 @@
+#include "fastcast/amcast/timestamp_base.hpp"
+
+#include "fastcast/common/assert.hpp"
+#include "fastcast/common/logging.hpp"
+
+namespace fastcast {
+
+TimestampProtocolBase::TimestampProtocolBase(Config config, NodeId self)
+    : cfg_(std::move(config)), self_(self), rm_(cfg_.rmcast), cons_(cfg_.consensus, self) {
+  FC_ASSERT(cfg_.group != kNoGroup);
+
+  rm_.set_deliver([this](Context& ctx, NodeId origin, const AmcastPayload& payload) {
+    on_rdeliver(ctx, origin, payload);
+  });
+
+  cons_.set_decide([this](InstanceId inst, const std::vector<std::byte>& value) {
+    FC_ASSERT_MSG(decide_ctx_ != nullptr, "decision before on_start");
+    on_decide(*decide_ctx_, inst, value);
+  });
+
+  cons_.set_on_leader_change([this](Context& ctx, NodeId leader) {
+    if (leader != ctx.self()) return;
+    // New leader: re-send pending SEND-HARDs (the previous leader may have
+    // crashed between deciding SET-HARD and transmitting) and re-propose
+    // everything still unordered.
+    for (const auto& [mid, info] : hard_pending_) {
+      rm_.multicast(ctx, info.second,
+                    AmSendHard{cfg_.group, info.first, mid, info.second});
+    }
+    restage_all(ctx);
+  });
+
+  buffer_.set_deliver([this](Context& ctx, const MulticastMessage& msg) {
+    deliver(ctx, msg);
+  });
+}
+
+void TimestampProtocolBase::on_start(Context& ctx) {
+  decide_ctx_ = &ctx;
+  rm_.on_start(ctx);
+  cons_.on_start(ctx);
+  if (cfg_.enable_repropose) arm_repropose(ctx);
+}
+
+bool TimestampProtocolBase::handle(Context& ctx, NodeId from, const Message& msg) {
+  if (rm_.handle(ctx, from, msg)) return true;
+  if (cons_.handle(ctx, from, msg)) return true;
+  return false;
+}
+
+void TimestampProtocolBase::stage(Context& ctx, Tuple tuple) {
+  const TupleId id = id_of(tuple);
+  if (known_.contains(id)) return;
+  known_.insert(id);
+  staged_.push_back(id);
+  unordered_.emplace(id, std::move(tuple));
+  flush(ctx);
+}
+
+void TimestampProtocolBase::track_deferred(Tuple tuple) {
+  const TupleId id = id_of(tuple);
+  if (known_.contains(id)) return;
+  known_.insert(id);
+  unordered_.emplace(id, std::move(tuple));
+}
+
+void TimestampProtocolBase::promote_deferred(Context& ctx, const TupleId& id) {
+  if (!unordered_.contains(id)) return;
+  staged_.push_back(id);
+  flush(ctx);
+}
+
+void TimestampProtocolBase::mark_ordered_out_of_band(const TupleId& id) {
+  FC_ASSERT(!ordered_.contains(id));
+  known_.insert(id);
+  ordered_.insert(id);
+  unordered_.erase(id);
+}
+
+const Tuple* TimestampProtocolBase::find_unordered(const TupleId& id) const {
+  auto it = unordered_.find(id);
+  return it == unordered_.end() ? nullptr : &it->second;
+}
+
+void TimestampProtocolBase::flush(Context& ctx) {
+  if (staged_.empty()) return;
+  if (!cons_.is_leader(ctx)) return;
+  if (!cons_.window_open()) return;  // batch: accumulate until a slot frees
+
+  std::vector<Tuple> batch;
+  batch.reserve(staged_.size());
+  for (const TupleId& id : staged_) {
+    auto it = unordered_.find(id);
+    if (it != unordered_.end()) batch.push_back(it->second);
+  }
+  staged_.clear();
+  if (batch.empty()) return;
+
+  before_propose(ctx, batch);
+  cons_.propose(ctx, encode_tuples(batch));
+}
+
+void TimestampProtocolBase::on_decide(Context& ctx, InstanceId inst,
+                                      const std::vector<std::byte>& value) {
+  (void)inst;
+  if (value.empty()) {
+    flush(ctx);  // no-op gap filler from a leader change
+    return;
+  }
+  std::vector<Tuple> tuples;
+  FC_ASSERT_MSG(decode_tuples(value, tuples), "undecodable consensus value");
+  for (const Tuple& t : tuples) {
+    const TupleId id = id_of(t);
+    if (ordered_.contains(id)) continue;  // Decided \ Ordered
+    apply_tuple(ctx, t);
+    ordered_.insert(id);
+    unordered_.erase(id);
+  }
+  buffer_.try_deliver(ctx);
+  flush(ctx);  // the decision freed a pipeline slot
+}
+
+void TimestampProtocolBase::handle_set_hard(Context& ctx, const Tuple& tuple) {
+  FC_ASSERT_MSG(tuple.group == cfg_.group, "SET-HARD for a foreign group");
+  ++ch_;
+  buffer_.note_dst(tuple.mid, tuple.dst);
+  if (tuple.dst.size() > 1) {
+    // Global: park our own (deterministic) hard timestamp as a placeholder
+    // and propagate it to every destination group.
+    buffer_.add_entry(ctx, EntryKind::kPendingHard, cfg_.group, ch_, tuple.mid);
+    hard_pending_[tuple.mid] = {ch_, tuple.dst};
+    const bool transmit = cfg_.hard_send == Config::HardSend::kAll ||
+                          cons_.is_leader(ctx);
+    if (transmit) {
+      rm_.multicast(ctx, tuple.dst,
+                    AmSendHard{cfg_.group, ch_, tuple.mid, tuple.dst});
+    }
+  } else {
+    // Local: the decided timestamp is already final (3δ path).
+    buffer_.add_entry(ctx, EntryKind::kSyncHard, cfg_.group, ch_, tuple.mid);
+  }
+}
+
+void TimestampProtocolBase::handle_sync_hard(Context& ctx, const Tuple& tuple) {
+  if (tuple.ts > ch_) ch_ = tuple.ts;  // Lamport's rule
+  buffer_.note_dst(tuple.mid, tuple.dst);
+  if (tuple.group == cfg_.group) settle_own_hard(ctx, tuple.mid);
+  buffer_.add_entry(ctx, EntryKind::kSyncHard, tuple.group, tuple.ts, tuple.mid);
+}
+
+void TimestampProtocolBase::settle_own_hard(Context& ctx, MsgId mid) {
+  buffer_.remove_pending_hard(ctx, mid, cfg_.group);
+  hard_pending_.erase(mid);
+}
+
+void TimestampProtocolBase::restage_all(Context& ctx) {
+  staged_.clear();
+  staged_.reserve(unordered_.size());
+  for (const auto& [id, tuple] : unordered_) staged_.push_back(id);
+  flush(ctx);
+}
+
+void TimestampProtocolBase::arm_repropose(Context& ctx) {
+  if (repropose_armed_) return;
+  repropose_armed_ = true;
+  ctx.set_timer(cfg_.repropose_interval, [this, &ctx] {
+    repropose_armed_ = false;
+    if (!unordered_.empty()) restage_all(ctx);
+    arm_repropose(ctx);
+  });
+}
+
+}  // namespace fastcast

@@ -1,0 +1,115 @@
+#include "fastcast/app/socialnet/partitioner.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "fastcast/common/assert.hpp"
+
+namespace fastcast::app {
+
+namespace {
+
+std::size_t count_cut_edges(const SocialGraph& graph,
+                            const std::vector<std::uint32_t>& partition_of) {
+  std::size_t cut = 0;
+  for (std::size_t u = 0; u < graph.user_count; ++u) {
+    for (UserId f : graph.followers[u]) {
+      if (partition_of[f] != partition_of[u]) ++cut;
+    }
+  }
+  return cut;
+}
+
+}  // namespace
+
+PartitionResult partition_graph(const SocialGraph& graph,
+                                const PartitionerConfig& config) {
+  FC_ASSERT(config.partitions >= 1);
+  const std::size_t n = graph.user_count;
+  const std::size_t cap = static_cast<std::size_t>(
+      static_cast<double>(n) / static_cast<double>(config.partitions) *
+      (1.0 + config.balance_slack)) + 1;
+
+  constexpr std::uint32_t kUnassigned = 0xffffffffu;
+  PartitionResult result;
+  result.partition_of.assign(n, kUnassigned);
+  result.sizes.assign(config.partitions, 0);
+
+  // Undirected adjacency (followers + following) drives locality.
+  auto neighbours = [&](std::size_t u, auto&& fn) {
+    for (UserId v : graph.followers[u]) fn(v);
+    for (UserId v : graph.following[u]) fn(v);
+  };
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const std::size_t da = graph.followers[a].size() + graph.following[a].size();
+    const std::size_t db = graph.followers[b].size() + graph.following[b].size();
+    if (da != db) return da > db;
+    return a < b;
+  });
+
+  std::vector<std::size_t> score(config.partitions);
+  for (std::size_t u : order) {
+    std::fill(score.begin(), score.end(), 0);
+    neighbours(u, [&](UserId v) {
+      if (result.partition_of[v] != kUnassigned) ++score[result.partition_of[v]];
+    });
+    // Best feasible partition by neighbour count; ties break toward the
+    // least-loaded partition so balance emerges naturally.
+    std::size_t best = config.partitions;
+    for (std::size_t p = 0; p < config.partitions; ++p) {
+      if (result.sizes[p] >= cap) continue;
+      if (best == config.partitions || score[p] > score[best] ||
+          (score[p] == score[best] && result.sizes[p] < result.sizes[best])) {
+        best = p;
+      }
+    }
+    FC_ASSERT_MSG(best < config.partitions, "capacity exhausted");
+    result.partition_of[u] = static_cast<std::uint32_t>(best);
+    ++result.sizes[best];
+  }
+
+  // Refinement: move users toward their dominant-neighbour partition.
+  for (std::size_t pass = 0; pass < config.refine_passes; ++pass) {
+    std::size_t moved = 0;
+    for (std::size_t u = 0; u < n; ++u) {
+      std::fill(score.begin(), score.end(), 0);
+      neighbours(u, [&](UserId v) { ++score[result.partition_of[v]]; });
+      const std::uint32_t cur = result.partition_of[u];
+      std::size_t best = cur;
+      for (std::size_t p = 0; p < config.partitions; ++p) {
+        if (p == cur || result.sizes[p] >= cap) continue;
+        if (score[p] > score[best]) best = p;
+      }
+      if (best != cur) {
+        result.partition_of[u] = static_cast<std::uint32_t>(best);
+        --result.sizes[cur];
+        ++result.sizes[best];
+        ++moved;
+      }
+    }
+    if (moved == 0) break;
+  }
+
+  result.cut_edges = count_cut_edges(graph, result.partition_of);
+  return result;
+}
+
+std::vector<std::size_t> spread_histogram(const SocialGraph& graph,
+                                          const std::vector<std::uint32_t>& partition_of,
+                                          std::size_t partitions) {
+  std::vector<std::size_t> histogram(partitions, 0);
+  for (std::size_t u = 0; u < graph.user_count; ++u) {
+    std::set<std::uint32_t> parts;
+    parts.insert(partition_of[u]);  // a post always reaches the home partition
+    for (UserId f : graph.followers[u]) parts.insert(partition_of[f]);
+    FC_ASSERT(parts.size() <= partitions);
+    ++histogram[parts.size() - 1];
+  }
+  return histogram;
+}
+
+}  // namespace fastcast::app

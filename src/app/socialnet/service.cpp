@@ -1,0 +1,104 @@
+#include "fastcast/app/socialnet/service.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "fastcast/common/assert.hpp"
+#include "fastcast/common/codec.hpp"
+
+namespace fastcast::app {
+
+SocialNetworkService::SocialNetworkService(SocialGraph graph,
+                                           std::vector<std::uint32_t> partition_of,
+                                           std::size_t groups)
+    : graph_(std::move(graph)), partition_of_(std::move(partition_of)), groups_(groups) {
+  FC_ASSERT(partition_of_.size() == graph_.user_count);
+  destinations_.resize(graph_.user_count);
+  for (std::size_t u = 0; u < graph_.user_count; ++u) {
+    std::set<GroupId> parts{partition_of_[u]};
+    for (UserId f : graph_.followers[u]) {
+      FC_ASSERT(partition_of_[f] < groups_);
+      parts.insert(partition_of_[f]);
+    }
+    destinations_[u].assign(parts.begin(), parts.end());
+  }
+}
+
+const std::vector<GroupId>& SocialNetworkService::post_destinations(UserId user) const {
+  FC_ASSERT(user < destinations_.size());
+  return destinations_[user];
+}
+
+std::string SocialNetworkService::encode_post(UserId user, std::uint64_t post_seq) {
+  Writer w(16);
+  w.u32(user);
+  w.u64(post_seq);
+  const auto& bytes = w.data();
+  return std::string(reinterpret_cast<const char*>(bytes.data()), bytes.size());
+}
+
+bool SocialNetworkService::decode_post(const std::string& payload, UserId& user,
+                                       std::uint64_t& post_seq) {
+  const auto* p = reinterpret_cast<const std::byte*>(payload.data());
+  Reader r(std::span<const std::byte>(p, payload.size()));
+  user = r.u32();
+  post_seq = r.u64();
+  return r.ok();
+}
+
+void TimelineState::apply(GroupId group, const MulticastMessage& msg) {
+  UserId poster = 0;
+  std::uint64_t seq = 0;
+  if (!SocialNetworkService::decode_post(msg.payload, poster, seq)) return;
+  ++applied_;
+  digest_ = digest_ * 0x100000001b3ULL ^ msg.id;  // FNV-style order-sensitive
+
+  // Fan the post out to the timelines of followers homed in this group.
+  const std::string entry =
+      "user" + std::to_string(poster) + "#" + std::to_string(seq);
+  const auto& graph = service_->graph();
+  for (UserId f : graph.followers[poster]) {
+    if (service_->partition_of(f) == group) timelines_[f].push_back(entry);
+  }
+  if (service_->partition_of(poster) == group) {
+    timelines_[poster].push_back(entry);  // own timeline
+  }
+}
+
+std::vector<std::string> TimelineState::read_timeline(UserId reader,
+                                                      std::size_t limit) const {
+  std::vector<std::string> out;
+  auto it = timelines_.find(reader);
+  if (it == timelines_.end()) return out;
+  const auto& tl = it->second;
+  const std::size_t n = std::min(limit, tl.size());
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(tl[tl.size() - 1 - i]);
+  return out;
+}
+
+harness::DstPicker social_post_picker(
+    std::shared_ptr<const SocialNetworkService> service) {
+  return [service](Rng& rng) {
+    const auto user = static_cast<UserId>(rng.uniform(service->user_count()));
+    return service->post_destinations(user);
+  };
+}
+
+harness::DstPicker social_post_picker_with_span(
+    std::shared_ptr<const SocialNetworkService> service, std::size_t span) {
+  // Precompute the eligible users once; shared across the picker's copies.
+  auto eligible = std::make_shared<std::vector<UserId>>();
+  for (std::size_t u = 0; u < service->user_count(); ++u) {
+    if (service->post_destinations(static_cast<UserId>(u)).size() == span) {
+      eligible->push_back(static_cast<UserId>(u));
+    }
+  }
+  FC_ASSERT_MSG(!eligible->empty(), "no user spans the requested group count");
+  return [service, eligible](Rng& rng) {
+    const UserId user = (*eligible)[rng.uniform(eligible->size())];
+    return service->post_destinations(user);
+  };
+}
+
+}  // namespace fastcast::app

@@ -1,0 +1,237 @@
+#include "fastcast/checker/checker.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+
+#include "fastcast/common/assert.hpp"
+
+namespace fastcast {
+
+void Checker::note_multicast(const MulticastMessage& msg) {
+  multicast_.emplace(msg.id, MsgInfo{msg.dst, msg.sender});
+}
+
+void Checker::note_delivery(NodeId node, MsgId mid) {
+  deliveries_[node].push_back(mid);
+  ++delivery_count_;
+}
+
+void Checker::violate(Report& r, std::string what) {
+  r.ok = false;
+  if (r.violations.size() < 50) r.violations.push_back(std::move(what));
+}
+
+Checker::Report Checker::check(bool quiesced, Level level) const {
+  Report r;
+  r.multicast_count = multicast_.size();
+  r.delivery_count = delivery_count_;
+  check_integrity(r);
+  check_acyclic(r);
+  check_same_group(r, quiesced);
+  if (level == Level::kFull) check_prefix_crosswise(r);
+  if (quiesced) check_agreement_validity(r);
+  return r;
+}
+
+void Checker::check_integrity(Report& r) const {
+  for (const auto& [node, seq] : deliveries_) {
+    std::unordered_set<MsgId> seen;
+    seen.reserve(seq.size());
+    const GroupId g = membership_->group_of(node);
+    for (MsgId mid : seq) {
+      if (!seen.insert(mid).second) {
+        std::ostringstream os;
+        os << "integrity: node " << node << " delivered message " << mid << " twice";
+        violate(r, os.str());
+      }
+      auto it = multicast_.find(mid);
+      if (it == multicast_.end()) {
+        std::ostringstream os;
+        os << "integrity: node " << node << " delivered never-multicast message " << mid;
+        violate(r, os.str());
+        continue;
+      }
+      const auto& dst = it->second.dst;
+      if (std::find(dst.begin(), dst.end(), g) == dst.end()) {
+        std::ostringstream os;
+        os << "integrity: node " << node << " (group " << g
+           << ") delivered message " << mid << " not addressed to its group";
+        violate(r, os.str());
+      }
+    }
+  }
+}
+
+void Checker::check_acyclic(Report& r) const {
+  // Build consecutive-delivery edges; Kahn's algorithm detects cycles.
+  std::unordered_map<MsgId, std::vector<MsgId>> succ;
+  std::unordered_map<MsgId, std::size_t> indegree;
+  for (const auto& [node, seq] : deliveries_) {
+    for (MsgId mid : seq) indegree.try_emplace(mid, 0);
+    for (std::size_t i = 1; i < seq.size(); ++i) {
+      succ[seq[i - 1]].push_back(seq[i]);
+      ++indegree[seq[i]];
+    }
+  }
+  std::deque<MsgId> ready;
+  for (const auto& [mid, deg] : indegree) {
+    if (deg == 0) ready.push_back(mid);
+  }
+  std::size_t visited = 0;
+  while (!ready.empty()) {
+    const MsgId mid = ready.front();
+    ready.pop_front();
+    ++visited;
+    auto it = succ.find(mid);
+    if (it == succ.end()) continue;
+    for (MsgId next : it->second) {
+      if (--indegree[next] == 0) ready.push_back(next);
+    }
+  }
+  if (visited != indegree.size()) {
+    std::ostringstream os;
+    os << "acyclic order: delivery precedence contains a cycle ("
+       << (indegree.size() - visited) << " messages involved)";
+    violate(r, os.str());
+  }
+}
+
+void Checker::check_same_group(Report& r, bool quiesced) const {
+  // Replicas of one group must deliver prefixes of a common sequence
+  // (equal sequences once quiesced, for surviving replicas).
+  for (std::size_t g = 0; g < membership_->group_count(); ++g) {
+    const auto& members = membership_->members(static_cast<GroupId>(g));
+    const std::vector<MsgId>* longest = nullptr;
+    NodeId longest_node = kInvalidNode;
+    for (NodeId n : members) {
+      if (crashed_.contains(n)) continue;
+      auto it = deliveries_.find(n);
+      const std::vector<MsgId>* seq = it == deliveries_.end() ? nullptr : &it->second;
+      static const std::vector<MsgId> kEmpty;
+      if (seq == nullptr) seq = &kEmpty;
+      if (longest == nullptr || seq->size() > longest->size()) {
+        longest = seq;
+        longest_node = n;
+      }
+    }
+    if (longest == nullptr) continue;
+    for (NodeId n : members) {
+      if (crashed_.contains(n)) continue;
+      auto it = deliveries_.find(n);
+      static const std::vector<MsgId> kEmpty;
+      const std::vector<MsgId>& seq = it == deliveries_.end() ? kEmpty : it->second;
+      if (!std::equal(seq.begin(), seq.end(), longest->begin())) {
+        std::ostringstream os;
+        os << "group consistency: node " << n << " and node " << longest_node
+           << " (group " << g << ") deliver diverging sequences";
+        violate(r, os.str());
+      } else if (quiesced && seq.size() != longest->size()) {
+        std::ostringstream os;
+        os << "group consistency: node " << n << " delivered " << seq.size()
+           << " messages but node " << longest_node << " delivered "
+           << longest->size() << " after quiescence (group " << g << ")";
+        violate(r, os.str());
+      }
+    }
+  }
+}
+
+void Checker::check_prefix_crosswise(Report& r) const {
+  // For every pair of replicas (p, q) in different groups: collect the
+  // messages addressed to both groups; neither replica may have delivered
+  // a both-addressed message the other misses while the other delivered a
+  // different both-addressed message p misses.
+  std::vector<NodeId> replicas;
+  for (const auto& [node, seq] : deliveries_) {
+    (void)seq;
+    if (membership_->group_of(node) != kNoGroup) replicas.push_back(node);
+  }
+  std::sort(replicas.begin(), replicas.end());
+
+  std::unordered_map<NodeId, std::unordered_set<MsgId>> delivered_sets;
+  for (NodeId n : replicas) {
+    const auto& seq = deliveries_.at(n);
+    delivered_sets[n] = std::unordered_set<MsgId>(seq.begin(), seq.end());
+  }
+
+  for (std::size_t i = 0; i < replicas.size(); ++i) {
+    for (std::size_t j = i + 1; j < replicas.size(); ++j) {
+      const NodeId p = replicas[i];
+      const NodeId q = replicas[j];
+      const GroupId gp = membership_->group_of(p);
+      const GroupId gq = membership_->group_of(q);
+      if (gp == gq) continue;  // covered by check_same_group
+      const auto& sp = delivered_sets[p];
+      const auto& sq = delivered_sets[q];
+
+      auto both_addressed = [&](MsgId mid) {
+        auto it = multicast_.find(mid);
+        if (it == multicast_.end()) return false;  // flagged by integrity
+        const auto& dst = it->second.dst;
+        return std::find(dst.begin(), dst.end(), gp) != dst.end() &&
+               std::find(dst.begin(), dst.end(), gq) != dst.end();
+      };
+
+      MsgId p_only = 0;
+      bool has_p_only = false;
+      for (MsgId mid : sp) {
+        if (!sq.contains(mid) && both_addressed(mid)) {
+          p_only = mid;
+          has_p_only = true;
+          break;
+        }
+      }
+      if (!has_p_only) continue;
+      for (MsgId mid : sq) {
+        if (!sp.contains(mid) && both_addressed(mid)) {
+          std::ostringstream os;
+          os << "prefix order: node " << p << " delivered " << p_only
+             << " without " << mid << " while node " << q
+             << " delivered " << mid << " without " << p_only;
+          violate(r, os.str());
+          break;
+        }
+      }
+    }
+  }
+}
+
+void Checker::check_agreement_validity(Report& r) const {
+  // Which messages were delivered by anyone / by whom?
+  std::unordered_set<MsgId> delivered_any;
+  std::unordered_map<NodeId, std::unordered_set<MsgId>> delivered_sets;
+  for (const auto& [node, seq] : deliveries_) {
+    delivered_any.insert(seq.begin(), seq.end());
+    delivered_sets[node] = std::unordered_set<MsgId>(seq.begin(), seq.end());
+  }
+
+  for (const auto& [mid, info] : multicast_) {
+    const bool anyone = delivered_any.contains(mid);
+    const bool sender_ok = !crashed_.contains(info.sender);
+    if (!anyone && !sender_ok) continue;  // crashed sender: nothing required
+    if (!anyone && sender_ok) {
+      std::ostringstream os;
+      os << "validity: message " << mid << " from surviving sender "
+         << info.sender << " was never delivered";
+      violate(r, os.str());
+      continue;
+    }
+    // Agreement: every surviving replica of every destination group.
+    for (GroupId g : info.dst) {
+      for (NodeId n : membership_->members(g)) {
+        if (crashed_.contains(n)) continue;
+        auto it = delivered_sets.find(n);
+        const bool has = it != delivered_sets.end() && it->second.contains(mid);
+        if (!has) {
+          std::ostringstream os;
+          os << "agreement: surviving node " << n << " (group " << g
+             << ") missed delivered message " << mid;
+          violate(r, os.str());
+        }
+      }
+    }
+  }
+}
+
+}  // namespace fastcast

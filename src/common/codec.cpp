@@ -1,0 +1,14 @@
+#include "fastcast/common/codec.hpp"
+
+namespace fastcast {
+
+std::vector<std::byte> to_bytes(std::string_view s) {
+  const auto* p = reinterpret_cast<const std::byte*>(s.data());
+  return std::vector<std::byte>(p, p + s.size());
+}
+
+std::string to_string(std::span<const std::byte> bytes) {
+  return std::string(reinterpret_cast<const char*>(bytes.data()), bytes.size());
+}
+
+}  // namespace fastcast

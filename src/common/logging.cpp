@@ -1,0 +1,56 @@
+#include "fastcast/common/logging.hpp"
+
+#include <chrono>
+#include <cstdio>
+
+namespace fastcast {
+
+namespace log_detail {
+LogLevel g_level = LogLevel::kWarn;
+}
+
+namespace {
+LogTimeSource g_time_source = nullptr;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?????";
+}
+
+std::int64_t now_ns() {
+  if (g_time_source != nullptr) return g_time_source();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { log_detail::g_level = level; }
+
+LogLevel log_level() { return log_detail::g_level; }
+
+void set_log_time_source(LogTimeSource source) { g_time_source = source; }
+
+void log_write(LogLevel level, const char* file, int line, const char* fmt, ...) {
+  // Strip directory components so lines stay short.
+  const char* base = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  const double t_ms = static_cast<double>(now_ns()) / 1e6;
+  std::fprintf(stderr, "[%12.4fms %s %s:%d] ", t_ms, level_name(level), base, line);
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace fastcast

@@ -1,0 +1,108 @@
+#include "fastcast/common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "fastcast/common/assert.hpp"
+
+namespace fastcast {
+
+void LatencyRecorder::sort_if_needed() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+Duration LatencyRecorder::percentile(double p) const {
+  FC_ASSERT(p >= 0.0 && p <= 100.0);
+  if (samples_.empty()) return 0;
+  sort_if_needed();
+  // Nearest-rank percentile: ceil(p/100 * N), 1-indexed.
+  const auto n = static_cast<double>(samples_.size());
+  auto rank = static_cast<std::size_t>(std::ceil(p / 100.0 * n));
+  if (rank == 0) rank = 1;
+  return samples_[rank - 1];
+}
+
+Duration LatencyRecorder::min() const {
+  if (samples_.empty()) return 0;
+  sort_if_needed();
+  return samples_.front();
+}
+
+Duration LatencyRecorder::max() const {
+  if (samples_.empty()) return 0;
+  sort_if_needed();
+  return samples_.back();
+}
+
+double LatencyRecorder::mean() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0.0;
+  for (Duration s : samples_) sum += static_cast<double>(s);
+  return sum / static_cast<double>(samples_.size());
+}
+
+double LatencyRecorder::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (Duration s : samples_) {
+    const double d = static_cast<double>(s) - m;
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+MeanCi mean_ci95(const std::vector<double>& values) {
+  MeanCi out;
+  if (values.empty()) return out;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  out.mean = sum / static_cast<double>(values.size());
+  if (values.size() < 2) return out;
+  double acc = 0.0;
+  for (double v : values) {
+    const double d = v - out.mean;
+    acc += d * d;
+  }
+  const double sd = std::sqrt(acc / static_cast<double>(values.size() - 1));
+  // 1.96 · s/√n — the normal approximation is adequate for the slice counts
+  // we summarise (n ≥ 10).
+  out.ci95 = 1.96 * sd / std::sqrt(static_cast<double>(values.size()));
+  return out;
+}
+
+ThroughputSummary summarize_throughput(const std::vector<std::uint64_t>& slice_counts,
+                                       Duration slice_length) {
+  ThroughputSummary out;
+  if (slice_counts.empty() || slice_length <= 0) return out;
+  std::vector<double> rates;
+  rates.reserve(slice_counts.size());
+  const double secs = to_seconds(slice_length);
+  for (std::uint64_t c : slice_counts) {
+    out.total += c;
+    rates.push_back(static_cast<double>(c) / secs);
+  }
+  const MeanCi ci = mean_ci95(rates);
+  out.mean_per_sec = ci.mean;
+  out.ci95_per_sec = ci.ci95;
+  return out;
+}
+
+std::string format_ms(Duration d) {
+  char buf[64];
+  const double ms = to_milliseconds(d);
+  if (ms < 10.0) {
+    std::snprintf(buf, sizeof buf, "%.3f", ms);
+  } else if (ms < 100.0) {
+    std::snprintf(buf, sizeof buf, "%.2f", ms);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1f", ms);
+  }
+  return buf;
+}
+
+}  // namespace fastcast

@@ -1,0 +1,109 @@
+#include "fastcast/harness/client.hpp"
+
+#include <algorithm>
+
+#include "fastcast/common/assert.hpp"
+
+namespace fastcast::harness {
+
+void Metrics::open_window(Time start, Time end, Duration slice) {
+  window_start_ = start;
+  window_end_ = end;
+  slice_ = slice;
+  window_open_ = true;
+  const auto n = static_cast<std::size_t>((end - start + slice - 1) / slice);
+  slices_.assign(n, 0);
+}
+
+void Metrics::note_completion(Time sent, Time completed, std::size_t tag) {
+  ++completions_total_;
+  if (!window_open_ || completed < window_start_ || completed >= window_end_) return;
+  latency_.add(completed - sent);
+  by_tag_[tag].add(completed - sent);
+  const auto idx = static_cast<std::size_t>((completed - window_start_) / slice_);
+  if (idx < slices_.size()) ++slices_[idx];
+}
+
+const LatencyRecorder& Metrics::latency_for_tag(std::size_t tag) const {
+  static const LatencyRecorder kEmpty;
+  auto it = by_tag_.find(tag);
+  return it == by_tag_.end() ? kEmpty : it->second;
+}
+
+ThroughputSummary Metrics::throughput() const {
+  return summarize_throughput(slices_, slice_);
+}
+
+DstPicker fixed_group(GroupId g) {
+  return [g](Rng&) { return std::vector<GroupId>{g}; };
+}
+
+DstPicker all_groups(std::size_t n) {
+  std::vector<GroupId> all(n);
+  for (std::size_t i = 0; i < n; ++i) all[i] = static_cast<GroupId>(i);
+  return [all](Rng&) { return all; };
+}
+
+DstPicker random_subset(std::size_t n, std::size_t k) {
+  FC_ASSERT(k >= 1 && k <= n);
+  return [n, k](Rng& rng) {
+    // Partial Fisher–Yates over group ids, then sort for canonical order.
+    std::vector<GroupId> pool(n);
+    for (std::size_t i = 0; i < n; ++i) pool[i] = static_cast<GroupId>(i);
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::size_t j = i + static_cast<std::size_t>(rng.uniform(n - i));
+      std::swap(pool[i], pool[j]);
+    }
+    pool.resize(k);
+    std::sort(pool.begin(), pool.end());
+    return pool;
+  };
+}
+
+ClientProcess::ClientProcess(Config config, std::shared_ptr<Metrics> metrics)
+    : config_(std::move(config)), metrics_(std::move(metrics)) {
+  FC_ASSERT(config_.stub != nullptr);
+  FC_ASSERT(config_.dst != nullptr);
+  FC_ASSERT(metrics_ != nullptr);
+}
+
+void ClientProcess::on_start(Context& ctx) {
+  config_.stub->on_start(ctx);
+  const Duration delay = config_.first_send_at > ctx.now()
+                             ? config_.first_send_at - ctx.now()
+                             : 0;
+  ctx.set_timer(delay, [this, &ctx] { send_next(ctx); });
+}
+
+void ClientProcess::send_next(Context& ctx) {
+  if (config_.stop_at >= 0 && ctx.now() >= config_.stop_at) {
+    idle_ = true;
+    return;
+  }
+  MulticastMessage msg;
+  msg.id = make_msg_id(ctx.self(), next_seq_++);
+  msg.sender = ctx.self();
+  msg.dst = config_.dst(ctx.rng());
+  msg.payload.assign(config_.payload_size, 'x');
+  outstanding_ = msg.id;
+  outstanding_dst_size_ = msg.dst.size();
+  sent_at_ = ctx.now();
+  idle_ = false;
+  for (const auto& observer : observers_) observer(msg);
+  config_.stub->amulticast(ctx, msg);
+}
+
+void ClientProcess::on_message(Context& ctx, NodeId from, const Message& msg) {
+  if (const auto* ack = std::get_if<AmAck>(&msg.payload)) {
+    if (!idle_ && ack->mid == outstanding_) {
+      metrics_->note_completion(sent_at_, ctx.now(), outstanding_dst_size_);
+      config_.stub->complete(ack->mid);
+      idle_ = true;
+      send_next(ctx);
+    }
+    return;
+  }
+  config_.stub->handle(ctx, from, msg);
+}
+
+}  // namespace fastcast::harness

@@ -1,0 +1,198 @@
+#include "fastcast/harness/experiment.hpp"
+
+#include "fastcast/amcast/basecast.hpp"
+#include "fastcast/amcast/multipaxos_amcast.hpp"
+#include "fastcast/common/assert.hpp"
+#include "fastcast/common/logging.hpp"
+
+namespace fastcast::harness {
+
+Cluster::Cluster(const ExperimentConfig& config)
+    : config_(config),
+      deployment_(build_deployment(config.topo)),
+      checker_(&deployment_.membership) {
+  sim::SimConfig sim_config;
+  sim_config.seed = config_.seed;
+  sim_config.cpu = cpu_for(config_.topo.env);
+  sim_config.drop_probability = config_.drop_probability;
+  sim_config.serialize_messages = config_.serialize_messages;
+  sim_ = std::make_unique<sim::Simulator>(
+      deployment_.membership,
+      make_latency(config_.topo.env, &deployment_.membership), sim_config);
+  metrics_ = std::make_shared<Metrics>();
+
+  // Replicas (including the ordering group's nodes for MultiPaxos).
+  for (NodeId n : deployment_.membership.all_replicas()) {
+    const GroupId g = deployment_.membership.group_of(n);
+    auto protocol = make_protocol(n, g);
+    auto node = std::make_shared<ReplicaNode>(protocol);
+    if (config_.run_checker) {
+      Checker* checker = &checker_;
+      node->add_observer([checker](Context& ctx, const MulticastMessage& msg) {
+        checker->note_delivery(ctx.self(), msg.id);
+      });
+    }
+    protocols_.push_back(std::move(protocol));
+    replicas_.push_back(node);
+    sim_->add_process(n, node);
+  }
+
+  // Clients.
+  FC_ASSERT(config_.dst_factory != nullptr);
+  const std::size_t n_clients = deployment_.clients.size();
+  for (std::size_t i = 0; i < n_clients; ++i) {
+    ClientProcess::Config cc;
+    cc.stub = make_stub();
+    cc.dst = config_.dst_factory(i);
+    cc.payload_size = config_.payload_size;
+    // Stagger client starts across half the warm-up so load ramps smoothly.
+    cc.first_send_at = static_cast<Time>(
+        config_.warmup / 2 * static_cast<Duration>(i) /
+        static_cast<Duration>(n_clients == 0 ? 1 : n_clients));
+    auto client = std::make_shared<ClientProcess>(std::move(cc), metrics_);
+    if (config_.run_checker) {
+      Checker* checker = &checker_;
+      client->add_multicast_observer([checker](const MulticastMessage& msg) {
+        checker->note_multicast(msg);
+      });
+    }
+    clients_.push_back(client);
+    sim_->add_process(deployment_.clients[i], client);
+  }
+}
+
+std::shared_ptr<AtomicMulticast> Cluster::make_protocol(NodeId node, GroupId group) {
+  const bool reliable = config_.drop_probability == 0.0;
+  const Membership& m = deployment_.membership;
+
+  if (config_.topo.protocol == Protocol::kMultiPaxos) {
+    paxos::GroupConsensus::Config cons;
+    cons.group = deployment_.ordering_group;
+    cons.members = m.members(deployment_.ordering_group);
+    for (NodeId r : m.all_replicas()) {
+      if (m.group_of(r) != deployment_.ordering_group) {
+        cons.extra_learners.push_back(r);
+      }
+    }
+    cons.window = config_.consensus_window;
+    cons.reliable_links = reliable;
+    cons.heartbeats = config_.heartbeats;
+
+    MultiPaxosAmcast::Config cfg;
+    cfg.consensus = std::move(cons);
+    cfg.my_group = group == deployment_.ordering_group ? kNoGroup : group;
+    return std::make_shared<MultiPaxosAmcast>(std::move(cfg), node);
+  }
+
+  TimestampProtocolBase::Config cfg;
+  cfg.group = group;
+  cfg.consensus.group = group;
+  cfg.consensus.members = m.members(group);
+  cfg.consensus.window = config_.consensus_window;
+  cfg.consensus.reliable_links = reliable;
+  cfg.consensus.heartbeats = config_.heartbeats;
+  cfg.rmcast.reliable_links = reliable;
+  cfg.rmcast.relay = config_.relay;
+  cfg.hard_send = config_.hard_send;
+  cfg.enable_repropose = !reliable || config_.heartbeats;
+
+  switch (config_.topo.protocol) {
+    case Protocol::kBaseCast:
+      return std::make_shared<BaseCast>(std::move(cfg), node);
+    case Protocol::kFastCast: {
+      FastCast::Options opt;
+      opt.eager_hard_propose = config_.fastcast_eager_hard;
+      return std::make_shared<FastCast>(std::move(cfg), node, opt);
+    }
+    case Protocol::kFastCastSlowPath: {
+      FastCast::Options opt;
+      opt.force_slow_path = true;
+      opt.eager_hard_propose = config_.fastcast_eager_hard;
+      return std::make_shared<FastCast>(std::move(cfg), node, opt);
+    }
+    case Protocol::kMultiPaxos: break;  // handled above
+  }
+  FC_ASSERT(false);
+  return nullptr;
+}
+
+std::unique_ptr<ClientStub> Cluster::make_stub() {
+  const bool reliable = config_.drop_probability == 0.0;
+  if (config_.topo.protocol == Protocol::kMultiPaxos) {
+    MultiPaxosClientStub::Config cfg;
+    cfg.ordering_members =
+        deployment_.membership.members(deployment_.ordering_group);
+    cfg.reliable_links = reliable;
+    return std::make_unique<MultiPaxosClientStub>(std::move(cfg));
+  }
+  RmConfig rm;
+  rm.reliable_links = reliable;
+  rm.relay = RmConfig::Relay::kNone;  // clients never relay
+  return std::make_unique<GenuineClientStub>(rm);
+}
+
+void Cluster::stop_clients(Time at) {
+  for (auto& c : clients_) c->set_stop(at);
+}
+
+ReplicaNode& Cluster::replica(NodeId node) {
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    if (deployment_.membership.all_replicas()[i] == node) return *replicas_[i];
+  }
+  FC_ASSERT_MSG(false, "not a replica node");
+  return *replicas_.front();
+}
+
+ClientProcess& Cluster::client(std::size_t idx) {
+  FC_ASSERT(idx < clients_.size());
+  return *clients_[idx];
+}
+
+std::pair<std::uint64_t, std::uint64_t> Cluster::path_stats() const {
+  std::uint64_t fast = 0;
+  std::uint64_t slow = 0;
+  for (const auto& p : protocols_) {
+    if (const auto* fc = dynamic_cast<const FastCast*>(p.get())) {
+      fast += fc->fast_path_hits();
+      slow += fc->slow_path_hits();
+    }
+  }
+  return {fast, slow};
+}
+
+ExperimentResult run_experiment(const ExperimentConfig& config) {
+  Cluster cluster(config);
+  auto& sim = cluster.simulator();
+  cluster.start();
+
+  sim.run_until(config.warmup);
+  const Time window_end = config.warmup + config.measure;
+  cluster.metrics().open_window(config.warmup, window_end, config.slice);
+  sim.run_until(window_end);
+  cluster.metrics().close_window();
+
+  ExperimentResult result;
+  const bool can_drain =
+      config.drain && config.drop_probability == 0.0 && !config.heartbeats;
+  if (can_drain) {
+    cluster.stop_clients(window_end);
+    result.drained = sim.run_to_idle(window_end + config.drain_grace);
+  } else if (config.drain) {
+    cluster.stop_clients(window_end);
+    sim.run_for(config.drain_grace / 10);  // grace period; timers keep ticking
+  }
+
+  result.latency = cluster.metrics().latency();
+  result.throughput = cluster.metrics().throughput();
+  if (config.run_checker) {
+    result.report = cluster.checker().check(result.drained, config.check_level);
+  }
+  result.events_processed = sim.events_processed();
+  result.messages_sent = sim.messages_sent();
+  const auto [fast, slow] = cluster.path_stats();
+  result.fast_path_hits = fast;
+  result.slow_path_hits = slow;
+  return result;
+}
+
+}  // namespace fastcast::harness

@@ -1,0 +1,27 @@
+#pragma once
+
+#include "fastcast/amcast/timestamp_base.hpp"
+
+/// \file basecast.hpp
+/// BaseCast — Algorithm 1 of the paper (the 6δ baseline genuine atomic
+/// multicast in the style of Fritzke et al. / Schiper & Pedone).
+///
+/// Per global message: START (1δ) → SET-HARD consensus (2δ) → SEND-HARD
+/// exchange (1δ) → SYNC-HARD consensus (2δ) → a-deliver. Local messages
+/// finish after the SET-HARD consensus (3δ).
+
+namespace fastcast {
+
+class BaseCast final : public TimestampProtocolBase {
+ public:
+  BaseCast(Config config, NodeId self)
+      : TimestampProtocolBase(std::move(config), self) {}
+
+  const char* name() const override { return "BaseCast"; }
+
+ protected:
+  void on_rdeliver(Context& ctx, NodeId origin, const AmcastPayload& payload) override;
+  void apply_tuple(Context& ctx, const Tuple& tuple) override;
+};
+
+}  // namespace fastcast

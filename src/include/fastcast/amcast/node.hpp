@@ -1,0 +1,45 @@
+#pragma once
+
+#include <memory>
+
+#include "fastcast/amcast/atomic_multicast.hpp"
+#include "fastcast/runtime/context.hpp"
+
+/// \file node.hpp
+/// The replica Process: owns one AtomicMulticast protocol instance,
+/// forwards inbound traffic to it, acknowledges deliveries back to the
+/// message sender (how closed-loop clients measure completion latency),
+/// and exposes a delivery observer for the checker/metrics.
+
+namespace fastcast {
+
+class ReplicaNode final : public Process {
+ public:
+  struct Options {
+    /// Send AmAck to msg.sender on every a-delivery.
+    bool send_acks = true;
+  };
+
+  ReplicaNode(std::shared_ptr<AtomicMulticast> protocol, Options options);
+  explicit ReplicaNode(std::shared_ptr<AtomicMulticast> protocol);
+
+  /// Observers invoked on every a-delivery (after the ack is queued), in
+  /// registration order. Used by the checker, metrics and applications.
+  using ObserverFn = std::function<void(Context&, const MulticastMessage&)>;
+  void add_observer(ObserverFn fn) { observers_.push_back(std::move(fn)); }
+
+  AtomicMulticast& protocol() { return *protocol_; }
+
+  void on_start(Context& ctx) override;
+  void on_message(Context& ctx, NodeId from, const Message& msg) override;
+
+  std::uint64_t delivered_count() const { return delivered_count_; }
+
+ private:
+  std::shared_ptr<AtomicMulticast> protocol_;
+  Options options_;
+  std::vector<ObserverFn> observers_;
+  std::uint64_t delivered_count_ = 0;
+};
+
+}  // namespace fastcast

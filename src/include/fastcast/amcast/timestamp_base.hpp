@@ -1,0 +1,132 @@
+#pragma once
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "fastcast/amcast/atomic_multicast.hpp"
+#include "fastcast/amcast/delivery_buffer.hpp"
+#include "fastcast/paxos/group_consensus.hpp"
+#include "fastcast/rmcast/reliable_multicast.hpp"
+
+/// \file timestamp_base.hpp
+/// Shared machinery of the two timestamp-based genuine protocols.
+///
+/// BaseCast and FastCast differ only in the fast path (soft timestamps and
+/// Task 6 matching); everything else — the hard logical clock CH, the
+/// ToOrder/Ordered bookkeeping, leader-driven batched proposals, SET-HARD
+/// handling, SYNC-HARD application and the delivery buffer — is identical
+/// and lives here.
+///
+/// Deviations from the pseudocode, standard for practical deployments and
+/// documented in DESIGN.md:
+///   * only the group leader proposes (Task 3/4 "when ToOrder\Ordered≠∅"
+///     runs at every process in the paper; with Paxos that just produces
+///     collisions) — staged tuples are re-proposed on leader change and,
+///     when losses or elections are enabled, on a periodic tick;
+///   * SEND-HARD is transmitted by the leader only (configurable to "all
+///     members" to match the pseudocode literally); the hard timestamp is
+///     deterministic across members, so receivers cannot observe the
+///     difference except in message counts. A new leader re-sends pending
+///     SEND-HARDs so the slow path survives leader crashes.
+
+namespace fastcast {
+
+class TimestampProtocolBase : public AtomicMulticast {
+ public:
+  struct Config {
+    GroupId group = kNoGroup;
+    paxos::GroupConsensus::Config consensus;
+    RmConfig rmcast;
+
+    enum class HardSend {
+      kLeaderOnly,  ///< leader transmits SEND-HARD (prototype behaviour)
+      kAll,         ///< every member transmits (pseudocode behaviour)
+    };
+    HardSend hard_send = HardSend::kLeaderOnly;
+
+    /// Periodically re-propose unordered tuples; required for liveness
+    /// under message loss or leader re-election.
+    bool enable_repropose = false;
+    Duration repropose_interval = milliseconds(150);
+  };
+
+  TimestampProtocolBase(Config config, NodeId self);
+
+  void on_start(Context& ctx) override;
+  bool handle(Context& ctx, NodeId from, const Message& msg) override;
+
+  // Introspection (tests, stats).
+  const DeliveryBuffer& buffer() const { return buffer_; }
+  Ts hard_clock() const { return ch_; }
+  std::size_t unordered_count() const { return unordered_.size(); }
+  paxos::GroupConsensus& consensus() { return cons_; }
+
+ protected:
+  /// Reliable-multicast delivery (START / SEND-SOFT / SEND-HARD).
+  virtual void on_rdeliver(Context& ctx, NodeId origin, const AmcastPayload& payload) = 0;
+
+  /// Applies one consensus-ordered tuple (Task 4 / Task 5 body).
+  virtual void apply_tuple(Context& ctx, const Tuple& tuple) = 0;
+
+  /// Invoked on the leader just before a batch is proposed — FastCast's
+  /// soft-timestamp logic (Algorithm 2, Task 4) hooks in here.
+  virtual void before_propose(Context& ctx, const std::vector<Tuple>& batch) {
+    (void)ctx;
+    (void)batch;
+  }
+
+  /// Adds a tuple to ToOrder unless already known; triggers a flush.
+  void stage(Context& ctx, Tuple tuple);
+
+  /// Tracks a tuple as known-but-unordered *without* queueing it for
+  /// proposal — FastCast defers SYNC-HARDs whose SYNC-SOFT is still in
+  /// flight, since a Task-6 match makes the second consensus unnecessary.
+  /// The repropose tick still covers deferred tuples (liveness backstop).
+  void track_deferred(Tuple tuple);
+
+  /// Queues a previously deferred tuple for proposal (soft/hard mismatch).
+  void promote_deferred(Context& ctx, const TupleId& id);
+  bool known(const TupleId& id) const { return known_.contains(id); }
+  bool is_ordered(const TupleId& id) const { return ordered_.contains(id); }
+
+  /// Marks a tuple ordered outside the decision stream (FastCast Task 6).
+  void mark_ordered_out_of_band(const TupleId& id);
+
+  /// Looks up a known-but-unordered tuple (FastCast Task 6 match test).
+  const Tuple* find_unordered(const TupleId& id) const;
+
+  /// Shared SET-HARD handling: advances CH, emits SEND-HARD + placeholder
+  /// for global messages, forms the final entry for local ones.
+  void handle_set_hard(Context& ctx, const Tuple& tuple);
+
+  /// Shared SYNC-HARD handling: Lamport update + buffer insertion.
+  void handle_sync_hard(Context& ctx, const Tuple& tuple);
+
+  /// Removes own-group pending state once the group's SYNC-HARD is ordered.
+  void settle_own_hard(Context& ctx, MsgId mid);
+
+  Config cfg_;
+  NodeId self_;
+  ReliableMulticast rm_;
+  paxos::GroupConsensus cons_;
+  DeliveryBuffer buffer_;
+  Ts ch_ = 0;  ///< hard logical clock CH
+
+ private:
+  void flush(Context& ctx);
+  void on_decide(Context& ctx, InstanceId inst, const std::vector<std::byte>& value);
+  void restage_all(Context& ctx);
+  void arm_repropose(Context& ctx);
+
+  std::set<TupleId> known_;            // ever staged (ToOrder ∪ Ordered)
+  std::set<TupleId> ordered_;          // Ordered
+  std::map<TupleId, Tuple> unordered_;  // ToOrder \ Ordered
+  std::vector<TupleId> staged_;        // to include in the next proposal
+  /// Decided-but-not-yet-settled own hard timestamps, for leader resend.
+  std::map<MsgId, std::pair<Ts, std::vector<GroupId>>> hard_pending_;
+  bool repropose_armed_ = false;
+  Context* decide_ctx_ = nullptr;  ///< bound at on_start
+};
+
+}  // namespace fastcast

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fastcast/common/rng.hpp"
+
+/// \file graph.hpp
+/// Social-graph generation for the paper's social network benchmark (§5.3):
+/// ten thousand users whose follower sets determine the destination groups
+/// of 'post' multicasts.
+///
+/// Two generators:
+///   * generate_social_graph — community-structured preferential attachment
+///     (power-law follower counts, mostly intra-community edges). Fed to the
+///     partitioner, it reproduces a METIS-like "mostly local" spread.
+///   * generate_paper_spread_graph — places followers so that the
+///     partition-spread distribution matches the paper's reported numbers
+///     exactly (7110 users span 1 partition, 2474 span 2, 376 span 3,
+///     40 span 4–5 of 16 partitions). Used by the Fig. 7 bench so the
+///     workload's destination-set sizes are the paper's.
+
+namespace fastcast::app {
+
+using UserId = std::uint32_t;
+
+struct SocialGraph {
+  std::size_t user_count = 0;
+  /// followers[u] — users who follow u (receive u's posts).
+  std::vector<std::vector<UserId>> followers;
+  /// following[u] — users u follows (whose posts u reads).
+  std::vector<std::vector<UserId>> following;
+
+  std::size_t edge_count() const;
+};
+
+struct SocialGraphConfig {
+  std::size_t users = 10000;
+  std::size_t communities = 16;
+  /// Probability that a new follow edge stays inside the community.
+  double intra_community_bias = 0.92;
+  /// Mean follows per user (power-law-ish via preferential attachment).
+  std::size_t mean_follows = 8;
+  std::uint64_t seed = 42;
+};
+
+SocialGraph generate_social_graph(const SocialGraphConfig& config);
+
+/// A graph together with a fixed user→partition assignment whose
+/// follower-partition spread matches the paper's distribution.
+struct PartitionedGraph {
+  SocialGraph graph;
+  std::vector<std::uint32_t> partition_of;  ///< user → partition
+  std::size_t partitions = 0;
+};
+
+PartitionedGraph generate_paper_spread_graph(std::size_t users,
+                                             std::size_t partitions,
+                                             std::uint64_t seed);
+
+}  // namespace fastcast::app

@@ -1,0 +1,40 @@
+#pragma once
+
+#include "fastcast/app/socialnet/graph.hpp"
+
+/// \file partitioner.hpp
+/// Greedy balanced edge-cut partitioner — the from-scratch stand-in for
+/// METIS (§5.3): balance users per partition while keeping follower edges
+/// inside partitions, so most posts stay local.
+///
+/// Algorithm: users are visited in decreasing degree order; each is placed
+/// in the partition holding most of its already-placed neighbours, subject
+/// to a capacity cap of (users/partitions)·(1+slack). A refinement pass
+/// then moves users whose dominant-neighbour partition differs from their
+/// current one when the move does not break balance.
+
+namespace fastcast::app {
+
+struct PartitionerConfig {
+  std::size_t partitions = 16;
+  double balance_slack = 0.05;  ///< max overshoot over perfect balance
+  std::size_t refine_passes = 2;
+};
+
+struct PartitionResult {
+  std::vector<std::uint32_t> partition_of;  ///< user → partition
+  std::size_t cut_edges = 0;                ///< follower edges crossing partitions
+  std::vector<std::size_t> sizes;           ///< users per partition
+};
+
+PartitionResult partition_graph(const SocialGraph& graph,
+                                const PartitionerConfig& config);
+
+/// Histogram of "how many partitions does a user's follower set span":
+/// result[k] = number of users spanning exactly k+1 partitions. Users with
+/// no followers count as spanning 1 (their own partition).
+std::vector<std::size_t> spread_histogram(const SocialGraph& graph,
+                                          const std::vector<std::uint32_t>& partition_of,
+                                          std::size_t partitions);
+
+}  // namespace fastcast::app

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "fastcast/app/socialnet/graph.hpp"
+#include "fastcast/harness/client.hpp"
+#include "fastcast/runtime/message.hpp"
+
+/// \file service.hpp
+/// The Twitter-like service of §5.3 on top of atomic multicast.
+///
+/// A 'post' is atomically multicast to every group holding a follower of
+/// the poster (plus the poster's home group, so reads of one's own
+/// timeline stay local). Reads are single-group and thus served locally.
+/// Because posts and reads both go through atomic multicast / local
+/// state, the service is linearizable — the strong-consistency story that
+/// motivates the paper.
+
+namespace fastcast::app {
+
+class SocialNetworkService {
+ public:
+  SocialNetworkService(SocialGraph graph, std::vector<std::uint32_t> partition_of,
+                       std::size_t groups);
+
+  std::size_t user_count() const { return graph_.user_count; }
+  std::size_t group_count() const { return groups_; }
+  const SocialGraph& graph() const { return graph_; }
+  std::uint32_t partition_of(UserId u) const { return partition_of_[u]; }
+
+  /// Destination groups of a post by `user`: the home partition plus every
+  /// partition containing a follower. Sorted, unique, never empty.
+  const std::vector<GroupId>& post_destinations(UserId user) const;
+
+  /// Encodes / decodes a post payload carried inside MulticastMessage.
+  static std::string encode_post(UserId user, std::uint64_t post_seq);
+  static bool decode_post(const std::string& payload, UserId& user,
+                          std::uint64_t& post_seq);
+
+ private:
+  SocialGraph graph_;
+  std::vector<std::uint32_t> partition_of_;
+  std::size_t groups_;
+  std::vector<std::vector<GroupId>> destinations_;  // precomputed per user
+};
+
+/// Replica-side state machine: timelines updated by a-delivered posts.
+/// Deterministic given the delivery order, so all replicas of a group
+/// stay identical — verified in the integration tests.
+class TimelineState {
+ public:
+  explicit TimelineState(std::shared_ptr<const SocialNetworkService> service)
+      : service_(std::move(service)) {}
+
+  /// Applies an a-delivered post at a replica of `group`.
+  void apply(GroupId group, const MulticastMessage& msg);
+
+  /// The last `limit` posts visible to `reader` (its followees' posts that
+  /// reached this group), newest first.
+  std::vector<std::string> read_timeline(UserId reader, std::size_t limit = 10) const;
+
+  std::uint64_t applied_count() const { return applied_; }
+  /// Order-sensitive digest of everything applied (replica comparison).
+  std::uint64_t digest() const { return digest_; }
+
+ private:
+  std::shared_ptr<const SocialNetworkService> service_;
+  std::unordered_map<UserId, std::vector<std::string>> timelines_;
+  std::uint64_t applied_ = 0;
+  std::uint64_t digest_ = 0;
+};
+
+/// DstPicker for the harness: each multicast is a post by a random user
+/// (uniform, as in the paper's post-only workload).
+harness::DstPicker social_post_picker(std::shared_ptr<const SocialNetworkService> service);
+
+/// DstPicker restricted to users whose posts span exactly `span` groups —
+/// Fig. 7's "latency versus number of groups in the followers list".
+harness::DstPicker social_post_picker_with_span(
+    std::shared_ptr<const SocialNetworkService> service, std::size_t span);
+
+}  // namespace fastcast::app

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "fastcast/runtime/membership.hpp"
+#include "fastcast/runtime/message.hpp"
+
+/// \file checker.hpp
+/// Post-hoc verifier for the atomic-multicast properties of §2.3.
+///
+/// The harness feeds it every a-multicast and every per-replica a-delivery;
+/// check() then validates:
+///   * uniform integrity — delivered at most once, only by destination
+///     replicas, only if previously multicast;
+///   * acyclic order — the union of all per-replica delivery orders has no
+///     cycle (checked by topological sort over consecutive-delivery edges;
+///     per-replica orders are total, so any pairwise inversion forms a
+///     cycle and is caught here too);
+///   * uniform prefix order — for replicas p, q whose groups are both in
+///     dst(m) ∩ dst(m'), it is impossible that p delivered m but not m'
+///     while q delivered m' but not m (the ordering half is subsumed by
+///     acyclicity);
+///   * same-group consistency — replicas of one group deliver prefixes of
+///     a common sequence;
+///   * uniform agreement + validity — only meaningful on a quiesced run
+///     (all traffic drained): every message delivered by anyone (resp.
+///     multicast by a surviving client) was delivered by every surviving
+///     replica of every destination group.
+///
+/// Level::kFast skips the quadratic pairwise checks for large bench runs.
+
+namespace fastcast {
+
+class Checker {
+ public:
+  enum class Level { kFast, kFull };
+
+  explicit Checker(const Membership* membership) : membership_(membership) {}
+
+  void note_multicast(const MulticastMessage& msg);
+  void note_delivery(NodeId node, MsgId mid);
+  void note_crashed(NodeId node) { crashed_.insert(node); }
+
+  struct Report {
+    bool ok = true;
+    std::vector<std::string> violations;
+    std::uint64_t multicast_count = 0;
+    std::uint64_t delivery_count = 0;
+  };
+
+  /// `quiesced` enables the liveness-flavoured checks (agreement/validity).
+  Report check(bool quiesced, Level level = Level::kFull) const;
+
+  std::uint64_t delivery_count() const { return delivery_count_; }
+  std::uint64_t multicast_count() const { return multicast_.size(); }
+
+ private:
+  struct MsgInfo {
+    std::vector<GroupId> dst;
+    NodeId sender = kInvalidNode;
+  };
+
+  void check_integrity(Report& r) const;
+  void check_acyclic(Report& r) const;
+  void check_prefix_crosswise(Report& r) const;
+  void check_same_group(Report& r, bool quiesced) const;
+  void check_agreement_validity(Report& r) const;
+
+  static void violate(Report& r, std::string what);
+
+  const Membership* membership_;
+  std::unordered_map<MsgId, MsgInfo> multicast_;
+  std::unordered_map<NodeId, std::vector<MsgId>> deliveries_;
+  std::unordered_set<NodeId> crashed_;
+  std::uint64_t delivery_count_ = 0;
+};
+
+}  // namespace fastcast

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \file assert.hpp
+/// Invariant checking that stays on in release builds.
+///
+/// Protocol code relies on internal invariants (quorum sizes, monotonic
+/// clocks, decided-in-order consensus streams). Violations indicate a bug,
+/// not a recoverable condition, so we abort with a message instead of
+/// throwing: an exception would let a corrupted replica keep participating.
+
+namespace fastcast {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "FC_ASSERT failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg ? " — " : "", msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace fastcast
+
+#define FC_ASSERT(expr)                                                     \
+  do {                                                                      \
+    if (!(expr)) ::fastcast::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define FC_ASSERT_MSG(expr, msg)                                          \
+  do {                                                                    \
+    if (!(expr)) ::fastcast::assert_fail(#expr, __FILE__, __LINE__, msg); \
+  } while (0)

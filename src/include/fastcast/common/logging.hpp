@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdarg>
+#include <cstdint>
+
+/// \file logging.hpp
+/// Minimal leveled logging.
+///
+/// Logging in the protocol hot path is compiled in but gated by a global
+/// level check so that disabled levels cost one branch. Output goes to
+/// stderr; the simulator prepends virtual time via set_time_source().
+
+namespace fastcast {
+
+enum class LogLevel : std::uint8_t { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+namespace log_detail {
+extern LogLevel g_level;
+}
+
+/// Sets the global log level (default: kWarn, so tests and benches are quiet).
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Optional provider of the "current time" printed on each line. The
+/// simulator installs its virtual clock here; nullptr reverts to wall clock.
+using LogTimeSource = std::int64_t (*)();
+void set_log_time_source(LogTimeSource source);
+
+/// printf-style log statement; prefer the FC_LOG macro below.
+void log_write(LogLevel level, const char* file, int line, const char* fmt, ...)
+    __attribute__((format(printf, 4, 5)));
+
+inline bool log_enabled(LogLevel level) {
+  return level >= log_detail::g_level;
+}
+
+}  // namespace fastcast
+
+#define FC_LOG(level, ...)                                                  \
+  do {                                                                      \
+    if (::fastcast::log_enabled(level))                                     \
+      ::fastcast::log_write(level, __FILE__, __LINE__, __VA_ARGS__);        \
+  } while (0)
+
+#define FC_TRACE(...) FC_LOG(::fastcast::LogLevel::kTrace, __VA_ARGS__)
+#define FC_DEBUG(...) FC_LOG(::fastcast::LogLevel::kDebug, __VA_ARGS__)
+#define FC_INFO(...) FC_LOG(::fastcast::LogLevel::kInfo, __VA_ARGS__)
+#define FC_WARN(...) FC_LOG(::fastcast::LogLevel::kWarn, __VA_ARGS__)
+#define FC_ERROR(...) FC_LOG(::fastcast::LogLevel::kError, __VA_ARGS__)

@@ -1,0 +1,113 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "fastcast/common/assert.hpp"
+
+/// \file rng.hpp
+/// Deterministic pseudo-random number generation.
+///
+/// The simulator must be bit-for-bit reproducible from a seed, so we use a
+/// self-contained xoshiro256** generator (seeded via SplitMix64) rather than
+/// std::mt19937 + distributions, whose outputs are not portable across
+/// standard-library implementations.
+
+namespace fastcast {
+
+/// SplitMix64 step; used to expand a single seed into generator state.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** — fast, high-quality, reproducible PRNG.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). Uses rejection sampling to avoid modulo
+  /// bias (negligible for small bounds but free to do correctly).
+  std::uint64_t uniform(std::uint64_t bound) {
+    FC_ASSERT(bound > 0);
+    const std::uint64_t threshold = -bound % bound;
+    for (;;) {
+      const std::uint64_t r = next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_range(std::int64_t lo, std::int64_t hi) {
+    FC_ASSERT(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    uniform(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform_double() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// True with probability p.
+  bool bernoulli(double p) { return uniform_double() < p; }
+
+  /// Standard normal via Box–Muller (the simple, reproducible variant).
+  double normal() {
+    if (has_cached_) {
+      has_cached_ = false;
+      return cached_;
+    }
+    double u1 = 0.0;
+    while (u1 <= 1e-12) u1 = uniform_double();
+    const double u2 = uniform_double();
+    const double r = __builtin_sqrt(-2.0 * __builtin_log(u1));
+    const double theta = 2.0 * 3.14159265358979323846 * u2;
+    cached_ = r * __builtin_sin(theta);
+    has_cached_ = true;
+    return r * __builtin_cos(theta);
+  }
+
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Derive an independent child generator (e.g. one per simulated node).
+  Rng fork() { return Rng(next()); }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+  double cached_ = 0.0;
+  bool has_cached_ = false;
+};
+
+}  // namespace fastcast

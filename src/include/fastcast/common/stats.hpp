@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fastcast/common/time.hpp"
+
+/// \file stats.hpp
+/// Latency/throughput summaries for the experiment harness.
+///
+/// LatencyRecorder keeps raw samples (experiments record at most a few
+/// million) so that medians and high percentiles are exact, matching the
+/// paper's "median latency, 95th-percentile whiskers" reporting.
+
+namespace fastcast {
+
+class LatencyRecorder {
+ public:
+  void add(Duration sample) { samples_.push_back(sample); }
+  void clear() { samples_.clear(); }
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  /// Exact percentile (nearest-rank). p in [0, 100].
+  Duration percentile(double p) const;
+  Duration median() const { return percentile(50.0); }
+  Duration min() const;
+  Duration max() const;
+  double mean() const;
+  double stddev() const;
+
+  const std::vector<Duration>& samples() const { return samples_; }
+
+ private:
+  // Sorted lazily on query; mutable so percentile() can stay const.
+  mutable std::vector<Duration> samples_;
+  mutable bool sorted_ = false;
+  void sort_if_needed() const;
+};
+
+/// Throughput over a measurement window plus a 95% confidence interval
+/// estimated from per-slice counts (the paper reports mean ± 95% CI).
+struct ThroughputSummary {
+  double mean_per_sec = 0.0;
+  double ci95_per_sec = 0.0;  ///< half-width of the 95% confidence interval
+  std::uint64_t total = 0;
+};
+
+ThroughputSummary summarize_throughput(const std::vector<std::uint64_t>& slice_counts,
+                                       Duration slice_length);
+
+/// Mean ± 95% CI over arbitrary doubles (used for repeated-run summaries).
+struct MeanCi {
+  double mean = 0.0;
+  double ci95 = 0.0;
+};
+MeanCi mean_ci95(const std::vector<double>& values);
+
+/// Formats a Duration as milliseconds with sensible precision, e.g. "0.691".
+std::string format_ms(Duration d);
+
+}  // namespace fastcast

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+
+/// \file time.hpp
+/// Simulated/physical time representation.
+///
+/// All timestamps are nanoseconds held in a signed 64-bit integer. Signed
+/// arithmetic keeps interval subtraction safe, and 64 bits of nanoseconds
+/// cover ~292 years of simulated time. Free helper constructors are used
+/// instead of std::chrono to keep the discrete-event hot path trivially
+/// cheap and the wire encoding obvious.
+
+namespace fastcast {
+
+/// A point in (simulated or wall-clock) time, in nanoseconds since run start.
+using Time = std::int64_t;
+
+/// A span between two Time points, in nanoseconds.
+using Duration = std::int64_t;
+
+constexpr Duration kNanosecond = 1;
+constexpr Duration kMicrosecond = 1000 * kNanosecond;
+constexpr Duration kMillisecond = 1000 * kMicrosecond;
+constexpr Duration kSecond = 1000 * kMillisecond;
+
+constexpr Duration nanoseconds(std::int64_t n) { return n; }
+constexpr Duration microseconds(std::int64_t n) { return n * kMicrosecond; }
+constexpr Duration milliseconds(std::int64_t n) { return n * kMillisecond; }
+constexpr Duration seconds(std::int64_t n) { return n * kSecond; }
+
+/// Fractional-millisecond helper for latency matrices (e.g. 0.05 ms).
+constexpr Duration milliseconds_f(double ms) {
+  return static_cast<Duration>(ms * static_cast<double>(kMillisecond));
+}
+
+constexpr double to_milliseconds(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+
+constexpr double to_seconds(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+}  // namespace fastcast

@@ -1,0 +1,96 @@
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "fastcast/amcast/client_stub.hpp"
+#include "fastcast/common/stats.hpp"
+#include "fastcast/runtime/context.hpp"
+
+/// \file client.hpp
+/// Closed-loop benchmark client: one outstanding multicast at a time,
+/// completing on the first delivery ack, exactly how the paper's clients
+/// measure latency and generate load.
+
+namespace fastcast::harness {
+
+/// Shared measurement sink. Completions inside [window_start, window_end)
+/// are recorded; slice counts feed the throughput confidence interval.
+class Metrics {
+ public:
+  void open_window(Time start, Time end, Duration slice);
+  void close_window() { window_open_ = false; }
+
+  /// `tag` buckets the sample (the harness uses the destination-group
+  /// count, so Fig. 7 can report latency per follower spread).
+  void note_completion(Time sent, Time completed, std::size_t tag = 0);
+
+  LatencyRecorder& latency() { return latency_; }
+  const LatencyRecorder& latency() const { return latency_; }
+  /// Latency restricted to one tag (empty recorder if unseen).
+  const LatencyRecorder& latency_for_tag(std::size_t tag) const;
+  ThroughputSummary throughput() const;
+  std::uint64_t completions_total() const { return completions_total_; }
+
+ private:
+  LatencyRecorder latency_;
+  std::map<std::size_t, LatencyRecorder> by_tag_;
+  std::vector<std::uint64_t> slices_;
+  Time window_start_ = 0;
+  Time window_end_ = 0;
+  Duration slice_ = kSecond;
+  bool window_open_ = false;
+  std::uint64_t completions_total_ = 0;
+};
+
+/// Picks the destination groups of each multicast.
+using DstPicker = std::function<std::vector<GroupId>(Rng& rng)>;
+
+/// Every message to the same single group (Fig. 3 local workload).
+DstPicker fixed_group(GroupId g);
+/// Every message to all of groups [0, n).
+DstPicker all_groups(std::size_t n);
+/// Every message to a uniformly random k-subset of groups [0, n).
+DstPicker random_subset(std::size_t n, std::size_t k);
+
+class ClientProcess final : public Process {
+ public:
+  struct Config {
+    std::unique_ptr<ClientStub> stub;
+    DstPicker dst;
+    std::size_t payload_size = 64;  ///< paper microbenchmark message size
+    Time first_send_at = 0;         ///< staggered start
+    Time stop_at = -1;              ///< no new sends after this (<0 = never)
+  };
+
+  ClientProcess(Config config, std::shared_ptr<Metrics> metrics);
+
+  /// Observers invoked for every a-multicast initiated, in registration
+  /// order (the checker hook plus application bookkeeping).
+  using MulticastObserverFn = std::function<void(const MulticastMessage&)>;
+  void add_multicast_observer(MulticastObserverFn fn) {
+    observers_.push_back(std::move(fn));
+  }
+
+  void on_start(Context& ctx) override;
+  void on_message(Context& ctx, NodeId from, const Message& msg) override;
+
+  std::uint64_t sent_count() const { return next_seq_; }
+
+  /// Forbids new sends at/after `at` (the closed loop goes idle).
+  void set_stop(Time at) { config_.stop_at = at; }
+
+ private:
+  void send_next(Context& ctx);
+
+  Config config_;
+  std::shared_ptr<Metrics> metrics_;
+  std::vector<MulticastObserverFn> observers_;
+  std::uint32_t next_seq_ = 0;
+  MsgId outstanding_ = 0;
+  std::size_t outstanding_dst_size_ = 0;
+  Time sent_at_ = 0;
+  bool idle_ = true;
+};
+
+}  // namespace fastcast::harness

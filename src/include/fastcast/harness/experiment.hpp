@@ -1,0 +1,111 @@
+#pragma once
+
+#include <memory>
+
+#include "fastcast/amcast/fastcast.hpp"
+#include "fastcast/amcast/node.hpp"
+#include "fastcast/checker/checker.hpp"
+#include "fastcast/harness/client.hpp"
+#include "fastcast/harness/topology.hpp"
+
+/// \file experiment.hpp
+/// Builds a full cluster (replicas + protocol + clients + checker) inside
+/// the simulator and runs the paper's warm-up / measurement-window /
+/// drain regimen. Benches call run_experiment(); tests that inject faults
+/// mid-run drive a Cluster directly.
+
+namespace fastcast::harness {
+
+struct ExperimentConfig {
+  TopologyConfig topo;
+
+  /// Destination picker per client index (e.g. Fig. 3 pins client i to
+  /// group i % G). Use same_dst_for_all() when all clients share one.
+  std::function<DstPicker(std::size_t client_idx)> dst_factory;
+
+  Duration warmup = milliseconds(400);
+  Duration measure = seconds(2);
+  Duration slice = milliseconds(100);
+  std::uint64_t seed = 1;
+
+  /// Stop clients at window end and drain in-flight traffic; enables the
+  /// quiesced (agreement/validity) checks. Forced off when timers would
+  /// never let the event queue empty (lossy links / heartbeats).
+  bool drain = true;
+  Duration drain_grace = seconds(30);
+
+  bool run_checker = true;
+  Checker::Level check_level = Checker::Level::kFast;
+
+  // Environment/fault knobs.
+  bool serialize_messages = false;  ///< codec round-trip on every unicast
+  double drop_probability = 0.0;    ///< fair-lossy links
+  bool heartbeats = false;          ///< leader re-election on
+  RmConfig::Relay relay = RmConfig::Relay::kNone;
+
+  // Protocol knobs.
+  std::size_t consensus_window = 32;
+  TimestampProtocolBase::Config::HardSend hard_send =
+      TimestampProtocolBase::Config::HardSend::kLeaderOnly;
+  std::size_t payload_size = 64;
+  /// Ablation: Algorithm-2-verbatim eager SYNC-HARD proposals in FastCast.
+  bool fastcast_eager_hard = false;
+};
+
+inline std::function<DstPicker(std::size_t)> same_dst_for_all(DstPicker p) {
+  return [p = std::move(p)](std::size_t) { return p; };
+}
+
+struct ExperimentResult {
+  LatencyRecorder latency;          ///< completion latencies in the window
+  ThroughputSummary throughput;     ///< completions/s across window slices
+  Checker::Report report;
+  bool drained = false;
+  std::uint64_t events_processed = 0;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t fast_path_hits = 0;  ///< FastCast Task-6 matches (all replicas)
+  std::uint64_t slow_path_hits = 0;  ///< SYNC-HARDs ordered via consensus
+};
+
+/// A fully wired cluster. Lifetime: construct → start() → run via
+/// simulator() → collect results.
+class Cluster {
+ public:
+  explicit Cluster(const ExperimentConfig& config);
+
+  sim::Simulator& simulator() { return *sim_; }
+  Checker& checker() { return checker_; }
+  Metrics& metrics() { return *metrics_; }
+  const Deployment& deployment() const { return deployment_; }
+  const ExperimentConfig& config() const { return config_; }
+
+  void start() { sim_->start(); }
+
+  /// Forbids new client sends from `at` on (closed loops go idle).
+  void stop_clients(Time at);
+
+  ReplicaNode& replica(NodeId node);
+  ClientProcess& client(std::size_t idx);
+  std::size_t replica_count() const { return replicas_.size(); }
+
+  /// Sums FastCast fast/slow path counters over all replicas.
+  std::pair<std::uint64_t, std::uint64_t> path_stats() const;
+
+ private:
+  std::shared_ptr<AtomicMulticast> make_protocol(NodeId node, GroupId group);
+  std::unique_ptr<ClientStub> make_stub();
+
+  ExperimentConfig config_;
+  Deployment deployment_;
+  std::unique_ptr<sim::Simulator> sim_;
+  Checker checker_;
+  std::shared_ptr<Metrics> metrics_;
+  std::vector<std::shared_ptr<ReplicaNode>> replicas_;        // by replica idx
+  std::vector<std::shared_ptr<AtomicMulticast>> protocols_;   // parallel
+  std::vector<std::shared_ptr<ClientProcess>> clients_;
+};
+
+/// The standard regimen: warm up, measure, optionally drain, check.
+ExperimentResult run_experiment(const ExperimentConfig& config);
+
+}  // namespace fastcast::harness

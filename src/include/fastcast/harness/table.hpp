@@ -1,0 +1,34 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+/// \file table.hpp
+/// Plain-text table printing for the bench binaries: aligned columns, a
+/// title line, and an optional note — the same rows/series the paper's
+/// figures plot.
+
+namespace fastcast::harness {
+
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> columns);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders to stdout.
+  void print(const std::string& note = "") const;
+
+  std::string to_string(const std::string& note = "") const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats helpers used by the benches.
+std::string fmt_double(double v, int decimals = 1);
+std::string fmt_count(double v);  ///< integer-ish with thousands grouping
+
+}  // namespace fastcast::harness

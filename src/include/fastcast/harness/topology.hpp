@@ -1,0 +1,60 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "fastcast/runtime/membership.hpp"
+#include "fastcast/sim/latency.hpp"
+#include "fastcast/sim/simulator.hpp"
+
+/// \file topology.hpp
+/// Builders for the paper's three environments (§5.2) and deployments.
+///
+/// * LAN — every node in one region, 0.1 ms RTT, paper-era Xeon CPUs.
+/// * Emulated WAN — three regions with RTTs 70/70/144 ms (±5%), same CPUs.
+/// * Real WAN — same latency matrix, faster CPUs (the paper attributes the
+///   EC2 improvement to m3.large processors).
+///
+/// WAN replica placement follows Fig. 2: replica i of every group lives in
+/// region i, so each group survives the loss of a whole datacenter, and
+/// every group's initial leader (member 0) is in region R1. Clients are
+/// placed round-robin across regions starting at R1, so a single client is
+/// co-located with the leaders — the configuration behind the paper's
+/// "FastCast ≈ 1 RTT" single-client numbers.
+
+namespace fastcast::harness {
+
+enum class Environment { kLan, kEmulatedWan, kRealWan };
+enum class Protocol { kBaseCast, kFastCast, kFastCastSlowPath, kMultiPaxos };
+
+const char* to_string(Environment env);
+const char* to_string(Protocol p);
+
+struct TopologyConfig {
+  Environment env = Environment::kLan;
+  std::size_t groups = 2;
+  std::size_t replicas_per_group = 3;
+  std::size_t clients = 1;
+  Protocol protocol = Protocol::kFastCast;
+};
+
+/// A concrete deployment: membership plus role assignments.
+struct Deployment {
+  Membership membership;
+  std::size_t group_count = 0;        ///< destination groups: 0..group_count-1
+  GroupId ordering_group = kNoGroup;  ///< extra group (MultiPaxos only)
+  std::vector<NodeId> clients;
+};
+
+Deployment build_deployment(const TopologyConfig& config);
+
+/// Latency model matching the environment (see latency.hpp).
+std::unique_ptr<sim::LatencyModel> make_latency(Environment env,
+                                                const Membership* membership);
+
+/// Per-message CPU costs calibrated so LAN saturation matches the paper's
+/// order of magnitude (§5.4: ~36 k local msgs/s per group, MultiPaxos
+/// CPU-bound near 48 k/s).
+sim::CpuModel cpu_for(Environment env);
+
+}  // namespace fastcast::harness

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "fastcast/runtime/message.hpp"
+
+/// \file frame.hpp
+/// Length-prefixed framing for the TCP transport: each frame is a 4-byte
+/// little-endian length followed by one encoded Message. FrameParser
+/// incrementally consumes a byte stream and yields complete messages.
+
+namespace fastcast::net {
+
+/// Hard cap on a frame body; larger lengths indicate stream corruption.
+constexpr std::uint32_t kMaxFrameBytes = 16u << 20;
+
+/// Encodes `msg` as one frame (length prefix included).
+std::vector<std::byte> frame_message(const Message& msg);
+
+class FrameParser {
+ public:
+  /// Appends raw stream bytes.
+  void feed(const std::byte* data, std::size_t len);
+
+  /// Extracts the next complete message, if any. Returns std::nullopt when
+  /// more bytes are needed. Sets corrupted() on framing/codec errors, after
+  /// which the connection must be dropped.
+  std::optional<Message> next();
+
+  bool corrupted() const { return corrupted_; }
+  std::size_t buffered() const { return buf_.size() - consumed_; }
+
+ private:
+  void compact();
+
+  std::vector<std::byte> buf_;
+  std::size_t consumed_ = 0;
+  bool corrupted_ = false;
+};
+
+}  // namespace fastcast::net

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <thread>
+
+#include "fastcast/net/tcp_transport.hpp"
+#include "fastcast/runtime/context.hpp"
+
+/// \file tcp_cluster.hpp
+/// Runs a whole deployment over real TCP sockets inside one OS process:
+/// one thread per node, each with its own TcpTransport-backed Context.
+/// The protocol objects are exactly the ones the simulator runs — this is
+/// the "deploy the same code on a real network" demonstrator used by the
+/// tcp_cluster example and the net integration tests.
+///
+/// Every node's Process runs strictly on its own thread; cross-thread
+/// interaction happens only through sockets. Observers installed on
+/// processes are invoked on node threads and must synchronise themselves.
+
+namespace fastcast::net {
+
+class TcpCluster {
+ public:
+  struct Config {
+    Membership membership;
+    std::uint16_t base_port = 17400;
+    int poll_interval_ms = 2;
+  };
+
+  explicit TcpCluster(Config config);
+  ~TcpCluster();
+
+  TcpCluster(const TcpCluster&) = delete;
+  TcpCluster& operator=(const TcpCluster&) = delete;
+
+  void add_process(NodeId node, std::shared_ptr<Process> process);
+
+  /// Binds all listeners, then spawns node threads (on_start runs on the
+  /// node's own thread before its loop begins).
+  void start();
+
+  /// Signals all loops to exit and joins the threads.
+  void stop();
+
+  const Membership& membership() const { return config_.membership; }
+
+ private:
+  class NodeRuntime;
+
+  Config config_;
+  std::atomic<bool> running_{false};
+  std::vector<std::unique_ptr<NodeRuntime>> nodes_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace fastcast::net

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "fastcast/net/frame.hpp"
+#include "fastcast/runtime/ids.hpp"
+
+/// \file tcp_transport.hpp
+/// A single node's TCP endpoint: listens on its own port, lazily connects
+/// to peers, frames outbound Messages, and parses inbound streams. The
+/// owner drives it from one thread via poll_once(); inbound messages are
+/// surfaced through a callback carrying the sender's NodeId (peers
+/// identify themselves with a hello frame when connecting).
+///
+/// Intentionally modest: blocking connects/writes on localhost-scale
+/// deployments, automatic reconnect on failure at the next send. This is
+/// the "same protocol code on a real network" demonstrator, not a
+/// high-performance messaging layer — the paper's performance claims are
+/// reproduced in the simulator.
+
+namespace fastcast::net {
+
+/// node → (host, port) resolution.
+struct AddressBook {
+  std::string host = "127.0.0.1";
+  std::uint16_t base_port = 0;
+
+  std::uint16_t port_of(NodeId n) const {
+    return static_cast<std::uint16_t>(base_port + n);
+  }
+};
+
+class TcpTransport {
+ public:
+  using ReceiveFn = std::function<void(NodeId from, const Message& msg)>;
+
+  TcpTransport(NodeId self, AddressBook addresses);
+  ~TcpTransport();
+
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  /// Binds and listens; throws std::runtime_error on failure.
+  void listen();
+
+  void set_receive(ReceiveFn fn) { receive_ = std::move(fn); }
+
+  /// Sends one framed message (connecting first if needed). Best-effort:
+  /// on failure the connection is dropped and will be re-established on
+  /// the next send.
+  void send(NodeId to, const Message& msg);
+
+  /// Accepts/reads once with the given timeout; dispatches every complete
+  /// inbound message. Returns the number of messages dispatched.
+  std::size_t poll_once(int timeout_ms);
+
+  void close_all();
+
+  NodeId self() const { return self_; }
+
+ private:
+  struct Peer {
+    int fd = -1;
+    FrameParser parser;
+    NodeId id = kInvalidNode;  ///< learned from the hello frame
+  };
+
+  int connect_to(NodeId to);
+  void drop(int fd);
+  void handle_readable(Peer& peer);
+
+  NodeId self_;
+  AddressBook addresses_;
+  int listen_fd_ = -1;
+  std::map<NodeId, int> outbound_;  // node → fd
+  std::map<int, Peer> inbound_;     // fd → peer state
+  ReceiveFn receive_;
+};
+
+}  // namespace fastcast::net

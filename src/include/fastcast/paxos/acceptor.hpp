@@ -1,0 +1,52 @@
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "fastcast/runtime/context.hpp"
+
+/// \file acceptor.hpp
+/// Paxos acceptor for one group's sequence of instances.
+///
+/// A single promise ballot covers all instances (MultiPaxos-style), so a
+/// stable leader runs Phase 1 once — or never, when the deployment
+/// pre-promises the initial leader's ballot, which is how the paper's
+/// prototype defines "a stable leader prior to the execution".
+///
+/// On accepting a value the acceptor broadcasts P2b (including the value)
+/// to every learner; decisions are therefore learned two delays after the
+/// proposal, the latency structure Propositions 1–2 assume.
+
+namespace fastcast::paxos {
+
+class Acceptor {
+ public:
+  Acceptor(GroupId group, std::vector<NodeId> learners)
+      : group_(group), learners_(std::move(learners)) {}
+
+  /// Pre-promises a ballot (stable-leader deployments).
+  void set_initial_promise(Ballot b) { promised_ = b; }
+
+  void on_p1a(Context& ctx, NodeId from, const P1a& msg);
+  void on_p2a(Context& ctx, NodeId from, const P2a& msg);
+
+  /// Learner catch-up: re-sends P2b votes for accepted instances ≥
+  /// msg.from_instance to the requester (bounded batch per request).
+  void on_p2b_request(Context& ctx, NodeId from, const P2bRequest& msg);
+
+  Ballot promised() const { return promised_; }
+  std::size_t accepted_count() const { return accepted_.size(); }
+
+ private:
+  struct AcceptedValue {
+    Ballot vballot;
+    std::vector<std::byte> value;
+  };
+
+  GroupId group_;
+  std::vector<NodeId> learners_;
+  Ballot promised_;
+  std::map<InstanceId, AcceptedValue> accepted_;
+};
+
+}  // namespace fastcast::paxos

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <memory>
+
+#include "fastcast/paxos/acceptor.hpp"
+#include "fastcast/paxos/leader_elector.hpp"
+#include "fastcast/paxos/learner.hpp"
+#include "fastcast/paxos/proposer.hpp"
+
+/// \file group_consensus.hpp
+/// The per-group uniform consensus service of §2.2: an unbounded sequence
+/// of Paxos instances with ordered decision delivery, a stable leader, and
+/// optional leader re-election.
+///
+/// Every group member is acceptor + proposer + learner; additional pure
+/// learners are supported (the non-genuine protocol registers *every*
+/// process in the system as a learner of its fixed ordering group, which
+/// is exactly what makes it non-genuine).
+///
+/// propose() is leader-driven: non-leaders silently ignore it, so callers
+/// simply call propose() everywhere and the current leader acts — the
+/// liveness story is the oracle's, as in the paper.
+
+namespace fastcast::paxos {
+
+class GroupConsensus {
+ public:
+  struct Config {
+    GroupId group = kNoGroup;           ///< engine id, unique per deployment
+    std::vector<NodeId> members;        ///< acceptors (2f+1)
+    std::vector<NodeId> extra_learners; ///< learners beyond the members
+    std::size_t window = 32;            ///< proposer pipeline depth
+    bool reliable_links = true;
+    Duration retry_interval = milliseconds(60);
+    bool heartbeats = false;            ///< leader re-election on/off
+    Duration heartbeat_interval = milliseconds(20);
+    Duration election_timeout = milliseconds(100);
+  };
+
+  GroupConsensus(Config config, NodeId self);
+
+  /// Ordered decision stream (instances 0,1,2,... each exactly once).
+  /// No-op gap fillers surface as empty values; callers must tolerate them.
+  void set_decide(Learner::DecideFn fn) { learner_.set_decide(std::move(fn)); }
+
+  void on_start(Context& ctx);
+
+  /// Queues a value for some instance. Only acts on the current leader.
+  void propose(Context& ctx, std::vector<std::byte> value);
+
+  /// Routes a Paxos/FD message for this engine; false if not ours.
+  bool handle(Context& ctx, NodeId from, const Message& msg);
+
+  bool is_leader(const Context& ctx) const { return elector_.is_self_leader(ctx); }
+  NodeId leader() const { return elector_.leader(); }
+
+  /// True when a propose() on the leader would hit the wire immediately —
+  /// callers use this to batch (accumulate while the window is full).
+  bool window_open() const { return proposer_.window_open(); }
+
+  /// Secondary leader-change hook for the protocol layer (the primary one
+  /// drives the proposer's Phase 1 internally).
+  using LeaderChangeFn = std::function<void(Context&, NodeId leader)>;
+  void set_on_leader_change(LeaderChangeFn fn) { on_leader_change_ = std::move(fn); }
+
+  Learner& learner() { return learner_; }
+  Proposer& proposer() { return proposer_; }
+  Acceptor& acceptor() { return acceptor_; }
+  LeaderElector& elector() { return elector_; }
+  const Config& config() const { return config_; }
+
+ private:
+  bool is_member(NodeId n) const;
+  static std::vector<NodeId> all_learners(const Config& config);
+  void arm_catch_up(Context& ctx);
+
+  Config config_;
+  NodeId self_;
+  Context* ctx_ = nullptr;  ///< bound at on_start; contexts outlive processes
+  LeaderChangeFn on_leader_change_;
+  Acceptor acceptor_;
+  Learner learner_;
+  Proposer proposer_;
+  LeaderElector elector_;
+};
+
+}  // namespace fastcast::paxos

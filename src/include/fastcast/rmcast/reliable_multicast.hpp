@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "fastcast/runtime/context.hpp"
+
+/// \file reliable_multicast.hpp
+/// Non-uniform FIFO reliable multicast (§2.3 of the paper).
+///
+/// Properties provided:
+///   * validity / integrity — a message multicast by a correct origin is
+///     delivered exactly once by every correct destination process;
+///   * FIFO order — per (origin, destination) sequence numbers with a
+///     holdback queue;
+///   * non-uniform agreement — optional relaying: when a process
+///     r-delivers a copy it can forward the remaining copies, so a
+///     destination still delivers if the origin crashed mid-multicast.
+///
+/// Retransmission (for fair-lossy links) is ack-based and driven by a
+/// periodic timer at the origin; over reliable links (the simulator's
+/// default, or TCP) acks are disabled entirely, matching the paper's
+/// TCP-based prototype.
+///
+/// One delay: the origin unicasts a copy directly to every destination
+/// process, which is the 1δ propagation assumed by Propositions 1–2.
+
+namespace fastcast {
+
+struct RmConfig {
+  /// When true (TCP-like links) acks/retransmissions are skipped.
+  bool reliable_links = true;
+
+  enum class Relay {
+    kNone,    ///< trust the origin (paper prototype behaviour)
+    kSelf,    ///< every receiver relays its first delivery (uniform-ish)
+  };
+  Relay relay = Relay::kNone;
+
+  Duration retransmit_interval = milliseconds(40);
+};
+
+class ReliableMulticast {
+ public:
+  explicit ReliableMulticast(RmConfig config = {}) : config_(config) {}
+
+  /// Delivery upcall: FIFO per origin, invoked exactly once per message.
+  using DeliverFn =
+      std::function<void(Context&, NodeId origin, const AmcastPayload&)>;
+  void set_deliver(DeliverFn fn) { deliver_ = std::move(fn); }
+
+  /// Enables relaying only on nodes where `relay_if` returns true (e.g. the
+  /// group leader); unset means the RmConfig::relay policy applies as-is.
+  void set_relay_predicate(std::function<bool()> pred) {
+    relay_pred_ = std::move(pred);
+  }
+
+  /// r-multicast(inner) to every member of every group in `dst`.
+  void multicast(Context& ctx, const std::vector<GroupId>& dst,
+                 AmcastPayload inner);
+
+  /// Starts the retransmission timer when links are lossy.
+  void on_start(Context& ctx);
+
+  /// Returns true if the message was an rmcast frame (consumed).
+  bool handle(Context& ctx, NodeId from, const Message& msg);
+
+  // Introspection for tests.
+  std::size_t holdback_size() const;
+  std::size_t unacked_count() const { return unacked_.size(); }
+
+ private:
+  struct OriginState {
+    std::uint64_t next_expected = 1;
+    std::map<std::uint64_t, RmData> holdback;  // seq -> frame
+  };
+
+  void on_data(Context& ctx, NodeId from, const RmData& data);
+  void relay(Context& ctx, const RmData& data);
+  void arm_retransmit(Context& ctx);
+
+  RmConfig config_;
+  DeliverFn deliver_;
+  std::function<bool()> relay_pred_;
+
+  // Sender side.
+  std::unordered_map<NodeId, std::uint64_t> next_seq_;  // per destination
+  std::map<std::pair<NodeId, std::uint64_t>, RmData> unacked_;  // (dest,seq)
+
+  // Receiver side.
+  std::unordered_map<NodeId, OriginState> origins_;
+  bool timer_armed_ = false;
+};
+
+}  // namespace fastcast

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "fastcast/common/rng.hpp"
+#include "fastcast/common/time.hpp"
+#include "fastcast/runtime/ids.hpp"
+#include "fastcast/runtime/membership.hpp"
+#include "fastcast/runtime/message.hpp"
+
+/// \file context.hpp
+/// Execution environment handed to protocol code.
+///
+/// All protocol logic (reliable multicast, Paxos, the three atomic-multicast
+/// implementations) is written against Context only, so the same objects run
+/// unmodified inside the deterministic simulator and on the TCP runtime.
+/// Contexts are single-threaded: the environment invokes one handler at a
+/// time per node and the handler may call back into the context freely.
+
+namespace fastcast {
+
+using TimerId = std::uint64_t;
+constexpr TimerId kInvalidTimer = 0;
+
+class Context {
+ public:
+  virtual ~Context() = default;
+
+  /// The node this context belongs to.
+  virtual NodeId self() const = 0;
+
+  /// Current (virtual or wall-clock) time in nanoseconds since run start.
+  virtual Time now() const = 0;
+
+  /// Asynchronously sends `msg` to node `to`. Sending to self is allowed
+  /// and is delivered like any other message (never synchronously, so
+  /// handlers cannot re-enter).
+  virtual void send(NodeId to, const Message& msg) = 0;
+
+  /// Schedules `cb` to run after `delay`. Returns an id for cancel_timer.
+  virtual TimerId set_timer(Duration delay, std::function<void()> cb) = 0;
+  virtual void cancel_timer(TimerId id) = 0;
+
+  /// Deterministic per-node randomness.
+  virtual Rng& rng() = 0;
+
+  /// Static deployment description.
+  virtual const Membership& membership() const = 0;
+
+  // Convenience helpers -----------------------------------------------------
+
+  GroupId my_group() const { return membership().group_of(self()); }
+
+  void send_to_group(GroupId g, const Message& msg) {
+    for (NodeId n : membership().members(g)) send(n, msg);
+  }
+
+  void send_to_nodes(const std::vector<NodeId>& nodes, const Message& msg) {
+    for (NodeId n : nodes) send(n, msg);
+  }
+};
+
+/// A protocol endpoint: one object per node, driven by its environment.
+class Process {
+ public:
+  virtual ~Process() = default;
+
+  /// Called once before any message, after the whole cluster is wired up.
+  virtual void on_start(Context& ctx) { (void)ctx; }
+
+  /// Called for every message addressed to this node.
+  virtual void on_message(Context& ctx, NodeId from, const Message& msg) = 0;
+};
+
+}  // namespace fastcast

@@ -1,0 +1,243 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "fastcast/common/codec.hpp"
+#include "fastcast/runtime/ids.hpp"
+
+/// \file message.hpp
+/// The complete wire model: every message any protocol in this repository
+/// puts on the network. One tagged union keeps dispatch trivial and gives
+/// the TCP transport a single encode/decode entry point; the simulator
+/// passes Message values by shared pointer without serializing.
+///
+/// Layering (bottom to top):
+///   * Paxos messages (P1a..P2b) — point-to-point within a group, plus
+///     learner broadcast of P2b.
+///   * Reliable-multicast envelope (RmData/RmAck) — carries an
+///     AmcastPayload to the processes of the destination groups.
+///   * Atomic-multicast payloads (AmStart/AmSendSoft/AmSendHard) — the
+///     START / SEND-SOFT / SEND-HARD messages of Algorithms 1 and 2.
+///   * Client-facing messages (MpSubmit for the non-genuine protocol,
+///     AmAck delivery acknowledgements).
+
+namespace fastcast {
+
+/// An application message being atomically multicast ("m" in the paper).
+struct MulticastMessage {
+  MsgId id = 0;
+  NodeId sender = kInvalidNode;       ///< node to send the delivery ack to
+  std::vector<GroupId> dst;           ///< destination groups, sorted, unique
+  std::string payload;
+
+  bool is_global() const { return dst.size() > 1; }
+  friend bool operator==(const MulticastMessage&, const MulticastMessage&) = default;
+};
+
+/// Tuple kinds ordered by the per-group consensus ("z" in the paper).
+enum class TupleKind : std::uint8_t {
+  kSetHard = 0,   ///< request to assign a hard tentative timestamp
+  kSyncSoft = 1,  ///< a group's soft tentative timestamp (FastCast only)
+  kSyncHard = 2,  ///< a group's hard tentative timestamp
+};
+
+const char* to_string(TupleKind k);
+
+/// A "(z, h, x, m)" tuple. Carries the destination set so that a replica
+/// can process tuples for messages whose START has not arrived yet.
+struct Tuple {
+  TupleKind kind = TupleKind::kSetHard;
+  GroupId group = kNoGroup;  ///< h — the group this timestamp belongs to
+  Ts ts = 0;                 ///< x — tentative timestamp (0 = ⊥ for SET-HARD)
+  MsgId mid = 0;
+  std::vector<GroupId> dst;
+
+  friend bool operator==(const Tuple&, const Tuple&) = default;
+};
+
+/// Identity of a tuple for the ToOrder/Ordered bookkeeping: the paper's
+/// "a SYNC-HARD for (h, m) was already included" tests ignore x.
+struct TupleId {
+  TupleKind kind;
+  GroupId group;
+  MsgId mid;
+
+  friend bool operator==(const TupleId&, const TupleId&) = default;
+  friend auto operator<=>(const TupleId&, const TupleId&) = default;
+};
+
+inline TupleId id_of(const Tuple& t) { return TupleId{t.kind, t.group, t.mid}; }
+
+// ---------------------------------------------------------------------------
+// Atomic-multicast payloads carried by reliable multicast.
+// ---------------------------------------------------------------------------
+
+/// (START, ⊥, ⊥, m): a-multicast request propagated to every destination.
+struct AmStart {
+  MulticastMessage msg;
+};
+
+/// (SEND-SOFT, h, x, m): group h's soft tentative timestamp (FastCast).
+struct AmSendSoft {
+  GroupId from_group = kNoGroup;
+  Ts ts = 0;
+  MsgId mid = 0;
+  std::vector<GroupId> dst;
+};
+
+/// (SEND-HARD, h, x, m): group h's hard tentative timestamp.
+struct AmSendHard {
+  GroupId from_group = kNoGroup;
+  Ts ts = 0;
+  MsgId mid = 0;
+  std::vector<GroupId> dst;
+};
+
+using AmcastPayload = std::variant<AmStart, AmSendSoft, AmSendHard>;
+
+// ---------------------------------------------------------------------------
+// Reliable-multicast envelope.
+// ---------------------------------------------------------------------------
+
+/// One copy of a reliably-multicast message, addressed to a single
+/// destination process. `seq` is the per-(origin, destination) FIFO
+/// sequence number. `dest_seqs` lists the sequence numbers of all copies so
+/// that a relay can re-send the message to the other destinations if the
+/// origin crashes mid-multicast.
+struct RmData {
+  NodeId origin = kInvalidNode;
+  std::uint64_t seq = 0;
+  std::vector<GroupId> dst_groups;
+  std::vector<NodeId> dest_nodes;          ///< parallel to dest_seqs
+  std::vector<std::uint64_t> dest_seqs;
+  AmcastPayload inner;
+};
+
+/// Acknowledgement used only when links may drop messages.
+struct RmAck {
+  NodeId origin = kInvalidNode;  ///< origin whose copy is being acked
+  std::uint64_t seq = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Paxos messages. `group` identifies the consensus engine; the non-genuine
+// protocol uses a dedicated ordering group.
+// ---------------------------------------------------------------------------
+
+struct P1a {
+  GroupId group = kNoGroup;
+  Ballot ballot;
+  InstanceId from_instance = 0;  ///< phase 1 covers all instances ≥ this
+};
+
+struct P1b {
+  GroupId group = kNoGroup;
+  Ballot ballot;                 ///< promise ballot
+  InstanceId from_instance = 0;
+  struct AcceptedEntry {
+    InstanceId instance = 0;
+    Ballot vballot;
+    std::vector<std::byte> value;
+    friend bool operator==(const AcceptedEntry&, const AcceptedEntry&) = default;
+  };
+  std::vector<AcceptedEntry> accepted;
+};
+
+struct P2a {
+  GroupId group = kNoGroup;
+  Ballot ballot;
+  InstanceId instance = 0;
+  std::vector<std::byte> value;
+};
+
+/// Acceptors broadcast P2b (with the value) to every learner so a decision
+/// is learned two delays after the proposal — the latency structure
+/// Propositions 1–2 assume.
+struct P2b {
+  GroupId group = kNoGroup;
+  Ballot ballot;
+  InstanceId instance = 0;
+  NodeId acceptor = kInvalidNode;
+  std::vector<std::byte> value;
+};
+
+/// Nack: tells a stale proposer which ballot it lost to (latency optimisation).
+struct PaxosNack {
+  GroupId group = kNoGroup;
+  Ballot promised;
+  InstanceId instance = 0;
+};
+
+/// Learner catch-up over lossy links: asks an acceptor to re-send its P2b
+/// votes for instances ≥ from_instance (the learner's next undecided one).
+struct P2bRequest {
+  GroupId group = kNoGroup;
+  InstanceId from_instance = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Client-facing messages.
+// ---------------------------------------------------------------------------
+
+/// Submission to the fixed ordering group of the non-genuine protocol.
+struct MpSubmit {
+  MulticastMessage msg;
+};
+
+/// Sent by a destination replica to msg.sender when it a-delivers the
+/// message; closed-loop clients complete a request on the first ack.
+struct AmAck {
+  MsgId mid = 0;
+  GroupId from_group = kNoGroup;
+  NodeId deliverer = kInvalidNode;
+};
+
+/// Failure-detector heartbeat (leader election oracle).
+struct FdHeartbeat {
+  GroupId group = kNoGroup;
+  NodeId from = kInvalidNode;
+  std::uint64_t epoch = 0;
+};
+
+using Payload = std::variant<RmData, RmAck, P1a, P1b, P2a, P2b, PaxosNack,
+                             P2bRequest, MpSubmit, AmAck, FdHeartbeat>;
+
+struct Message {
+  Payload payload;
+};
+
+/// Human-readable payload-kind name (logging/tracing).
+const char* message_kind(const Message& m);
+
+// ---------------------------------------------------------------------------
+// Serialization. encode/decode round-trip every payload; decode returns
+// false on malformed input instead of throwing (transport input is
+// untrusted with respect to framing bugs).
+// ---------------------------------------------------------------------------
+
+void encode(Writer& w, const Message& m);
+bool decode(Reader& r, Message& out);
+
+std::vector<std::byte> encode_message(const Message& m);
+bool decode_message(std::span<const std::byte> bytes, Message& out);
+
+// Exposed for unit tests of nested structures.
+void encode(Writer& w, const MulticastMessage& m);
+bool decode(Reader& r, MulticastMessage& out);
+void encode(Writer& w, const Tuple& t);
+bool decode(Reader& r, Tuple& out);
+
+/// Encodes a batch of tuples as an opaque consensus value (and back).
+std::vector<std::byte> encode_tuples(const std::vector<Tuple>& tuples);
+bool decode_tuples(std::span<const std::byte> bytes, std::vector<Tuple>& out);
+
+/// Encodes a batch of MulticastMessages as an opaque consensus value for
+/// the non-genuine protocol (and back).
+std::vector<std::byte> encode_msg_batch(const std::vector<MulticastMessage>& msgs);
+bool decode_msg_batch(std::span<const std::byte> bytes,
+                      std::vector<MulticastMessage>& out);
+
+}  // namespace fastcast

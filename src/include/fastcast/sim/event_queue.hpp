@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "fastcast/common/time.hpp"
+
+/// \file event_queue.hpp
+/// The discrete-event heart of the simulator: a priority queue of (time,
+/// sequence) ordered closures. The monotonically increasing sequence number
+/// breaks time ties in insertion order, which makes runs deterministic and
+/// preserves FIFO among same-time arrivals.
+
+namespace fastcast::sim {
+
+class EventQueue {
+ public:
+  struct Event {
+    Time at = 0;
+    std::uint64_t seq = 0;
+    std::function<void()> fn;
+  };
+
+  void push(Time at, std::function<void()> fn);
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  /// Time of the earliest pending event; undefined when empty.
+  Time next_time() const;
+
+  /// Pops and returns the earliest event (by time, then insertion order).
+  Event pop();
+
+  std::uint64_t pushed_count() const { return next_seq_; }
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace fastcast::sim

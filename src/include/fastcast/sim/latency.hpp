@@ -1,0 +1,77 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "fastcast/common/rng.hpp"
+#include "fastcast/common/time.hpp"
+#include "fastcast/runtime/ids.hpp"
+#include "fastcast/runtime/membership.hpp"
+
+/// \file latency.hpp
+/// One-way network-latency models.
+///
+/// The paper's three environments differ only in the latency structure
+/// (plus CPU speed, which the simulator models separately):
+///   * LAN — RTT ≈ 0.1 ms between any two nodes;
+///   * emulated WAN / real WAN — three regions with RTTs 70 / 70 / 144 ms
+///     and ~5% jitter.
+/// Models return a one-way delay per (from, to) pair; jitter is drawn from
+/// the simulator's dedicated network RNG so runs stay deterministic.
+
+namespace fastcast::sim {
+
+class LatencyModel {
+ public:
+  virtual ~LatencyModel() = default;
+
+  /// One-way delay for a message from `from` to `to` sampled now.
+  virtual Duration sample(NodeId from, NodeId to, Rng& rng) const = 0;
+
+  /// Nominal (jitter-free) delay, used by tests and latency budgeting.
+  virtual Duration nominal(NodeId from, NodeId to) const = 0;
+};
+
+/// Uniform constant latency with optional relative normal jitter
+/// (stddev = jitter_frac · base). Samples are clamped to ≥ min_floor so
+/// jitter can never produce non-positive delays.
+class ConstantLatency final : public LatencyModel {
+ public:
+  explicit ConstantLatency(Duration base, double jitter_frac = 0.0);
+
+  Duration sample(NodeId from, NodeId to, Rng& rng) const override;
+  Duration nominal(NodeId from, NodeId to) const override;
+
+ private:
+  Duration base_;
+  double jitter_frac_;
+};
+
+/// Region-to-region latency matrix; nodes map to regions through the
+/// Membership. Intra-region latency is a separate (small) constant.
+class RegionLatency final : public LatencyModel {
+ public:
+  /// `matrix[i][j]` is the nominal one-way delay between regions i and j.
+  /// The matrix must be square and symmetric; diagonal entries give
+  /// intra-region delay.
+  RegionLatency(const Membership* membership,
+                std::vector<std::vector<Duration>> matrix,
+                double jitter_frac = 0.0);
+
+  Duration sample(NodeId from, NodeId to, Rng& rng) const override;
+  Duration nominal(NodeId from, NodeId to) const override;
+
+ private:
+  const Membership* membership_;
+  std::vector<std::vector<Duration>> matrix_;
+  double jitter_frac_;
+};
+
+/// The emulated/real WAN of §5.2: R1↔R2 = 70 ms RTT, R2↔R3 = 70 ms RTT,
+/// R1↔R3 = 144 ms RTT (one-way = RTT/2), 0.05 ms within a region, 5% jitter.
+std::unique_ptr<LatencyModel> make_paper_wan(const Membership* membership);
+
+/// The paper's LAN: 0.1 ms RTT between any two nodes, 5% jitter.
+std::unique_ptr<LatencyModel> make_paper_lan();
+
+}  // namespace fastcast::sim

@@ -1,0 +1,52 @@
+#include "fastcast/net/frame.hpp"
+
+#include <cstring>
+
+namespace fastcast::net {
+
+std::vector<std::byte> frame_message(const Message& msg) {
+  const std::vector<std::byte> body = encode_message(msg);
+  std::vector<std::byte> out;
+  out.reserve(4 + body.size());
+  const auto len = static_cast<std::uint32_t>(body.size());
+  const auto* lp = reinterpret_cast<const std::byte*>(&len);
+  out.insert(out.end(), lp, lp + 4);
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+void FrameParser::feed(const std::byte* data, std::size_t len) {
+  buf_.insert(buf_.end(), data, data + len);
+}
+
+void FrameParser::compact() {
+  // Reclaim consumed prefix once it dominates the buffer.
+  if (consumed_ > 4096 && consumed_ * 2 > buf_.size()) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+}
+
+std::optional<Message> FrameParser::next() {
+  if (corrupted_) return std::nullopt;
+  if (buf_.size() - consumed_ < 4) return std::nullopt;
+  std::uint32_t len = 0;
+  std::memcpy(&len, buf_.data() + consumed_, 4);
+  if (len > kMaxFrameBytes) {
+    corrupted_ = true;
+    return std::nullopt;
+  }
+  if (buf_.size() - consumed_ < 4 + static_cast<std::size_t>(len)) return std::nullopt;
+
+  Message out;
+  const std::span<const std::byte> body(buf_.data() + consumed_ + 4, len);
+  if (!decode_message(body, out)) {
+    corrupted_ = true;
+    return std::nullopt;
+  }
+  consumed_ += 4 + len;
+  compact();
+  return out;
+}
+
+}  // namespace fastcast::net

@@ -1,0 +1,146 @@
+#include "fastcast/net/tcp_cluster.hpp"
+
+#include <chrono>
+#include <map>
+#include <queue>
+
+#include "fastcast/common/assert.hpp"
+#include "fastcast/common/logging.hpp"
+
+namespace fastcast::net {
+
+namespace {
+Time steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+/// Context over a TcpTransport plus a local timer heap; single-threaded.
+class TcpCluster::NodeRuntime final : public Context {
+ public:
+  NodeRuntime(TcpCluster* cluster, NodeId self, const AddressBook& addresses,
+              std::uint64_t seed)
+      : cluster_(cluster), self_(self), transport_(self, addresses), rng_(seed) {
+    transport_.set_receive([this](NodeId from, const Message& msg) {
+      process_->on_message(*this, from, msg);
+    });
+  }
+
+  void set_process(std::shared_ptr<Process> p) { process_ = std::move(p); }
+  bool has_process() const { return process_ != nullptr; }
+  void listen() { transport_.listen(); }
+
+  // Context ------------------------------------------------------------------
+  NodeId self() const override { return self_; }
+  Time now() const override { return steady_now_ns() - epoch_; }
+  Rng& rng() override { return rng_; }
+  const Membership& membership() const override {
+    return cluster_->config_.membership;
+  }
+  void send(NodeId to, const Message& msg) override { transport_.send(to, msg); }
+
+  TimerId set_timer(Duration delay, std::function<void()> cb) override {
+    const TimerId id = next_timer_id_++;
+    timer_cbs_.emplace(id, std::move(cb));
+    timer_heap_.push({now() + delay, id});
+    return id;
+  }
+  void cancel_timer(TimerId id) override { timer_cbs_.erase(id); }
+
+  // Node thread main loop ----------------------------------------------------
+  void run(std::atomic<bool>& running, int poll_interval_ms, Time epoch) {
+    epoch_ = epoch;
+    process_->on_start(*this);
+    while (running.load(std::memory_order_relaxed)) {
+      int timeout = poll_interval_ms;
+      if (!timer_heap_.empty()) {
+        const Duration until = timer_heap_.top().at - now();
+        if (until <= 0) {
+          timeout = 0;
+        } else {
+          timeout = static_cast<int>(
+              std::min<Duration>(until / kMillisecond + 1, poll_interval_ms));
+        }
+      }
+      transport_.poll_once(timeout);
+      fire_due_timers();
+    }
+    transport_.close_all();
+  }
+
+ private:
+  struct TimerEntry {
+    Time at;
+    TimerId id;
+    bool operator>(const TimerEntry& o) const {
+      return at != o.at ? at > o.at : id > o.id;
+    }
+  };
+
+  void fire_due_timers() {
+    while (!timer_heap_.empty() && timer_heap_.top().at <= now()) {
+      const TimerEntry e = timer_heap_.top();
+      timer_heap_.pop();
+      auto it = timer_cbs_.find(e.id);
+      if (it == timer_cbs_.end()) continue;  // cancelled
+      auto cb = std::move(it->second);
+      timer_cbs_.erase(it);
+      cb();
+    }
+  }
+
+  TcpCluster* cluster_;
+  NodeId self_;
+  TcpTransport transport_;
+  Rng rng_;
+  std::shared_ptr<Process> process_;
+  Time epoch_ = 0;
+  TimerId next_timer_id_ = 1;
+  std::map<TimerId, std::function<void()>> timer_cbs_;
+  std::priority_queue<TimerEntry, std::vector<TimerEntry>, std::greater<>> timer_heap_;
+};
+
+TcpCluster::TcpCluster(Config config) : config_(std::move(config)) {
+  Rng seeder(0x7cf0c1);
+  nodes_.resize(config_.membership.node_count());
+  AddressBook addresses;
+  addresses.base_port = config_.base_port;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    nodes_[i] = std::make_unique<NodeRuntime>(this, static_cast<NodeId>(i),
+                                              addresses, seeder.next());
+  }
+}
+
+TcpCluster::~TcpCluster() { stop(); }
+
+void TcpCluster::add_process(NodeId node, std::shared_ptr<Process> process) {
+  FC_ASSERT(node < nodes_.size());
+  nodes_[node]->set_process(std::move(process));
+}
+
+void TcpCluster::start() {
+  for (auto& n : nodes_) {
+    FC_ASSERT_MSG(n->has_process(), "every node needs a process");
+    n->listen();
+  }
+  running_.store(true);
+  const Time epoch = steady_now_ns();
+  threads_.reserve(nodes_.size());
+  for (auto& n : nodes_) {
+    threads_.emplace_back([this, node = n.get(), epoch] {
+      node->run(running_, config_.poll_interval_ms, epoch);
+    });
+  }
+}
+
+void TcpCluster::stop() {
+  if (!running_.exchange(false)) return;
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+}
+
+}  // namespace fastcast::net

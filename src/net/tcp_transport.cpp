@@ -1,0 +1,184 @@
+#include "fastcast/net/tcp_transport.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "fastcast/common/logging.hpp"
+
+namespace fastcast::net {
+
+namespace {
+
+/// Writes the whole buffer, retrying on partial writes/EINTR.
+bool write_all(int fd, const std::byte* data, std::size_t len) {
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::send(fd, data + off, len - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+}  // namespace
+
+TcpTransport::TcpTransport(NodeId self, AddressBook addresses)
+    : self_(self), addresses_(addresses) {}
+
+TcpTransport::~TcpTransport() { close_all(); }
+
+void TcpTransport::listen() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("socket() failed");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(addresses_.port_of(self_));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    throw std::runtime_error("bind() failed for node " + std::to_string(self_) +
+                             " port " + std::to_string(addresses_.port_of(self_)));
+  }
+  if (::listen(listen_fd_, 64) != 0) throw std::runtime_error("listen() failed");
+}
+
+int TcpTransport::connect_to(NodeId to) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(addresses_.port_of(to));
+  ::inet_pton(AF_INET, addresses_.host.c_str(), &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  set_nodelay(fd);
+  // Hello: identify ourselves so the peer can attribute inbound frames.
+  const std::uint32_t id = self_;
+  if (!write_all(fd, reinterpret_cast<const std::byte*>(&id), sizeof id)) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+void TcpTransport::send(NodeId to, const Message& msg) {
+  auto it = outbound_.find(to);
+  if (it == outbound_.end()) {
+    const int fd = connect_to(to);
+    if (fd < 0) {
+      FC_WARN("node %u: connect to %u failed: %s", self_, to, std::strerror(errno));
+      return;
+    }
+    it = outbound_.emplace(to, fd).first;
+  }
+  const std::vector<std::byte> frame = frame_message(msg);
+  if (!write_all(it->second, frame.data(), frame.size())) {
+    FC_WARN("node %u: send to %u failed; dropping connection", self_, to);
+    ::close(it->second);
+    outbound_.erase(it);
+  }
+}
+
+void TcpTransport::drop(int fd) {
+  ::close(fd);
+  inbound_.erase(fd);
+}
+
+void TcpTransport::handle_readable(Peer& peer) {
+  std::byte buf[64 * 1024];
+  const ssize_t n = ::recv(peer.fd, buf, sizeof buf, 0);
+  if (n <= 0) {
+    drop(peer.fd);
+    return;
+  }
+  std::size_t off = 0;
+  if (peer.id == kInvalidNode) {
+    // First bytes of an inbound connection carry the peer's node id.
+    if (static_cast<std::size_t>(n) < sizeof(std::uint32_t)) {
+      drop(peer.fd);  // degenerate fragmentation; peers resend on reconnect
+      return;
+    }
+    std::uint32_t id = 0;
+    std::memcpy(&id, buf, sizeof id);
+    peer.id = id;
+    off = sizeof id;
+  }
+  peer.parser.feed(buf + off, static_cast<std::size_t>(n) - off);
+  while (auto msg = peer.parser.next()) {
+    if (receive_) receive_(peer.id, *msg);
+  }
+  if (peer.parser.corrupted()) {
+    FC_ERROR("node %u: corrupted stream from %u", self_, peer.id);
+    drop(peer.fd);
+  }
+}
+
+std::size_t TcpTransport::poll_once(int timeout_ms) {
+  std::vector<pollfd> fds;
+  fds.push_back(pollfd{listen_fd_, POLLIN, 0});
+  for (const auto& [fd, peer] : inbound_) fds.push_back(pollfd{fd, POLLIN, 0});
+
+  const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+  if (ready <= 0) return 0;
+
+  std::size_t dispatched = 0;
+  if ((fds[0].revents & POLLIN) != 0) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd >= 0) {
+      set_nodelay(fd);
+      Peer peer;
+      peer.fd = fd;
+      inbound_.emplace(fd, std::move(peer));
+    }
+  }
+  for (std::size_t i = 1; i < fds.size(); ++i) {
+    if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+    auto it = inbound_.find(fds[i].fd);
+    if (it == inbound_.end()) continue;  // dropped earlier this round
+    const std::size_t before = dispatched;
+    // Count dispatches via a wrapper to keep the callback signature simple.
+    ReceiveFn original = receive_;
+    receive_ = [&](NodeId from, const Message& msg) {
+      ++dispatched;
+      if (original) original(from, msg);
+    };
+    handle_readable(it->second);
+    receive_ = std::move(original);
+    (void)before;
+  }
+  return dispatched;
+}
+
+void TcpTransport::close_all() {
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  for (auto& [node, fd] : outbound_) ::close(fd);
+  outbound_.clear();
+  for (auto& [fd, peer] : inbound_) ::close(fd);
+  inbound_.clear();
+}
+
+}  // namespace fastcast::net

@@ -1,0 +1,59 @@
+#include "fastcast/paxos/acceptor.hpp"
+
+#include "fastcast/common/logging.hpp"
+
+namespace fastcast::paxos {
+
+void Acceptor::on_p1a(Context& ctx, NodeId from, const P1a& msg) {
+  // Ballots embed the proposer id, so equality implies the same proposer
+  // retransmitting Phase 1 — replying again is idempotent.
+  if (msg.ballot < promised_) {
+    ctx.send(from, Message{PaxosNack{group_, promised_, msg.from_instance}});
+    return;
+  }
+  promised_ = msg.ballot;
+
+  P1b reply;
+  reply.group = group_;
+  reply.ballot = promised_;
+  reply.from_instance = msg.from_instance;
+  for (auto it = accepted_.lower_bound(msg.from_instance); it != accepted_.end();
+       ++it) {
+    reply.accepted.push_back({it->first, it->second.vballot, it->second.value});
+  }
+  ctx.send(from, Message{std::move(reply)});
+}
+
+void Acceptor::on_p2a(Context& ctx, NodeId from, const P2a& msg) {
+  if (msg.ballot < promised_) {
+    ctx.send(from, Message{PaxosNack{group_, promised_, msg.instance}});
+    return;
+  }
+  promised_ = msg.ballot;
+  accepted_[msg.instance] = AcceptedValue{msg.ballot, msg.value};
+
+  P2b vote;
+  vote.group = group_;
+  vote.ballot = msg.ballot;
+  vote.instance = msg.instance;
+  vote.acceptor = ctx.self();
+  vote.value = msg.value;
+  for (NodeId learner : learners_) ctx.send(learner, Message{vote});
+}
+
+void Acceptor::on_p2b_request(Context& ctx, NodeId from, const P2bRequest& msg) {
+  constexpr std::size_t kMaxReplies = 128;
+  std::size_t sent = 0;
+  for (auto it = accepted_.lower_bound(msg.from_instance);
+       it != accepted_.end() && sent < kMaxReplies; ++it, ++sent) {
+    P2b vote;
+    vote.group = group_;
+    vote.ballot = it->second.vballot;
+    vote.instance = it->first;
+    vote.acceptor = ctx.self();
+    vote.value = it->second.value;
+    ctx.send(from, Message{vote});
+  }
+}
+
+}  // namespace fastcast::paxos

@@ -1,0 +1,135 @@
+#include "fastcast/paxos/group_consensus.hpp"
+
+#include <algorithm>
+
+#include "fastcast/common/assert.hpp"
+#include "fastcast/common/logging.hpp"
+
+namespace fastcast::paxos {
+
+std::vector<NodeId> GroupConsensus::all_learners(const Config& config) {
+  std::vector<NodeId> out = config.members;
+  out.insert(out.end(), config.extra_learners.begin(), config.extra_learners.end());
+  return out;
+}
+
+GroupConsensus::GroupConsensus(Config config, NodeId self)
+    : config_(std::move(config)),
+      self_(self),
+      acceptor_(config_.group, all_learners(config_)),
+      learner_(config_.members.size() / 2 + 1),
+      proposer_(Proposer::Config{
+          .group = config_.group,
+          .acceptors = config_.members,
+          .quorum = config_.members.size() / 2 + 1,
+          .window = config_.window,
+          .reliable_links = config_.reliable_links,
+          .retry_interval = config_.retry_interval,
+      }),
+      elector_(LeaderElector::Config{
+          .group = config_.group,
+          .members = config_.members,
+          .heartbeats = config_.heartbeats,
+          .heartbeat_interval = config_.heartbeat_interval,
+          .timeout = config_.election_timeout,
+      }) {
+  FC_ASSERT(!config_.members.empty());
+
+  // Stable-leader deployment: every acceptor pre-promises ballot
+  // (1, members[0]) so the initial leader streams Phase 2 from the start.
+  const Ballot initial{1, config_.members.front()};
+  acceptor_.set_initial_promise(initial);
+  if (self_ == config_.members.front()) {
+    proposer_.assume_stable_leadership(1, self_);
+  }
+
+  if (is_member(self_)) {
+    learner_.set_decided_observer(
+        [this](InstanceId inst, const std::vector<std::byte>& value) {
+          FC_ASSERT_MSG(ctx_ != nullptr, "decision before on_start");
+          proposer_.on_decided(*ctx_, inst, value);
+        });
+    proposer_.set_first_undecided_provider(
+        [this] { return learner_.next_to_deliver(); });
+  }
+
+  elector_.set_on_change([this](Context& ctx, NodeId new_leader, std::uint64_t epoch) {
+    if (new_leader == self_ && is_member(self_)) {
+      proposer_.start_leadership(ctx, static_cast<std::uint32_t>(epoch + 1),
+                                 learner_.next_to_deliver());
+    } else {
+      proposer_.resign();
+    }
+    if (on_leader_change_) on_leader_change_(ctx, new_leader);
+  });
+}
+
+bool GroupConsensus::is_member(NodeId n) const {
+  return std::find(config_.members.begin(), config_.members.end(), n) !=
+         config_.members.end();
+}
+
+void GroupConsensus::on_start(Context& ctx) {
+  ctx_ = &ctx;
+  elector_.on_start(ctx);
+  if (is_member(self_)) proposer_.on_start(ctx);
+  // Over lossy links a learner can permanently miss a quorum of P2b votes
+  // (the proposer stops retrying once *it* has learned); poll acceptors
+  // for anything at or beyond our next undecided instance.
+  if (!config_.reliable_links) arm_catch_up(ctx);
+}
+
+void GroupConsensus::arm_catch_up(Context& ctx) {
+  ctx.set_timer(config_.retry_interval, [this, &ctx] {
+    const P2bRequest req{config_.group, learner_.next_to_deliver()};
+    for (NodeId member : config_.members) {
+      if (member != self_) ctx.send(member, Message{req});
+    }
+    arm_catch_up(ctx);
+  });
+}
+
+void GroupConsensus::propose(Context& ctx, std::vector<std::byte> value) {
+  if (!is_member(self_) || !elector_.is_self_leader(ctx)) return;
+  proposer_.propose(ctx, std::move(value));
+}
+
+bool GroupConsensus::handle(Context& ctx, NodeId from, const Message& msg) {
+  if (const auto* p1a = std::get_if<P1a>(&msg.payload)) {
+    if (p1a->group != config_.group) return false;
+    if (is_member(self_)) acceptor_.on_p1a(ctx, from, *p1a);
+    return true;
+  }
+  if (const auto* p1b = std::get_if<P1b>(&msg.payload)) {
+    if (p1b->group != config_.group) return false;
+    proposer_.on_p1b(ctx, from, *p1b);
+    return true;
+  }
+  if (const auto* p2a = std::get_if<P2a>(&msg.payload)) {
+    if (p2a->group != config_.group) return false;
+    if (is_member(self_)) acceptor_.on_p2a(ctx, from, *p2a);
+    return true;
+  }
+  if (const auto* p2b = std::get_if<P2b>(&msg.payload)) {
+    if (p2b->group != config_.group) return false;
+    learner_.on_p2b(ctx, *p2b);
+    return true;
+  }
+  if (const auto* nack = std::get_if<PaxosNack>(&msg.payload)) {
+    if (nack->group != config_.group) return false;
+    proposer_.on_nack(ctx, *nack);
+    return true;
+  }
+  if (const auto* req = std::get_if<P2bRequest>(&msg.payload)) {
+    if (req->group != config_.group) return false;
+    if (is_member(self_)) acceptor_.on_p2b_request(ctx, from, *req);
+    return true;
+  }
+  if (const auto* hb = std::get_if<FdHeartbeat>(&msg.payload)) {
+    if (hb->group != config_.group) return false;
+    return elector_.handle(ctx, from, msg);
+  }
+  return false;
+}
+
+}  // namespace fastcast::paxos

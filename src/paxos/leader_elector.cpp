@@ -1,0 +1,65 @@
+#include "fastcast/paxos/leader_elector.hpp"
+
+#include "fastcast/common/assert.hpp"
+#include "fastcast/common/logging.hpp"
+
+namespace fastcast::paxos {
+
+LeaderElector::LeaderElector(Config config) : config_(std::move(config)) {
+  FC_ASSERT(!config_.members.empty());
+}
+
+NodeId LeaderElector::leader() const {
+  return config_.members[epoch_ % config_.members.size()];
+}
+
+void LeaderElector::on_start(Context& ctx) {
+  if (!config_.heartbeats) return;
+  last_heard_ = ctx.now();
+  if (is_self_leader(ctx)) arm_heartbeat(ctx);
+  arm_monitor(ctx);
+}
+
+void LeaderElector::arm_heartbeat(Context& ctx) {
+  ctx.set_timer(config_.heartbeat_interval, [this, &ctx] {
+    if (!is_self_leader(ctx)) return;  // demoted meanwhile
+    FdHeartbeat hb{config_.group, ctx.self(), epoch_};
+    for (NodeId n : config_.members) {
+      if (n != ctx.self()) ctx.send(n, Message{hb});
+    }
+    arm_heartbeat(ctx);
+  });
+}
+
+void LeaderElector::arm_monitor(Context& ctx) {
+  ctx.set_timer(config_.timeout, [this, &ctx] {
+    if (!is_self_leader(ctx) && ctx.now() - last_heard_ >= config_.timeout) {
+      advance_epoch(ctx, epoch_ + 1);
+    }
+    arm_monitor(ctx);
+  });
+}
+
+void LeaderElector::advance_epoch(Context& ctx, std::uint64_t epoch) {
+  if (epoch <= epoch_) return;
+  epoch_ = epoch;
+  last_heard_ = ctx.now();
+  FC_INFO("group %u node %u: leader epoch -> %llu (leader %u)", config_.group,
+          ctx.self(), static_cast<unsigned long long>(epoch_), leader());
+  if (is_self_leader(ctx)) arm_heartbeat(ctx);
+  if (on_change_) on_change_(ctx, leader(), epoch_);
+}
+
+bool LeaderElector::handle(Context& ctx, NodeId from, const Message& msg) {
+  const auto* hb = std::get_if<FdHeartbeat>(&msg.payload);
+  if (hb == nullptr || hb->group != config_.group) return false;
+  (void)from;
+  if (hb->epoch > epoch_) {
+    advance_epoch(ctx, hb->epoch);
+  } else if (hb->epoch == epoch_ && hb->from == leader()) {
+    last_heard_ = ctx.now();
+  }
+  return true;
+}
+
+}  // namespace fastcast::paxos

@@ -1,0 +1,42 @@
+#include "fastcast/paxos/learner.hpp"
+
+#include "fastcast/common/assert.hpp"
+
+namespace fastcast::paxos {
+
+void Learner::on_p2b(Context& ctx, const P2b& msg) {
+  if (is_decided(msg.instance)) return;
+
+  auto& state = votes_[msg.instance];
+  if (state.voters.empty() || msg.ballot > state.ballot) {
+    // First vote, or votes at a higher ballot supersede lower-ballot ones.
+    state.ballot = msg.ballot;
+    state.voters.clear();
+    state.value = msg.value;
+  } else if (msg.ballot < state.ballot) {
+    return;  // stale vote
+  }
+  state.voters.insert(msg.acceptor);
+  if (state.voters.size() < quorum_) return;
+
+  // Decided. All votes at one ballot carry the same value by the Paxos
+  // acceptance invariant.
+  std::vector<std::byte> value = std::move(state.value);
+  votes_.erase(msg.instance);
+  if (observer_) observer_(msg.instance, value);
+  decided_.emplace(msg.instance, std::move(value));
+  drain(ctx);
+}
+
+void Learner::drain(Context&) {
+  while (true) {
+    auto it = decided_.find(next_deliver_);
+    if (it == decided_.end()) return;
+    std::vector<std::byte> value = std::move(it->second);
+    decided_.erase(it);
+    const InstanceId inst = next_deliver_++;
+    if (decide_) decide_(inst, value);
+  }
+}
+
+}  // namespace fastcast::paxos

@@ -1,0 +1,108 @@
+#include "fastcast/rmcast/reliable_multicast.hpp"
+
+#include "fastcast/common/assert.hpp"
+#include "fastcast/common/logging.hpp"
+
+namespace fastcast {
+
+void ReliableMulticast::multicast(Context& ctx, const std::vector<GroupId>& dst,
+                                  AmcastPayload inner) {
+  FC_ASSERT_MSG(!dst.empty(), "multicast needs at least one destination group");
+  const std::vector<NodeId> dests = ctx.membership().nodes_of_groups(dst);
+
+  RmData frame;
+  frame.origin = ctx.self();
+  frame.dst_groups = dst;
+  frame.dest_nodes = dests;
+  frame.dest_seqs.reserve(dests.size());
+  for (NodeId d : dests) {
+    auto [it, inserted] = next_seq_.try_emplace(d, 1);
+    (void)inserted;
+    frame.dest_seqs.push_back(it->second++);
+  }
+  frame.inner = std::move(inner);
+
+  for (std::size_t i = 0; i < dests.size(); ++i) {
+    frame.seq = frame.dest_seqs[i];
+    if (!config_.reliable_links) {
+      unacked_.emplace(std::make_pair(dests[i], frame.seq), frame);
+    }
+    ctx.send(dests[i], Message{frame});
+  }
+}
+
+void ReliableMulticast::on_start(Context& ctx) {
+  if (!config_.reliable_links) arm_retransmit(ctx);
+}
+
+void ReliableMulticast::arm_retransmit(Context& ctx) {
+  if (timer_armed_) return;
+  timer_armed_ = true;
+  ctx.set_timer(config_.retransmit_interval, [this, &ctx] {
+    timer_armed_ = false;
+    for (const auto& [key, frame] : unacked_) {
+      RmData copy = frame;
+      copy.seq = key.second;
+      ctx.send(key.first, Message{std::move(copy)});
+    }
+    if (!unacked_.empty() || !config_.reliable_links) arm_retransmit(ctx);
+  });
+}
+
+bool ReliableMulticast::handle(Context& ctx, NodeId from, const Message& msg) {
+  if (const auto* data = std::get_if<RmData>(&msg.payload)) {
+    on_data(ctx, from, *data);
+    return true;
+  }
+  if (const auto* ack = std::get_if<RmAck>(&msg.payload)) {
+    unacked_.erase(std::make_pair(from, ack->seq));
+    return true;
+  }
+  return false;
+}
+
+void ReliableMulticast::on_data(Context& ctx, NodeId from, const RmData& data) {
+  if (!config_.reliable_links) {
+    // Ack to whoever transmitted this copy (origin or a relay).
+    ctx.send(from, Message{RmAck{data.origin, data.seq}});
+  }
+
+  auto& origin = origins_[data.origin];
+  if (data.seq < origin.next_expected) return;  // duplicate
+  if (origin.holdback.contains(data.seq)) return;
+
+  origin.holdback.emplace(data.seq, data);
+
+  // Drain contiguous prefix in FIFO order.
+  while (true) {
+    auto it = origin.holdback.find(origin.next_expected);
+    if (it == origin.holdback.end()) break;
+    const RmData frame = std::move(it->second);
+    origin.holdback.erase(it);
+    ++origin.next_expected;
+
+    const bool should_relay =
+        config_.relay == RmConfig::Relay::kSelf && (!relay_pred_ || relay_pred_());
+    if (should_relay) relay(ctx, frame);
+    if (deliver_) deliver_(ctx, frame.origin, frame.inner);
+  }
+}
+
+void ReliableMulticast::relay(Context& ctx, const RmData& data) {
+  FC_ASSERT(data.dest_nodes.size() == data.dest_seqs.size());
+  for (std::size_t i = 0; i < data.dest_nodes.size(); ++i) {
+    const NodeId dest = data.dest_nodes[i];
+    if (dest == ctx.self()) continue;
+    RmData copy = data;
+    copy.seq = data.dest_seqs[i];
+    ctx.send(dest, Message{std::move(copy)});
+  }
+}
+
+std::size_t ReliableMulticast::holdback_size() const {
+  std::size_t total = 0;
+  for (const auto& [origin, state] : origins_) total += state.holdback.size();
+  return total;
+}
+
+}  // namespace fastcast

@@ -1,0 +1,25 @@
+#include "fastcast/sim/event_queue.hpp"
+
+#include "fastcast/common/assert.hpp"
+
+namespace fastcast::sim {
+
+void EventQueue::push(Time at, std::function<void()> fn) {
+  heap_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+Time EventQueue::next_time() const {
+  FC_ASSERT(!heap_.empty());
+  return heap_.top().at;
+}
+
+EventQueue::Event EventQueue::pop() {
+  FC_ASSERT(!heap_.empty());
+  // priority_queue::top() is const; the move is safe because we pop
+  // immediately after and never touch the moved-from element.
+  Event e = std::move(const_cast<Event&>(heap_.top()));
+  heap_.pop();
+  return e;
+}
+
+}  // namespace fastcast::sim

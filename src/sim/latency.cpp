@@ -1,0 +1,73 @@
+#include "fastcast/sim/latency.hpp"
+
+#include "fastcast/common/assert.hpp"
+
+namespace fastcast::sim {
+
+namespace {
+
+/// Applies relative normal jitter and clamps to a small positive floor.
+Duration jittered(Duration base, double jitter_frac, Rng& rng) {
+  if (jitter_frac <= 0.0) return base;
+  const double sampled =
+      rng.normal(static_cast<double>(base), jitter_frac * static_cast<double>(base));
+  const auto floor = static_cast<double>(base) * 0.1;
+  return static_cast<Duration>(sampled < floor ? floor : sampled);
+}
+
+}  // namespace
+
+ConstantLatency::ConstantLatency(Duration base, double jitter_frac)
+    : base_(base), jitter_frac_(jitter_frac) {
+  FC_ASSERT(base > 0);
+}
+
+Duration ConstantLatency::sample(NodeId, NodeId, Rng& rng) const {
+  return jittered(base_, jitter_frac_, rng);
+}
+
+Duration ConstantLatency::nominal(NodeId, NodeId) const { return base_; }
+
+RegionLatency::RegionLatency(const Membership* membership,
+                             std::vector<std::vector<Duration>> matrix,
+                             double jitter_frac)
+    : membership_(membership), matrix_(std::move(matrix)), jitter_frac_(jitter_frac) {
+  FC_ASSERT(membership_ != nullptr);
+  for (const auto& row : matrix_) FC_ASSERT(row.size() == matrix_.size());
+  for (std::size_t i = 0; i < matrix_.size(); ++i) {
+    for (std::size_t j = 0; j < matrix_.size(); ++j) {
+      FC_ASSERT_MSG(matrix_[i][j] == matrix_[j][i], "latency matrix must be symmetric");
+      FC_ASSERT(matrix_[i][j] > 0);
+    }
+  }
+}
+
+Duration RegionLatency::nominal(NodeId from, NodeId to) const {
+  const RegionId a = membership_->region_of(from);
+  const RegionId b = membership_->region_of(to);
+  FC_ASSERT(a < matrix_.size() && b < matrix_.size());
+  return matrix_[a][b];
+}
+
+Duration RegionLatency::sample(NodeId from, NodeId to, Rng& rng) const {
+  return jittered(nominal(from, to), jitter_frac_, rng);
+}
+
+std::unique_ptr<LatencyModel> make_paper_wan(const Membership* membership) {
+  const Duration intra = milliseconds_f(0.05);
+  const Duration r12 = milliseconds(35);  // 70 ms RTT
+  const Duration r23 = milliseconds(35);  // 70 ms RTT
+  const Duration r13 = milliseconds(72);  // 144 ms RTT
+  std::vector<std::vector<Duration>> m = {
+      {intra, r12, r13},
+      {r12, intra, r23},
+      {r13, r23, intra},
+  };
+  return std::make_unique<RegionLatency>(membership, std::move(m), 0.05);
+}
+
+std::unique_ptr<LatencyModel> make_paper_lan() {
+  return std::make_unique<ConstantLatency>(milliseconds_f(0.05), 0.05);
+}
+
+}  // namespace fastcast::sim

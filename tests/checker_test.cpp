@@ -1,0 +1,180 @@
+// Checker self-tests: it must accept correct histories and flag each
+// seeded violation class.
+
+#include <gtest/gtest.h>
+
+#include "fastcast/checker/checker.hpp"
+
+namespace fastcast {
+namespace {
+
+Membership two_groups() {
+  Membership m;
+  m.add_group(3, {0, 0, 0});  // nodes 0..2
+  m.add_group(3, {0, 0, 0});  // nodes 3..5
+  m.add_client(0);            // node 6
+  return m;
+}
+
+MulticastMessage msg(MsgId id, std::vector<GroupId> dst) {
+  MulticastMessage m;
+  m.id = id;
+  m.sender = 6;
+  m.dst = std::move(dst);
+  return m;
+}
+
+struct CheckerTest : testing::Test {
+  CheckerTest() : membership(two_groups()), checker(&membership) {}
+
+  void deliver_to_group(GroupId g, MsgId mid) {
+    for (NodeId n : membership.members(g)) checker.note_delivery(n, mid);
+  }
+
+  Membership membership;
+  Checker checker;
+};
+
+TEST_F(CheckerTest, AcceptsCorrectHistory) {
+  checker.note_multicast(msg(1, {0}));
+  checker.note_multicast(msg(2, {0, 1}));
+  deliver_to_group(0, 1);
+  deliver_to_group(0, 2);
+  deliver_to_group(1, 2);
+  const auto r = checker.check(/*quiesced=*/true);
+  EXPECT_TRUE(r.ok) << (r.violations.empty() ? "" : r.violations[0]);
+  EXPECT_EQ(r.multicast_count, 2u);
+  EXPECT_EQ(r.delivery_count, 9u);
+}
+
+TEST_F(CheckerTest, FlagsDuplicateDelivery) {
+  checker.note_multicast(msg(1, {0}));
+  deliver_to_group(0, 1);
+  checker.note_delivery(0, 1);  // node 0 delivers twice
+  const auto r = checker.check(false);
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.violations[0].find("integrity"), std::string::npos);
+}
+
+TEST_F(CheckerTest, FlagsDeliveryOfNeverMulticastMessage) {
+  checker.note_delivery(0, 99);
+  const auto r = checker.check(false);
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.violations[0].find("never-multicast"), std::string::npos);
+}
+
+TEST_F(CheckerTest, FlagsDeliveryOutsideDestination) {
+  checker.note_multicast(msg(1, {0}));
+  checker.note_delivery(3, 1);  // node 3 is in group 1, not addressed
+  const auto r = checker.check(false);
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.violations[0].find("not addressed"), std::string::npos);
+}
+
+TEST_F(CheckerTest, FlagsOrderCycleAcrossGroups) {
+  checker.note_multicast(msg(1, {0, 1}));
+  checker.note_multicast(msg(2, {0, 1}));
+  // Group 0 delivers 1 then 2; group 1 delivers 2 then 1.
+  for (NodeId n : membership.members(0)) {
+    checker.note_delivery(n, 1);
+    checker.note_delivery(n, 2);
+  }
+  for (NodeId n : membership.members(1)) {
+    checker.note_delivery(n, 2);
+    checker.note_delivery(n, 1);
+  }
+  const auto r = checker.check(false);
+  ASSERT_FALSE(r.ok);
+  bool found = false;
+  for (const auto& v : r.violations) {
+    if (v.find("cycle") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(CheckerTest, FlagsCrosswisePrefixViolation) {
+  checker.note_multicast(msg(1, {0, 1}));
+  checker.note_multicast(msg(2, {0, 1}));
+  // Node 0 delivered only 1; node 3 delivered only 2 — neither order can
+  // ever satisfy prefix order.
+  checker.note_delivery(0, 1);
+  checker.note_delivery(3, 2);
+  const auto r = checker.check(false, Checker::Level::kFull);
+  ASSERT_FALSE(r.ok);
+  bool found = false;
+  for (const auto& v : r.violations) {
+    if (v.find("prefix order") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(CheckerTest, CrosswiseCheckSkippedAtFastLevel) {
+  checker.note_multicast(msg(1, {0, 1}));
+  checker.note_multicast(msg(2, {0, 1}));
+  checker.note_delivery(0, 1);
+  checker.note_delivery(3, 2);
+  const auto r = checker.check(false, Checker::Level::kFast);
+  EXPECT_TRUE(r.ok);  // kFast deliberately skips the quadratic pass
+}
+
+TEST_F(CheckerTest, FlagsSameGroupDivergence) {
+  checker.note_multicast(msg(1, {0}));
+  checker.note_multicast(msg(2, {0}));
+  checker.note_delivery(0, 1);
+  checker.note_delivery(0, 2);
+  checker.note_delivery(1, 2);  // node 1 diverges from node 0
+  checker.note_delivery(1, 1);
+  const auto r = checker.check(false);
+  ASSERT_FALSE(r.ok);
+}
+
+TEST_F(CheckerTest, SameGroupPrefixAllowedWhileRunning) {
+  checker.note_multicast(msg(1, {0}));
+  checker.note_multicast(msg(2, {0}));
+  checker.note_delivery(0, 1);
+  checker.note_delivery(0, 2);
+  checker.note_delivery(1, 1);  // node 1 simply lags
+  EXPECT_TRUE(checker.check(/*quiesced=*/false).ok);
+  EXPECT_FALSE(checker.check(/*quiesced=*/true).ok);  // must catch up by then
+}
+
+TEST_F(CheckerTest, FlagsAgreementMissWhenQuiesced) {
+  checker.note_multicast(msg(1, {0, 1}));
+  deliver_to_group(0, 1);  // group 1 never delivers
+  const auto r = checker.check(true);
+  ASSERT_FALSE(r.ok);
+  bool found = false;
+  for (const auto& v : r.violations) {
+    if (v.find("agreement") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(CheckerTest, CrashedReplicaExcusedFromAgreement) {
+  checker.note_multicast(msg(1, {0}));
+  checker.note_delivery(0, 1);
+  checker.note_delivery(1, 1);
+  checker.note_crashed(2);  // node 2 crashed: it may miss the message
+  EXPECT_TRUE(checker.check(true).ok);
+}
+
+TEST_F(CheckerTest, FlagsValidityViolation) {
+  checker.note_multicast(msg(1, {0}));
+  const auto r = checker.check(true);
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.violations[0].find("validity"), std::string::npos);
+}
+
+TEST_F(CheckerTest, CrashedSenderExcusedFromValidity) {
+  checker.note_multicast(msg(1, {0}));
+  checker.note_crashed(6);  // the client
+  EXPECT_TRUE(checker.check(true).ok);
+}
+
+TEST_F(CheckerTest, ValidityNotCheckedWhileRunning) {
+  checker.note_multicast(msg(1, {0}));
+  EXPECT_TRUE(checker.check(false).ok);
+}
+
+}  // namespace
+}  // namespace fastcast

@@ -1,0 +1,223 @@
+// Unit tests for the common substrate: RNG, codec primitives, statistics.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "fastcast/common/codec.hpp"
+#include "fastcast/common/rng.hpp"
+#include "fastcast/common/stats.hpp"
+#include "fastcast/common/time.hpp"
+
+namespace fastcast {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a.next() == b.next();
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.uniform(17), 17u);
+}
+
+TEST(Rng, UniformCoversAllValues) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformRangeInclusive) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, UniformDoubleInUnitInterval) {
+  Rng rng(13);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform_double();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, NormalMomentsRoughlyCorrect) {
+  Rng rng(17);
+  const int n = 20000;
+  double sum = 0, sq = 0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal(10.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.1);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(19);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(21);
+  Rng child = parent.fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += parent.next() == child.next();
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Time, Conversions) {
+  EXPECT_EQ(milliseconds(1), 1000 * microseconds(1));
+  EXPECT_EQ(seconds(1), 1000 * milliseconds(1));
+  EXPECT_EQ(milliseconds_f(0.5), microseconds(500));
+  EXPECT_DOUBLE_EQ(to_milliseconds(milliseconds(70)), 70.0);
+  EXPECT_DOUBLE_EQ(to_seconds(seconds(3)), 3.0);
+}
+
+TEST(Codec, FixedWidthRoundTrip) {
+  Writer w;
+  w.u8(0xab);
+  w.u16(0x1234);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  w.i64(-42);
+  w.f64(3.25);
+  Reader r(w.data());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.25);
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Codec, VarintBoundaries) {
+  for (std::uint64_t v : {0ULL, 1ULL, 127ULL, 128ULL, 16383ULL, 16384ULL,
+                          0xffffffffULL, ~0ULL}) {
+    Writer w;
+    w.varint(v);
+    Reader r(w.data());
+    EXPECT_EQ(r.varint(), v);
+    EXPECT_TRUE(r.ok());
+  }
+}
+
+TEST(Codec, StringsAndBytes) {
+  Writer w;
+  w.str("hello");
+  w.str("");
+  w.bytes(to_bytes(std::string_view("\x00\x01\x02", 3)));
+  Reader r(w.data());
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(r.str(), "");
+  EXPECT_EQ(r.bytes().size(), 3u);
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(Codec, ReaderFailsOnTruncation) {
+  Writer w;
+  w.u64(42);
+  auto data = w.take();
+  data.resize(4);
+  Reader r(data);
+  (void)r.u64();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Codec, ReaderFailsOnOversizedVarint) {
+  std::vector<std::byte> bad(11, std::byte{0xff});
+  Reader r(bad);
+  (void)r.varint();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Codec, ReaderFailsOnBogusLengthPrefix) {
+  Writer w;
+  w.varint(1u << 20);  // claims a megabyte follows
+  Reader r(w.data());
+  (void)r.str();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Stats, PercentilesExact) {
+  LatencyRecorder rec;
+  for (int i = 100; i >= 1; --i) rec.add(milliseconds(i));
+  EXPECT_EQ(rec.count(), 100u);
+  EXPECT_EQ(rec.median(), milliseconds(50));
+  EXPECT_EQ(rec.percentile(95), milliseconds(95));
+  EXPECT_EQ(rec.percentile(100), milliseconds(100));
+  EXPECT_EQ(rec.min(), milliseconds(1));
+  EXPECT_EQ(rec.max(), milliseconds(100));
+}
+
+TEST(Stats, EmptyRecorderIsSafe) {
+  LatencyRecorder rec;
+  EXPECT_EQ(rec.median(), 0);
+  EXPECT_EQ(rec.mean(), 0.0);
+  EXPECT_EQ(rec.stddev(), 0.0);
+}
+
+TEST(Stats, MeanAndStddev) {
+  LatencyRecorder rec;
+  rec.add(2);
+  rec.add(4);
+  rec.add(4);
+  rec.add(4);
+  rec.add(5);
+  rec.add(5);
+  rec.add(7);
+  rec.add(9);
+  EXPECT_DOUBLE_EQ(rec.mean(), 5.0);
+  EXPECT_NEAR(rec.stddev(), 2.138, 0.001);
+}
+
+TEST(Stats, ThroughputSummary) {
+  const std::vector<std::uint64_t> slices = {100, 110, 90, 100, 100};
+  const auto s = summarize_throughput(slices, milliseconds(100));
+  EXPECT_EQ(s.total, 500u);
+  EXPECT_NEAR(s.mean_per_sec, 1000.0, 1e-6);
+  EXPECT_GT(s.ci95_per_sec, 0.0);
+  EXPECT_LT(s.ci95_per_sec, 100.0);
+}
+
+TEST(Stats, ThroughputEmpty) {
+  const auto s = summarize_throughput({}, milliseconds(100));
+  EXPECT_EQ(s.total, 0u);
+  EXPECT_EQ(s.mean_per_sec, 0.0);
+}
+
+TEST(Stats, FormatMs) {
+  EXPECT_EQ(format_ms(microseconds(691)), "0.691");
+  EXPECT_EQ(format_ms(milliseconds(84)), "84.00");
+  EXPECT_EQ(format_ms(milliseconds(163)), "163.0");
+}
+
+}  // namespace
+}  // namespace fastcast

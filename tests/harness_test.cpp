@@ -1,0 +1,177 @@
+// Harness unit tests: metrics windows, destination pickers, topology
+// builders, table rendering.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fastcast/harness/experiment.hpp"
+#include "fastcast/harness/table.hpp"
+
+namespace fastcast::harness {
+namespace {
+
+TEST(Metrics, WindowFiltersCompletions) {
+  Metrics m;
+  m.open_window(milliseconds(100), milliseconds(200), milliseconds(10));
+  m.note_completion(milliseconds(40), milliseconds(50));    // before window
+  m.note_completion(milliseconds(140), milliseconds(150));  // inside
+  m.note_completion(milliseconds(190), milliseconds(210));  // completes after
+  EXPECT_EQ(m.latency().count(), 1u);
+  EXPECT_EQ(m.latency().median(), milliseconds(10));
+  EXPECT_EQ(m.completions_total(), 3u);
+}
+
+TEST(Metrics, SliceCountsFeedThroughput) {
+  Metrics m;
+  m.open_window(0, seconds(1), milliseconds(100));
+  for (int i = 0; i < 10; ++i) {
+    for (int j = 0; j < 5; ++j) {
+      const Time t = milliseconds(100) * i + milliseconds(10) * (j + 1);
+      m.note_completion(t - milliseconds(5), t);
+    }
+  }
+  const auto tput = m.throughput();
+  EXPECT_EQ(tput.total, 50u);
+  EXPECT_NEAR(tput.mean_per_sec, 50.0, 1e-6);
+  EXPECT_NEAR(tput.ci95_per_sec, 0.0, 1e-9);  // perfectly even slices
+}
+
+TEST(Metrics, ClosedWindowIgnoresCompletions) {
+  Metrics m;
+  m.open_window(0, seconds(1), milliseconds(100));
+  m.close_window();
+  m.note_completion(0, milliseconds(10));
+  EXPECT_EQ(m.latency().count(), 0u);
+}
+
+TEST(DstPickers, FixedGroup) {
+  Rng rng(1);
+  auto p = fixed_group(3);
+  EXPECT_EQ(p(rng), (std::vector<GroupId>{3}));
+}
+
+TEST(DstPickers, AllGroups) {
+  Rng rng(1);
+  auto p = all_groups(4);
+  EXPECT_EQ(p(rng), (std::vector<GroupId>{0, 1, 2, 3}));
+}
+
+TEST(DstPickers, RandomSubsetIsSortedUniqueAndSizedK) {
+  Rng rng(5);
+  auto p = random_subset(16, 5);
+  std::set<std::vector<GroupId>> distinct;
+  for (int i = 0; i < 200; ++i) {
+    const auto dst = p(rng);
+    ASSERT_EQ(dst.size(), 5u);
+    for (std::size_t j = 1; j < dst.size(); ++j) ASSERT_LT(dst[j - 1], dst[j]);
+    for (GroupId g : dst) ASSERT_LT(g, 16u);
+    distinct.insert(dst);
+  }
+  EXPECT_GT(distinct.size(), 50u);  // actually random
+}
+
+TEST(DstPickers, RandomSubsetFullSize) {
+  Rng rng(5);
+  auto p = random_subset(4, 4);
+  EXPECT_EQ(p(rng), (std::vector<GroupId>{0, 1, 2, 3}));
+}
+
+TEST(Topology, LanPlacesEverythingInOneRegion) {
+  TopologyConfig cfg;
+  cfg.env = Environment::kLan;
+  cfg.groups = 2;
+  cfg.clients = 3;
+  const auto d = build_deployment(cfg);
+  for (NodeId n : d.membership.all_nodes()) {
+    EXPECT_EQ(d.membership.region_of(n), 0u);
+  }
+  EXPECT_EQ(d.ordering_group, kNoGroup);
+  EXPECT_EQ(d.clients.size(), 3u);
+}
+
+TEST(Topology, WanSpreadsReplicasAcrossRegionsPerFig2) {
+  TopologyConfig cfg;
+  cfg.env = Environment::kEmulatedWan;
+  cfg.groups = 16;
+  cfg.clients = 6;
+  const auto d = build_deployment(cfg);
+  for (GroupId g = 0; g < 16; ++g) {
+    const auto& members = d.membership.members(g);
+    ASSERT_EQ(members.size(), 3u);
+    EXPECT_EQ(d.membership.region_of(members[0]), 0u);  // leader in R1
+    EXPECT_EQ(d.membership.region_of(members[1]), 1u);
+    EXPECT_EQ(d.membership.region_of(members[2]), 2u);
+  }
+  // Clients round-robin over regions; the first is co-located with leaders.
+  EXPECT_EQ(d.membership.region_of(d.clients[0]), 0u);
+  EXPECT_EQ(d.membership.region_of(d.clients[1]), 1u);
+  EXPECT_EQ(d.membership.region_of(d.clients[2]), 2u);
+}
+
+TEST(Topology, MultiPaxosGetsDedicatedOrderingGroup) {
+  TopologyConfig cfg;
+  cfg.protocol = Protocol::kMultiPaxos;
+  cfg.groups = 4;
+  const auto d = build_deployment(cfg);
+  EXPECT_EQ(d.ordering_group, 4u);
+  EXPECT_EQ(d.membership.group_count(), 5u);
+}
+
+TEST(Topology, CpuPresetsOrdering) {
+  EXPECT_GT(cpu_for(Environment::kLan).per_message,
+            cpu_for(Environment::kRealWan).per_message);
+  EXPECT_EQ(cpu_for(Environment::kLan).per_message,
+            cpu_for(Environment::kEmulatedWan).per_message);
+}
+
+TEST(Table, RendersAlignedColumnsAndNote) {
+  Table t("Latency", {"protocol", "ms"});
+  t.add_row({"FastCast", "84.0"});
+  t.add_row({"BaseCast", "163.0"});
+  const std::string s = t.to_string("median over 3 runs");
+  EXPECT_NE(s.find("== Latency"), std::string::npos);
+  EXPECT_NE(s.find("protocol"), std::string::npos);
+  EXPECT_NE(s.find("FastCast"), std::string::npos);
+  EXPECT_NE(s.find("note: median over 3 runs"), std::string::npos);
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_count(1234567.0), "1,234,567");
+  EXPECT_EQ(fmt_count(999.0), "999");
+}
+
+TEST(Experiment, ReportsPathStatsOnlyForFastCast) {
+  ExperimentConfig cfg;
+  cfg.topo.groups = 2;
+  cfg.topo.clients = 1;
+  cfg.topo.protocol = Protocol::kBaseCast;
+  cfg.dst_factory = same_dst_for_all(all_groups(2));
+  cfg.warmup = milliseconds(10);
+  cfg.measure = milliseconds(50);
+  const auto r = run_experiment(cfg);
+  EXPECT_EQ(r.fast_path_hits, 0u);
+  EXPECT_EQ(r.slow_path_hits, 0u);
+}
+
+TEST(Experiment, DeterministicForFixedSeed) {
+  auto run = [](std::uint64_t seed) {
+    ExperimentConfig cfg;
+    cfg.topo.groups = 2;
+    cfg.topo.clients = 4;
+    cfg.topo.protocol = Protocol::kFastCast;
+    cfg.dst_factory = same_dst_for_all(random_subset(2, 2));
+    cfg.warmup = milliseconds(10);
+    cfg.measure = milliseconds(100);
+    cfg.seed = seed;
+    const auto r = run_experiment(cfg);
+    return std::make_tuple(r.latency.count(), r.latency.median(),
+                           r.report.delivery_count, r.messages_sent);
+  };
+  EXPECT_EQ(run(11), run(11));
+  EXPECT_NE(run(11), run(12));  // some field differs under different jitter
+}
+
+}  // namespace
+}  // namespace fastcast::harness

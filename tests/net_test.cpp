@@ -1,0 +1,174 @@
+// TCP transport tests: framing, loopback transport, and a real-socket
+// cluster running the exact FastCast protocol objects the simulator runs.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#include "fastcast/amcast/client_stub.hpp"
+#include "fastcast/amcast/fastcast.hpp"
+#include "fastcast/amcast/node.hpp"
+#include "fastcast/checker/checker.hpp"
+#include "fastcast/net/tcp_cluster.hpp"
+
+namespace fastcast::net {
+namespace {
+
+TEST(FrameParser, RoundTripsSingleFrame) {
+  const Message msg{AmAck{make_msg_id(1, 2), 3, 4}};
+  const auto frame = frame_message(msg);
+  FrameParser parser;
+  parser.feed(frame.data(), frame.size());
+  const auto out = parser.next();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(std::get<AmAck>(out->payload).mid, make_msg_id(1, 2));
+  EXPECT_FALSE(parser.next().has_value());
+}
+
+TEST(FrameParser, HandlesBytewiseDelivery) {
+  const Message msg{RmAck{7, 8}};
+  const auto frame = frame_message(msg);
+  FrameParser parser;
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    EXPECT_FALSE(parser.next().has_value());
+    parser.feed(&frame[i], 1);
+  }
+  ASSERT_TRUE(parser.next().has_value());
+}
+
+TEST(FrameParser, HandlesCoalescedFrames) {
+  std::vector<std::byte> stream;
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    const auto f = frame_message(Message{RmAck{1, i}});
+    stream.insert(stream.end(), f.begin(), f.end());
+  }
+  FrameParser parser;
+  parser.feed(stream.data(), stream.size());
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    const auto out = parser.next();
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(std::get<RmAck>(out->payload).seq, i);
+  }
+  EXPECT_FALSE(parser.next().has_value());
+}
+
+TEST(FrameParser, FlagsOversizedFrame) {
+  std::vector<std::byte> bad(4);
+  const std::uint32_t huge = kMaxFrameBytes + 1;
+  std::memcpy(bad.data(), &huge, 4);
+  FrameParser parser;
+  parser.feed(bad.data(), bad.size());
+  EXPECT_FALSE(parser.next().has_value());
+  EXPECT_TRUE(parser.corrupted());
+}
+
+TEST(FrameParser, FlagsUndecodableBody) {
+  std::vector<std::byte> frame(4 + 3);
+  const std::uint32_t len = 3;
+  std::memcpy(frame.data(), &len, 4);
+  frame[4] = std::byte{255};  // unknown tag
+  FrameParser parser;
+  parser.feed(frame.data(), frame.size());
+  EXPECT_FALSE(parser.next().has_value());
+  EXPECT_TRUE(parser.corrupted());
+}
+
+/// End-to-end: two groups of three over real sockets, FastCast, one client
+/// sending global messages; checker verifies the resulting history.
+TEST(TcpCluster, RunsFastCastOverRealSockets) {
+  Membership membership;
+  membership.add_group(3, {0, 0, 0});
+  membership.add_group(3, {0, 0, 0});
+  const NodeId client_node = membership.add_client(0);
+
+  TcpCluster::Config cfg;
+  cfg.membership = membership;
+  cfg.base_port = static_cast<std::uint16_t>(21000 + (::getpid() % 2000));
+  TcpCluster cluster(std::move(cfg));
+
+  std::mutex mu;
+  Checker checker(&membership);
+  std::atomic<int> completions{0};
+
+  // Replicas: plain FastCast over the group's consensus.
+  for (NodeId n : membership.all_replicas()) {
+    const GroupId g = membership.group_of(n);
+    TimestampProtocolBase::Config pc;
+    pc.group = g;
+    pc.consensus.group = g;
+    pc.consensus.members = membership.members(g);
+    auto node = std::make_shared<ReplicaNode>(std::make_shared<FastCast>(pc, n));
+    node->add_observer([&mu, &checker](Context& ctx, const MulticastMessage& m) {
+      std::lock_guard<std::mutex> lock(mu);
+      checker.note_delivery(ctx.self(), m.id);
+    });
+    cluster.add_process(n, node);
+  }
+
+  // Closed-loop client: 20 global messages, completing on the first ack.
+  class TestClient : public Process {
+   public:
+    TestClient(std::mutex* mu, Checker* checker, std::atomic<int>* completions)
+        : mu_(mu), checker_(checker), completions_(completions) {}
+    void on_start(Context& ctx) override {
+      stub_.on_start(ctx);
+      send_next(ctx);
+    }
+    void on_message(Context& ctx, NodeId from, const Message& msg) override {
+      if (const auto* ack = std::get_if<AmAck>(&msg.payload)) {
+        if (ack->mid == outstanding_) {
+          completions_->fetch_add(1);
+          outstanding_ = 0;
+          if (next_seq_ < 20) send_next(ctx);
+        }
+        return;
+      }
+      stub_.handle(ctx, from, msg);
+    }
+
+   private:
+    void send_next(Context& ctx) {
+      MulticastMessage m;
+      m.id = make_msg_id(ctx.self(), next_seq_++);
+      m.sender = ctx.self();
+      m.dst = {0, 1};
+      m.payload = "post";
+      outstanding_ = m.id;
+      {
+        std::lock_guard<std::mutex> lock(*mu_);
+        checker_->note_multicast(m);
+      }
+      stub_.amulticast(ctx, m);
+    }
+    GenuineClientStub stub_;
+    std::mutex* mu_;
+    Checker* checker_;
+    std::atomic<int>* completions_;
+    std::uint32_t next_seq_ = 0;
+    MsgId outstanding_ = 0;
+  };
+  cluster.add_process(client_node,
+                      std::make_shared<TestClient>(&mu, &checker, &completions));
+
+  cluster.start();
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (completions.load() < 20 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  // Give stragglers (other replicas' deliveries) a moment, then stop.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  cluster.stop();
+
+  EXPECT_EQ(completions.load(), 20);
+  std::lock_guard<std::mutex> lock(mu);
+  const auto report = checker.check(/*quiesced=*/true, Checker::Level::kFull);
+  EXPECT_TRUE(report.ok) << (report.violations.empty() ? ""
+                                                       : report.violations[0]);
+  EXPECT_EQ(report.delivery_count, 20u * 6u);
+}
+
+}  // namespace
+}  // namespace fastcast::net

@@ -1,0 +1,261 @@
+// Discrete-event simulator tests: event ordering, latency models, CPU
+// queueing, fault injection, determinism.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fastcast/sim/event_queue.hpp"
+#include "fastcast/sim/simulator.hpp"
+
+namespace fastcast::sim {
+namespace {
+
+TEST(EventQueue, OrdersByTime) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(30, [&] { order.push_back(3); });
+  q.push(10, [&] { order.push_back(1); });
+  q.push(20, [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakInInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.push(5, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().fn();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, NextTime) {
+  EventQueue q;
+  q.push(42, [] {});
+  EXPECT_EQ(q.next_time(), 42);
+}
+
+TEST(Latency, ConstantNominal) {
+  ConstantLatency lat(milliseconds(5));
+  Rng rng(1);
+  EXPECT_EQ(lat.nominal(0, 1), milliseconds(5));
+  EXPECT_EQ(lat.sample(0, 1, rng), milliseconds(5));  // no jitter configured
+}
+
+TEST(Latency, JitterStaysPositiveAndCentered) {
+  ConstantLatency lat(milliseconds(10), 0.05);
+  Rng rng(2);
+  double sum = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const Duration d = lat.sample(0, 1, rng);
+    ASSERT_GT(d, 0);
+    sum += static_cast<double>(d);
+  }
+  EXPECT_NEAR(sum / 5000, static_cast<double>(milliseconds(10)),
+              static_cast<double>(milliseconds(10)) * 0.01);
+}
+
+Membership wan_membership() {
+  Membership m;
+  m.add_group(3, {0, 1, 2});
+  m.add_group(3, {0, 1, 2});
+  m.add_client(0);
+  return m;
+}
+
+TEST(Latency, PaperWanMatrix) {
+  const Membership m = wan_membership();
+  auto lat = make_paper_wan(&m);
+  // Nodes 0,3 in R1; 1,4 in R2; 2,5 in R3.
+  EXPECT_EQ(lat->nominal(0, 3), milliseconds_f(0.05));  // intra-region
+  EXPECT_EQ(lat->nominal(0, 1), milliseconds(35));      // R1-R2
+  EXPECT_EQ(lat->nominal(1, 2), milliseconds(35));      // R2-R3
+  EXPECT_EQ(lat->nominal(0, 2), milliseconds(72));      // R1-R3
+  EXPECT_EQ(lat->nominal(2, 0), milliseconds(72));      // symmetric
+}
+
+/// Minimal ping/pong processes for simulator behaviour tests.
+class Recorder : public Process {
+ public:
+  void on_message(Context& ctx, NodeId from, const Message& msg) override {
+    received.push_back({ctx.now(), from});
+    if (reply_to != kInvalidNode) ctx.send(reply_to, msg);
+  }
+  struct Event {
+    Time at;
+    NodeId from;
+  };
+  std::vector<Event> received;
+  NodeId reply_to = kInvalidNode;
+};
+
+class Starter : public Process {
+ public:
+  explicit Starter(std::function<void(Context&)> fn) : fn_(std::move(fn)) {}
+  void on_start(Context& ctx) override { fn_(ctx); }
+  void on_message(Context&, NodeId, const Message&) override {}
+
+ private:
+  std::function<void(Context&)> fn_;
+};
+
+Membership two_nodes() {
+  Membership m;
+  m.add_group(1, {0});
+  m.add_group(1, {0});
+  return m;
+}
+
+TEST(Simulator, DeliversWithLatency) {
+  SimConfig cfg;
+  Simulator sim(two_nodes(), std::make_unique<ConstantLatency>(milliseconds(3)), cfg);
+  auto rec = std::make_shared<Recorder>();
+  sim.add_process(0, std::make_shared<Starter>([](Context& ctx) {
+    ctx.send(1, Message{RmAck{0, 1}});
+  }));
+  sim.add_process(1, rec);
+  sim.start();
+  sim.run_to_idle();
+  ASSERT_EQ(rec->received.size(), 1u);
+  EXPECT_EQ(rec->received[0].at, milliseconds(3));
+  EXPECT_EQ(rec->received[0].from, 0u);
+}
+
+TEST(Simulator, TimersFireAndCancel) {
+  SimConfig cfg;
+  Simulator sim(two_nodes(), std::make_unique<ConstantLatency>(1), cfg);
+  std::vector<int> fired;
+  sim.add_process(0, std::make_shared<Starter>([&fired](Context& ctx) {
+    ctx.set_timer(milliseconds(5), [&fired] { fired.push_back(1); });
+    const TimerId cancelled =
+        ctx.set_timer(milliseconds(6), [&fired] { fired.push_back(2); });
+    ctx.set_timer(milliseconds(7), [&fired] { fired.push_back(3); });
+    ctx.cancel_timer(cancelled);
+  }));
+  sim.add_process(1, std::make_shared<Recorder>());
+  sim.start();
+  sim.run_to_idle();
+  EXPECT_EQ(fired, (std::vector<int>{1, 3}));
+}
+
+TEST(Simulator, CpuCostSerializesArrivals) {
+  SimConfig cfg;
+  cfg.cpu = CpuModel{milliseconds(2), 0};
+  Simulator sim(two_nodes(), std::make_unique<ConstantLatency>(milliseconds(1)), cfg);
+  auto rec = std::make_shared<Recorder>();
+  sim.add_process(0, std::make_shared<Starter>([](Context& ctx) {
+    for (int i = 0; i < 3; ++i) ctx.send(1, Message{RmAck{0, 1}});
+  }));
+  sim.add_process(1, rec);
+  sim.start();
+  sim.run_to_idle();
+  ASSERT_EQ(rec->received.size(), 3u);
+  // First arrival processed at t≈3ms (send departs at 2ms CPU end + 1ms
+  // latency); the second waits for the 2ms handler, the third for two.
+  EXPECT_EQ(rec->received[0].at, milliseconds(3));
+  EXPECT_EQ(rec->received[1].at, milliseconds(5));
+  EXPECT_EQ(rec->received[2].at, milliseconds(7));
+}
+
+TEST(Simulator, CrashStopsDelivery) {
+  SimConfig cfg;
+  Simulator sim(two_nodes(), std::make_unique<ConstantLatency>(milliseconds(5)), cfg);
+  auto rec = std::make_shared<Recorder>();
+  sim.add_process(0, std::make_shared<Starter>([](Context& ctx) {
+    ctx.send(1, Message{RmAck{0, 1}});
+  }));
+  sim.add_process(1, rec);
+  sim.schedule_crash(1, milliseconds(2));
+  sim.start();
+  sim.run_to_idle();
+  EXPECT_TRUE(sim.is_crashed(1));
+  EXPECT_TRUE(rec->received.empty());
+}
+
+TEST(Simulator, DropProbabilityDropsRoughlyThatFraction) {
+  SimConfig cfg;
+  cfg.drop_probability = 0.3;
+  Simulator sim(two_nodes(), std::make_unique<ConstantLatency>(1), cfg);
+  auto rec = std::make_shared<Recorder>();
+  sim.add_process(0, std::make_shared<Starter>([](Context& ctx) {
+    for (int i = 0; i < 2000; ++i) ctx.send(1, Message{RmAck{0, 1}});
+  }));
+  sim.add_process(1, rec);
+  sim.start();
+  sim.run_to_idle();
+  EXPECT_NEAR(static_cast<double>(rec->received.size()), 1400.0, 100.0);
+  EXPECT_EQ(sim.messages_dropped() + rec->received.size(), 2000u);
+}
+
+TEST(Simulator, LinkFilterImplementsPartition) {
+  SimConfig cfg;
+  Simulator sim(two_nodes(), std::make_unique<ConstantLatency>(1), cfg);
+  auto rec = std::make_shared<Recorder>();
+  sim.add_process(0, std::make_shared<Starter>([](Context& ctx) {
+    ctx.send(1, Message{RmAck{0, 1}});
+    ctx.set_timer(milliseconds(10), [&ctx] { ctx.send(1, Message{RmAck{0, 2}}); });
+  }));
+  sim.add_process(1, rec);
+  sim.set_link_filter([](NodeId, NodeId, Time at) { return at >= milliseconds(5); });
+  sim.start();
+  sim.run_to_idle();
+  ASSERT_EQ(rec->received.size(), 1u);  // only the post-heal message
+}
+
+TEST(Simulator, SerializeMessagesModeRoundTripsEverySend) {
+  SimConfig cfg;
+  cfg.serialize_messages = true;
+  Simulator sim(two_nodes(), std::make_unique<ConstantLatency>(1), cfg);
+  auto rec = std::make_shared<Recorder>();
+  sim.add_process(0, std::make_shared<Starter>([](Context& ctx) {
+    MulticastMessage m;
+    m.id = make_msg_id(0, 1);
+    m.sender = 0;
+    m.dst = {0, 1};
+    m.payload = "hello";
+    ctx.send(1, Message{MpSubmit{m}});
+  }));
+  sim.add_process(1, rec);
+  sim.start();
+  sim.run_to_idle();
+  EXPECT_EQ(rec->received.size(), 1u);
+}
+
+TEST(Simulator, DeterministicAcrossRuns) {
+  auto run = [](std::uint64_t seed) {
+    SimConfig cfg;
+    cfg.seed = seed;
+    cfg.drop_probability = 0.1;
+    Simulator sim(two_nodes(),
+                  std::make_unique<ConstantLatency>(milliseconds(1), 0.05), cfg);
+    auto rec = std::make_shared<Recorder>();
+    sim.add_process(0, std::make_shared<Starter>([](Context& ctx) {
+      for (std::uint64_t i = 0; i < 500; ++i) ctx.send(1, Message{RmAck{0, i}});
+    }));
+    sim.add_process(1, rec);
+    sim.start();
+    sim.run_to_idle();
+    Time last = rec->received.empty() ? 0 : rec->received.back().at;
+    return std::make_tuple(rec->received.size(), last, sim.messages_dropped());
+  };
+  const auto a = run(77);
+  const auto b = run(77);
+  EXPECT_EQ(a, b);
+  const auto c = run(78);
+  EXPECT_NE(std::get<1>(a), std::get<1>(c));  // different seed, different jitter
+}
+
+TEST(Simulator, RunUntilAdvancesClockWithoutEvents) {
+  SimConfig cfg;
+  Simulator sim(two_nodes(), std::make_unique<ConstantLatency>(1), cfg);
+  sim.add_process(0, std::make_shared<Recorder>());
+  sim.add_process(1, std::make_shared<Recorder>());
+  sim.start();
+  sim.run_until(seconds(3));
+  EXPECT_EQ(sim.now(), seconds(3));
+}
+
+}  // namespace
+}  // namespace fastcast::sim

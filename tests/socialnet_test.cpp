@@ -1,0 +1,211 @@
+// Social network benchmark substrate: graph generation, partitioning
+// (METIS stand-in), the paper's spread distribution, the service and the
+// replicated timeline state machine.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "fastcast/app/socialnet/partitioner.hpp"
+#include "fastcast/app/socialnet/service.hpp"
+
+namespace fastcast::app {
+namespace {
+
+TEST(SocialGraph, GeneratesRequestedUserCount) {
+  SocialGraphConfig cfg;
+  cfg.users = 2000;
+  const auto g = generate_social_graph(cfg);
+  EXPECT_EQ(g.user_count, 2000u);
+  EXPECT_EQ(g.followers.size(), 2000u);
+  EXPECT_GT(g.edge_count(), 2000u);
+}
+
+TEST(SocialGraph, FollowersAndFollowingAreInverse) {
+  SocialGraphConfig cfg;
+  cfg.users = 500;
+  const auto g = generate_social_graph(cfg);
+  std::size_t follows = 0;
+  for (UserId u = 0; u < 500; ++u) {
+    follows += g.following[u].size();
+    for (UserId target : g.following[u]) {
+      const auto& f = g.followers[target];
+      EXPECT_NE(std::find(f.begin(), f.end(), u), f.end());
+    }
+  }
+  EXPECT_EQ(follows, g.edge_count());
+}
+
+TEST(SocialGraph, DegreeDistributionIsSkewed) {
+  SocialGraphConfig cfg;
+  cfg.users = 3000;
+  const auto g = generate_social_graph(cfg);
+  std::size_t max_deg = 0, total = 0;
+  for (const auto& f : g.followers) {
+    max_deg = std::max(max_deg, f.size());
+    total += f.size();
+  }
+  const double mean = static_cast<double>(total) / 3000.0;
+  EXPECT_GT(static_cast<double>(max_deg), 5.0 * mean) << "no celebrity users";
+}
+
+TEST(SocialGraph, DeterministicPerSeed) {
+  SocialGraphConfig cfg;
+  cfg.users = 300;
+  const auto a = generate_social_graph(cfg);
+  const auto b = generate_social_graph(cfg);
+  EXPECT_EQ(a.followers, b.followers);
+}
+
+TEST(Partitioner, BalancesWithinSlack) {
+  SocialGraphConfig gcfg;
+  gcfg.users = 4000;
+  const auto g = generate_social_graph(gcfg);
+  PartitionerConfig pcfg;
+  pcfg.partitions = 8;
+  const auto r = partition_graph(g, pcfg);
+  const std::size_t ideal = 4000 / 8;
+  for (std::size_t size : r.sizes) {
+    EXPECT_LE(size, static_cast<std::size_t>(ideal * 1.06) + 1);
+  }
+  EXPECT_EQ(std::accumulate(r.sizes.begin(), r.sizes.end(), std::size_t{0}), 4000u);
+}
+
+TEST(Partitioner, CutsFarFewerEdgesThanRandomAssignment) {
+  SocialGraphConfig gcfg;
+  gcfg.users = 4000;
+  const auto g = generate_social_graph(gcfg);
+  PartitionerConfig pcfg;
+  pcfg.partitions = 8;
+  const auto r = partition_graph(g, pcfg);
+  // Random assignment cuts ~ (1 - 1/8) ≈ 87.5% of edges; the community
+  // structure lets the greedy partitioner do far better.
+  const double cut_frac =
+      static_cast<double>(r.cut_edges) / static_cast<double>(g.edge_count());
+  EXPECT_LT(cut_frac, 0.5);
+}
+
+TEST(Partitioner, SpreadHistogramMostlyLocal) {
+  SocialGraphConfig gcfg;
+  gcfg.users = 4000;
+  gcfg.communities = 8;
+  const auto g = generate_social_graph(gcfg);
+  PartitionerConfig pcfg;
+  pcfg.partitions = 8;
+  const auto r = partition_graph(g, pcfg);
+  const auto hist = spread_histogram(g, r.partition_of, 8);
+  EXPECT_EQ(std::accumulate(hist.begin(), hist.end(), std::size_t{0}), 4000u);
+  // The paper's qualitative shape: a strong majority of users span very
+  // few partitions.
+  EXPECT_GT(hist[0] + hist[1], 4000u * 6 / 10);
+}
+
+TEST(PaperSpreadGraph, MatchesReportedDistribution) {
+  const auto pg = generate_paper_spread_graph(10000, 16, 1);
+  const auto hist = spread_histogram(pg.graph, pg.partition_of, 16);
+  // Paper (§5.3): 7110 span 1, 2474 span 2, 376 span 3, 40 span 4-5.
+  EXPECT_NEAR(static_cast<double>(hist[0]), 7110.0, 200.0);
+  EXPECT_NEAR(static_cast<double>(hist[1]), 2474.0, 150.0);
+  EXPECT_NEAR(static_cast<double>(hist[2]), 376.0, 80.0);
+  EXPECT_NEAR(static_cast<double>(hist[3] + hist[4]), 40.0, 30.0);
+  for (std::size_t k = 5; k < 16; ++k) EXPECT_EQ(hist[k], 0u);
+}
+
+TEST(PaperSpreadGraph, PartitionsBalanced) {
+  const auto pg = generate_paper_spread_graph(10000, 16, 2);
+  std::vector<std::size_t> sizes(16, 0);
+  for (auto p : pg.partition_of) ++sizes[p];
+  for (std::size_t s : sizes) EXPECT_EQ(s, 625u);
+}
+
+std::shared_ptr<SocialNetworkService> small_service() {
+  auto pg = generate_paper_spread_graph(1000, 4, 3);
+  return std::make_shared<SocialNetworkService>(std::move(pg.graph),
+                                                std::move(pg.partition_of), 4);
+}
+
+TEST(Service, PostDestinationsIncludeHomeAndFollowerGroups) {
+  auto svc = small_service();
+  for (UserId u = 0; u < 1000; ++u) {
+    const auto& dst = svc->post_destinations(u);
+    ASSERT_FALSE(dst.empty());
+    // Sorted, unique, contains the home partition.
+    for (std::size_t i = 1; i < dst.size(); ++i) ASSERT_LT(dst[i - 1], dst[i]);
+    EXPECT_NE(std::find(dst.begin(), dst.end(), svc->partition_of(u)), dst.end());
+    for (UserId f : svc->graph().followers[u]) {
+      EXPECT_NE(std::find(dst.begin(), dst.end(), svc->partition_of(f)), dst.end());
+    }
+  }
+}
+
+TEST(Service, PostPayloadRoundTrip) {
+  const std::string payload = SocialNetworkService::encode_post(1234, 567);
+  UserId user = 0;
+  std::uint64_t seq = 0;
+  ASSERT_TRUE(SocialNetworkService::decode_post(payload, user, seq));
+  EXPECT_EQ(user, 1234u);
+  EXPECT_EQ(seq, 567u);
+}
+
+TEST(Service, DstPickersProduceValidDestinations) {
+  auto svc = small_service();
+  Rng rng(4);
+  auto picker = social_post_picker(svc);
+  for (int i = 0; i < 200; ++i) {
+    const auto dst = picker(rng);
+    ASSERT_FALSE(dst.empty());
+    for (GroupId g : dst) ASSERT_LT(g, 4u);
+  }
+  auto span2 = social_post_picker_with_span(svc, 2);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(span2(rng).size(), 2u);
+}
+
+TEST(TimelineState, RepeatableAndOrderSensitive) {
+  auto svc = small_service();
+  TimelineState a(svc), b(svc), c(svc);
+  // Find a user with at least one follower in partition 0.
+  UserId poster = 0;
+  for (UserId u = 0; u < 1000; ++u) {
+    const auto& dst = svc->post_destinations(u);
+    if (std::find(dst.begin(), dst.end(), 0u) != dst.end() &&
+        !svc->graph().followers[u].empty()) {
+      poster = u;
+      break;
+    }
+  }
+  MulticastMessage m1, m2;
+  m1.id = make_msg_id(1, 1);
+  m1.payload = SocialNetworkService::encode_post(poster, 1);
+  m2.id = make_msg_id(1, 2);
+  m2.payload = SocialNetworkService::encode_post(poster, 2);
+  a.apply(0, m1);
+  a.apply(0, m2);
+  b.apply(0, m1);
+  b.apply(0, m2);
+  c.apply(0, m2);
+  c.apply(0, m1);
+  EXPECT_EQ(a.digest(), b.digest());
+  EXPECT_NE(a.digest(), c.digest());  // order-sensitive
+  EXPECT_EQ(a.applied_count(), 2u);
+}
+
+TEST(TimelineState, ReadReturnsNewestFirst) {
+  auto svc = small_service();
+  TimelineState state(svc);
+  // Post to the poster's own timeline in its home group.
+  const UserId poster = 0;
+  const GroupId home = svc->partition_of(poster);
+  for (std::uint64_t s = 1; s <= 5; ++s) {
+    MulticastMessage m;
+    m.id = make_msg_id(1, static_cast<std::uint32_t>(s));
+    m.payload = SocialNetworkService::encode_post(poster, s);
+    state.apply(home, m);
+  }
+  const auto tl = state.read_timeline(poster, 3);
+  ASSERT_EQ(tl.size(), 3u);
+  EXPECT_EQ(tl[0], "user0#5");
+  EXPECT_EQ(tl[2], "user0#3");
+}
+
+}  // namespace
+}  // namespace fastcast::app
