@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_lan.dir/fig4_lan.cpp.o"
+  "CMakeFiles/fig4_lan.dir/fig4_lan.cpp.o.d"
+  "fig4_lan"
+  "fig4_lan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_lan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_ewan.dir/fig5_ewan.cpp.o"
+  "CMakeFiles/fig5_ewan.dir/fig5_ewan.cpp.o.d"
+  "fig5_ewan"
+  "fig5_ewan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_ewan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_wan.dir/fig6_wan.cpp.o"
+  "CMakeFiles/fig6_wan.dir/fig6_wan.cpp.o.d"
+  "fig6_wan"
+  "fig6_wan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_wan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

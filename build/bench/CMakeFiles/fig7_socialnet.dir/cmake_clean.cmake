@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_socialnet.dir/fig7_socialnet.cpp.o"
+  "CMakeFiles/fig7_socialnet.dir/fig7_socialnet.cpp.o.d"
+  "fig7_socialnet"
+  "fig7_socialnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_socialnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

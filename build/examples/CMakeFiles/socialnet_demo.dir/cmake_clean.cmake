@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socialnet_demo.dir/socialnet_demo.cpp.o"
+  "CMakeFiles/socialnet_demo.dir/socialnet_demo.cpp.o.d"
+  "socialnet_demo"
+  "socialnet_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socialnet_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/amcast/basecast.cpp" "src/CMakeFiles/fastcast_amcast.dir/amcast/basecast.cpp.o" "gcc" "src/CMakeFiles/fastcast_amcast.dir/amcast/basecast.cpp.o.d"
+  "/root/repo/src/amcast/client_stub.cpp" "src/CMakeFiles/fastcast_amcast.dir/amcast/client_stub.cpp.o" "gcc" "src/CMakeFiles/fastcast_amcast.dir/amcast/client_stub.cpp.o.d"
+  "/root/repo/src/amcast/delivery_buffer.cpp" "src/CMakeFiles/fastcast_amcast.dir/amcast/delivery_buffer.cpp.o" "gcc" "src/CMakeFiles/fastcast_amcast.dir/amcast/delivery_buffer.cpp.o.d"
+  "/root/repo/src/amcast/fastcast.cpp" "src/CMakeFiles/fastcast_amcast.dir/amcast/fastcast.cpp.o" "gcc" "src/CMakeFiles/fastcast_amcast.dir/amcast/fastcast.cpp.o.d"
+  "/root/repo/src/amcast/multipaxos_amcast.cpp" "src/CMakeFiles/fastcast_amcast.dir/amcast/multipaxos_amcast.cpp.o" "gcc" "src/CMakeFiles/fastcast_amcast.dir/amcast/multipaxos_amcast.cpp.o.d"
+  "/root/repo/src/amcast/node.cpp" "src/CMakeFiles/fastcast_amcast.dir/amcast/node.cpp.o" "gcc" "src/CMakeFiles/fastcast_amcast.dir/amcast/node.cpp.o.d"
+  "/root/repo/src/amcast/timestamp_base.cpp" "src/CMakeFiles/fastcast_amcast.dir/amcast/timestamp_base.cpp.o" "gcc" "src/CMakeFiles/fastcast_amcast.dir/amcast/timestamp_base.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fastcast_paxos.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fastcast_rmcast.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fastcast_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fastcast_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

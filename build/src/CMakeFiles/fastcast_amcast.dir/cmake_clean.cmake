@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastcast_amcast.dir/amcast/basecast.cpp.o"
+  "CMakeFiles/fastcast_amcast.dir/amcast/basecast.cpp.o.d"
+  "CMakeFiles/fastcast_amcast.dir/amcast/client_stub.cpp.o"
+  "CMakeFiles/fastcast_amcast.dir/amcast/client_stub.cpp.o.d"
+  "CMakeFiles/fastcast_amcast.dir/amcast/delivery_buffer.cpp.o"
+  "CMakeFiles/fastcast_amcast.dir/amcast/delivery_buffer.cpp.o.d"
+  "CMakeFiles/fastcast_amcast.dir/amcast/fastcast.cpp.o"
+  "CMakeFiles/fastcast_amcast.dir/amcast/fastcast.cpp.o.d"
+  "CMakeFiles/fastcast_amcast.dir/amcast/multipaxos_amcast.cpp.o"
+  "CMakeFiles/fastcast_amcast.dir/amcast/multipaxos_amcast.cpp.o.d"
+  "CMakeFiles/fastcast_amcast.dir/amcast/node.cpp.o"
+  "CMakeFiles/fastcast_amcast.dir/amcast/node.cpp.o.d"
+  "CMakeFiles/fastcast_amcast.dir/amcast/timestamp_base.cpp.o"
+  "CMakeFiles/fastcast_amcast.dir/amcast/timestamp_base.cpp.o.d"
+  "libfastcast_amcast.a"
+  "libfastcast_amcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastcast_amcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastcast_checker.dir/checker/checker.cpp.o"
+  "CMakeFiles/fastcast_checker.dir/checker/checker.cpp.o.d"
+  "libfastcast_checker.a"
+  "libfastcast_checker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastcast_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

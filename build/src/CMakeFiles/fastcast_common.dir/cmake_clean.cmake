@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastcast_common.dir/common/codec.cpp.o"
+  "CMakeFiles/fastcast_common.dir/common/codec.cpp.o.d"
+  "CMakeFiles/fastcast_common.dir/common/logging.cpp.o"
+  "CMakeFiles/fastcast_common.dir/common/logging.cpp.o.d"
+  "CMakeFiles/fastcast_common.dir/common/stats.cpp.o"
+  "CMakeFiles/fastcast_common.dir/common/stats.cpp.o.d"
+  "libfastcast_common.a"
+  "libfastcast_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastcast_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastcast_harness.dir/harness/client.cpp.o"
+  "CMakeFiles/fastcast_harness.dir/harness/client.cpp.o.d"
+  "CMakeFiles/fastcast_harness.dir/harness/experiment.cpp.o"
+  "CMakeFiles/fastcast_harness.dir/harness/experiment.cpp.o.d"
+  "CMakeFiles/fastcast_harness.dir/harness/table.cpp.o"
+  "CMakeFiles/fastcast_harness.dir/harness/table.cpp.o.d"
+  "CMakeFiles/fastcast_harness.dir/harness/topology.cpp.o"
+  "CMakeFiles/fastcast_harness.dir/harness/topology.cpp.o.d"
+  "libfastcast_harness.a"
+  "libfastcast_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastcast_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

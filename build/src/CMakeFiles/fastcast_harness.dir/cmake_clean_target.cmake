@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfastcast_harness.a"
+)

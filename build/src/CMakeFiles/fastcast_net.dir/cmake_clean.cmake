@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastcast_net.dir/net/frame.cpp.o"
+  "CMakeFiles/fastcast_net.dir/net/frame.cpp.o.d"
+  "CMakeFiles/fastcast_net.dir/net/tcp_cluster.cpp.o"
+  "CMakeFiles/fastcast_net.dir/net/tcp_cluster.cpp.o.d"
+  "CMakeFiles/fastcast_net.dir/net/tcp_transport.cpp.o"
+  "CMakeFiles/fastcast_net.dir/net/tcp_transport.cpp.o.d"
+  "libfastcast_net.a"
+  "libfastcast_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastcast_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/paxos/acceptor.cpp" "src/CMakeFiles/fastcast_paxos.dir/paxos/acceptor.cpp.o" "gcc" "src/CMakeFiles/fastcast_paxos.dir/paxos/acceptor.cpp.o.d"
+  "/root/repo/src/paxos/group_consensus.cpp" "src/CMakeFiles/fastcast_paxos.dir/paxos/group_consensus.cpp.o" "gcc" "src/CMakeFiles/fastcast_paxos.dir/paxos/group_consensus.cpp.o.d"
+  "/root/repo/src/paxos/leader_elector.cpp" "src/CMakeFiles/fastcast_paxos.dir/paxos/leader_elector.cpp.o" "gcc" "src/CMakeFiles/fastcast_paxos.dir/paxos/leader_elector.cpp.o.d"
+  "/root/repo/src/paxos/learner.cpp" "src/CMakeFiles/fastcast_paxos.dir/paxos/learner.cpp.o" "gcc" "src/CMakeFiles/fastcast_paxos.dir/paxos/learner.cpp.o.d"
+  "/root/repo/src/paxos/proposer.cpp" "src/CMakeFiles/fastcast_paxos.dir/paxos/proposer.cpp.o" "gcc" "src/CMakeFiles/fastcast_paxos.dir/paxos/proposer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fastcast_rmcast.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fastcast_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fastcast_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastcast_paxos.dir/paxos/acceptor.cpp.o"
+  "CMakeFiles/fastcast_paxos.dir/paxos/acceptor.cpp.o.d"
+  "CMakeFiles/fastcast_paxos.dir/paxos/group_consensus.cpp.o"
+  "CMakeFiles/fastcast_paxos.dir/paxos/group_consensus.cpp.o.d"
+  "CMakeFiles/fastcast_paxos.dir/paxos/leader_elector.cpp.o"
+  "CMakeFiles/fastcast_paxos.dir/paxos/leader_elector.cpp.o.d"
+  "CMakeFiles/fastcast_paxos.dir/paxos/learner.cpp.o"
+  "CMakeFiles/fastcast_paxos.dir/paxos/learner.cpp.o.d"
+  "CMakeFiles/fastcast_paxos.dir/paxos/proposer.cpp.o"
+  "CMakeFiles/fastcast_paxos.dir/paxos/proposer.cpp.o.d"
+  "libfastcast_paxos.a"
+  "libfastcast_paxos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastcast_paxos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastcast_rmcast.dir/rmcast/reliable_multicast.cpp.o"
+  "CMakeFiles/fastcast_rmcast.dir/rmcast/reliable_multicast.cpp.o.d"
+  "libfastcast_rmcast.a"
+  "libfastcast_rmcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastcast_rmcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

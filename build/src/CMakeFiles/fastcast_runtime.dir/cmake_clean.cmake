@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastcast_runtime.dir/runtime/membership.cpp.o"
+  "CMakeFiles/fastcast_runtime.dir/runtime/membership.cpp.o.d"
+  "CMakeFiles/fastcast_runtime.dir/runtime/message.cpp.o"
+  "CMakeFiles/fastcast_runtime.dir/runtime/message.cpp.o.d"
+  "libfastcast_runtime.a"
+  "libfastcast_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastcast_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastcast_sim.dir/sim/event_queue.cpp.o"
+  "CMakeFiles/fastcast_sim.dir/sim/event_queue.cpp.o.d"
+  "CMakeFiles/fastcast_sim.dir/sim/latency.cpp.o"
+  "CMakeFiles/fastcast_sim.dir/sim/latency.cpp.o.d"
+  "CMakeFiles/fastcast_sim.dir/sim/simulator.cpp.o"
+  "CMakeFiles/fastcast_sim.dir/sim/simulator.cpp.o.d"
+  "libfastcast_sim.a"
+  "libfastcast_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastcast_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastcast_socialnet.dir/app/socialnet/graph.cpp.o"
+  "CMakeFiles/fastcast_socialnet.dir/app/socialnet/graph.cpp.o.d"
+  "CMakeFiles/fastcast_socialnet.dir/app/socialnet/partitioner.cpp.o"
+  "CMakeFiles/fastcast_socialnet.dir/app/socialnet/partitioner.cpp.o.d"
+  "CMakeFiles/fastcast_socialnet.dir/app/socialnet/service.cpp.o"
+  "CMakeFiles/fastcast_socialnet.dir/app/socialnet/service.cpp.o.d"
+  "libfastcast_socialnet.a"
+  "libfastcast_socialnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastcast_socialnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amcast_integration_test.dir/amcast_integration_test.cpp.o"
+  "CMakeFiles/amcast_integration_test.dir/amcast_integration_test.cpp.o.d"
+  "amcast_integration_test"
+  "amcast_integration_test.pdb"
+  "amcast_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amcast_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

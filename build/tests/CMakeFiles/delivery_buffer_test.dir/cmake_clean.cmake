@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delivery_buffer_test.dir/delivery_buffer_test.cpp.o"
+  "CMakeFiles/delivery_buffer_test.dir/delivery_buffer_test.cpp.o.d"
+  "delivery_buffer_test"
+  "delivery_buffer_test.pdb"
+  "delivery_buffer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delivery_buffer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastcast_test.dir/fastcast_test.cpp.o"
+  "CMakeFiles/fastcast_test.dir/fastcast_test.cpp.o.d"
+  "fastcast_test"
+  "fastcast_test.pdb"
+  "fastcast_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastcast_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fault_test.cpp" "tests/CMakeFiles/fault_test.dir/fault_test.cpp.o" "gcc" "tests/CMakeFiles/fault_test.dir/fault_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fastcast_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fastcast_amcast.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fastcast_paxos.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fastcast_rmcast.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fastcast_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fastcast_checker.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fastcast_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fastcast_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genuineness_test.dir/genuineness_test.cpp.o"
+  "CMakeFiles/genuineness_test.dir/genuineness_test.cpp.o.d"
+  "genuineness_test"
+  "genuineness_test.pdb"
+  "genuineness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genuineness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

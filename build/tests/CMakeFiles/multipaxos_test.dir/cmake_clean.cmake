@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multipaxos_test.dir/multipaxos_test.cpp.o"
+  "CMakeFiles/multipaxos_test.dir/multipaxos_test.cpp.o.d"
+  "multipaxos_test"
+  "multipaxos_test.pdb"
+  "multipaxos_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multipaxos_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

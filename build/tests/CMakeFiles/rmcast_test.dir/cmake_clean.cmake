@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmcast_test.dir/rmcast_test.cpp.o"
+  "CMakeFiles/rmcast_test.dir/rmcast_test.cpp.o.d"
+  "rmcast_test"
+  "rmcast_test.pdb"
+  "rmcast_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmcast_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

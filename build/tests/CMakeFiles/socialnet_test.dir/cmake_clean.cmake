@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socialnet_test.dir/socialnet_test.cpp.o"
+  "CMakeFiles/socialnet_test.dir/socialnet_test.cpp.o.d"
+  "socialnet_test"
+  "socialnet_test.pdb"
+  "socialnet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socialnet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/codec_message_test[1]_include.cmake")
+include("/root/repo/build/tests/membership_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/rmcast_test[1]_include.cmake")
+include("/root/repo/build/tests/paxos_test[1]_include.cmake")
+include("/root/repo/build/tests/delivery_buffer_test[1]_include.cmake")
+include("/root/repo/build/tests/amcast_integration_test[1]_include.cmake")
+include("/root/repo/build/tests/fastcast_test[1]_include.cmake")
+include("/root/repo/build/tests/multipaxos_test[1]_include.cmake")
+include("/root/repo/build/tests/checker_test[1]_include.cmake")
+include("/root/repo/build/tests/harness_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/fault_test[1]_include.cmake")
+include("/root/repo/build/tests/socialnet_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/genuineness_test[1]_include.cmake")
