@@ -34,16 +34,19 @@ ExperimentConfig wan_fastcast(std::size_t groups) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  parse_bench_cli(argc, argv, "ablations");
   {
     Table t("Ablation A — FastCast SYNC-HARD proposal policy, emulated WAN, "
             "1 client to all groups [median ms (p95)]",
             {"groups", "deferred (ours)", "eager (Alg. 2 verbatim)"});
     for (std::size_t g : {2, 4, 8}) {
       auto cfg = wan_fastcast(g);
-      const auto deferred = run_experiment(cfg);
+      const auto deferred = run_configured(cfg);
+      note_result("Ablation A", std::to_string(g), "deferred", deferred);
       cfg.fastcast_eager_hard = true;
-      const auto eager = run_experiment(cfg);
+      const auto eager = run_configured(cfg);
+      note_result("Ablation A", std::to_string(g), "eager", eager);
       t.add_row({std::to_string(g), lat_cell(deferred), lat_cell(eager)});
     }
     t.print("eager proposals fill the pipeline with redundant instances and "
@@ -57,7 +60,8 @@ int main() {
     for (std::size_t window : {2, 4, 8, 32}) {
       auto cfg = wan_fastcast(4);
       cfg.consensus_window = window;
-      const auto r = run_experiment(cfg);
+      const auto r = run_configured(cfg);
+      note_result("Ablation B", std::to_string(window), "FastCast", r);
       t.add_row({std::to_string(window), lat_cell(r)});
     }
     t.print("a window below 1 + #destinations serialises the SYNC-SOFT "
@@ -79,10 +83,13 @@ int main() {
       cfg.warmup = milliseconds(100);
       cfg.measure = milliseconds(400);
       cfg.hard_send = policy;
-      const auto r = run_experiment(cfg);
+      const auto r = run_configured(cfg);
       check_or_warn(r, "ablation C");
-      t.add_row({policy == TimestampProtocolBase::Config::HardSend::kLeaderOnly
-                     ? "leader-only"
+      const bool leader_only =
+          policy == TimestampProtocolBase::Config::HardSend::kLeaderOnly;
+      note_result("Ablation C", leader_only ? "leader-only" : "all members",
+                  "BaseCast", r);
+      t.add_row({leader_only ? "leader-only"
                      : "all members",
                  format_ms(r.latency.median()),
                  fmt_count(static_cast<double>(r.messages_sent))});
@@ -105,8 +112,11 @@ int main() {
       cfg.warmup = milliseconds(100);
       cfg.measure = milliseconds(400);
       cfg.relay = relay;
-      const auto r = run_experiment(cfg);
+      const auto r = run_configured(cfg);
       check_or_warn(r, "ablation D");
+      note_result("Ablation D",
+                  relay == RmConfig::Relay::kNone ? "none" : "every receiver",
+                  "FastCast", r);
       t.add_row({relay == RmConfig::Relay::kNone ? "none" : "every receiver",
                  format_ms(r.latency.median()),
                  fmt_count(static_cast<double>(r.messages_sent))});
@@ -114,5 +124,5 @@ int main() {
     t.print("relaying buys sender-crash agreement at a multiplicative "
             "message cost");
   }
-  return 0;
+  return finish_bench("ablations");
 }

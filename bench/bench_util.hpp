@@ -1,11 +1,16 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "fastcast/harness/experiment.hpp"
 #include "fastcast/harness/table.hpp"
+#include "fastcast/obs/json.hpp"
+#include "fastcast/obs/observability.hpp"
 
 /// \file bench_util.hpp
 /// Shared runners for the figure-reproduction benches. Each figure binary
@@ -27,6 +32,188 @@ inline const std::vector<Protocol> kFourProtocols = {
     Protocol::kBaseCast, Protocol::kFastCast, Protocol::kMultiPaxos,
     Protocol::kFastCastSlowPath};
 
+// ---------------------------------------------------------------------------
+// Shared command line: every figure binary accepts
+//   --json <path>         machine-readable results (BENCH_*.json)
+//   --metrics-out <path>  protocol metrics merged over all runs
+//   --trace <path>        span dump of the last run (rewritten per run)
+// ---------------------------------------------------------------------------
+
+struct BenchCli {
+  std::string json_path;
+  std::string metrics_path;
+  std::string trace_path;
+
+  bool observe() const { return !metrics_path.empty() || !trace_path.empty(); }
+};
+
+inline BenchCli& bench_cli() {
+  static BenchCli cli;
+  return cli;
+}
+
+/// Metrics accumulated across every run of the binary (counters add,
+/// gauges keep the max).
+inline obs::MetricsRegistry& bench_merged_metrics() {
+  static obs::MetricsRegistry registry;
+  return registry;
+}
+
+/// One measured configuration, captured for --json alongside the printed
+/// table cell.
+struct BenchRow {
+  std::string table;    ///< e.g. "Fig. 4 (LAN) top-left"
+  std::string x;        ///< row key, e.g. "8" groups or "2G/768C"
+  std::string series;   ///< protocol / column name
+  double median_ms = 0;
+  double p95_ms = 0;
+  std::uint64_t latency_samples = 0;
+  double tput_per_sec = 0;
+  double tput_ci95 = 0;
+  std::uint64_t fast_path = 0;
+  std::uint64_t slow_path = 0;
+  bool check_ok = true;
+};
+
+inline std::vector<BenchRow>& bench_rows() {
+  static std::vector<BenchRow> rows;
+  return rows;
+}
+
+inline void note_result(const std::string& table, const std::string& x,
+                        const std::string& series, const ExperimentResult& r) {
+  BenchRow row;
+  row.table = table;
+  row.x = x;
+  row.series = series;
+  if (!r.latency.empty()) {
+    row.median_ms = to_milliseconds(r.latency.median());
+    row.p95_ms = to_milliseconds(r.latency.percentile(95));
+    row.latency_samples = r.latency.count();
+  }
+  row.tput_per_sec = r.throughput.mean_per_sec;
+  row.tput_ci95 = r.throughput.ci95_per_sec;
+  row.fast_path = r.fast_path_hits;
+  row.slow_path = r.slow_path_hits;
+  row.check_ok = r.report.ok;
+  bench_rows().push_back(std::move(row));
+}
+
+/// Parses the shared flags; prints usage and exits on --help or a flag it
+/// does not know.
+inline void parse_bench_cli(int argc, char** argv, const char* name) {
+  auto& cli = bench_cli();
+  for (int i = 1; i < argc; ++i) {
+    auto want_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: %s needs a path\n", name, flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--json") == 0) {
+      cli.json_path = want_value("--json");
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0) {
+      cli.metrics_path = want_value("--metrics-out");
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      cli.trace_path = want_value("--trace");
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--json <path>] [--metrics-out <path>] "
+                   "[--trace <path>]\n"
+                   "  --json         machine-readable results for all table "
+                   "cells\n"
+                   "  --metrics-out  protocol metrics merged over all runs\n"
+                   "  --trace        message-span dump of the last run\n",
+                   name);
+      std::exit(std::strcmp(argv[i], "--help") == 0 ? 0 : 2);
+    }
+  }
+}
+
+/// Runs an experiment with the shared CLI applied: enables observability
+/// when requested, folds the run's metrics into the process-wide registry
+/// and rewrites the trace dump (the file ends up holding the last run).
+inline ExperimentResult run_configured(ExperimentConfig cfg) {
+  const auto& cli = bench_cli();
+  if (cli.observe()) cfg.observe = true;
+  if (!cli.trace_path.empty()) cfg.trace = true;
+  ExperimentResult r = run_experiment(cfg);
+  if (r.obs) {
+    bench_merged_metrics().merge_from(r.obs->metrics);
+    if (!cli.trace_path.empty()) {
+      std::ofstream out(cli.trace_path);
+      if (out) {
+        r.obs->tracer.dump_json(out);
+      } else {
+        std::fprintf(stderr, "bench: cannot write %s\n",
+                     cli.trace_path.c_str());
+      }
+    }
+  }
+  return r;
+}
+
+/// Writes --json / --metrics-out files (if requested). Call once at the
+/// end of main; returns the process exit code.
+inline int finish_bench(const char* name) {
+  const auto& cli = bench_cli();
+  if (!cli.json_path.empty()) {
+    std::ofstream out(cli.json_path);
+    if (!out) {
+      std::fprintf(stderr, "%s: cannot write %s\n", name, cli.json_path.c_str());
+      return 1;
+    }
+    obs::JsonWriter w(out);
+    w.begin_object();
+    w.kv("bench", name);
+    w.key("rows").begin_array();
+    for (const BenchRow& row : bench_rows()) {
+      w.begin_object();
+      w.kv("table", row.table);
+      w.kv("x", row.x);
+      w.kv("series", row.series);
+      if (row.latency_samples > 0) {
+        w.kv("median_ms", row.median_ms);
+        w.kv("p95_ms", row.p95_ms);
+        w.kv("latency_samples", row.latency_samples);
+      }
+      w.kv("tput_per_sec", row.tput_per_sec);
+      w.kv("tput_ci95", row.tput_ci95);
+      w.kv("fast_path", row.fast_path);
+      w.kv("slow_path", row.slow_path);
+      w.kv("check_ok", row.check_ok);
+      w.end_object();
+    }
+    w.end_array();
+    if (cli.observe()) {
+      const auto cs = bench_merged_metrics().counters();
+      const auto gs = bench_merged_metrics().gauges();
+      w.key("metrics").begin_object();
+      w.key("counters").begin_object();
+      for (const auto& [n, v] : cs) w.kv(n, v);
+      w.end_object();
+      w.key("gauges").begin_object();
+      for (const auto& [n, v] : gs) w.kv(n, v);
+      w.end_object();
+      w.end_object();
+    }
+    w.end_object();
+    out << '\n';
+  }
+  if (!cli.metrics_path.empty()) {
+    std::ofstream out(cli.metrics_path);
+    if (!out) {
+      std::fprintf(stderr, "%s: cannot write %s\n", name,
+                   cli.metrics_path.c_str());
+      return 1;
+    }
+    bench_merged_metrics().write_json(out);
+    out << '\n';
+  }
+  return 0;
+}
+
 /// Single closed-loop client multicasting to `dst` in a `groups`-group
 /// deployment (the paper's "latency without queueing effects" setup).
 inline ExperimentResult run_single_client(Environment env, Protocol proto,
@@ -43,7 +230,7 @@ inline ExperimentResult run_single_client(Environment env, Protocol proto,
   cfg.warmup = lan ? milliseconds(50) : milliseconds(600);
   cfg.measure = lan ? milliseconds(400) : milliseconds(3500);
   cfg.check_level = Checker::Level::kFast;
-  return run_experiment(cfg);
+  return run_configured(std::move(cfg));
 }
 
 /// "Operational load": kc clients multicasting to kg random destination
@@ -68,7 +255,7 @@ inline ExperimentResult run_load(Environment env, Protocol proto,
   cfg.slice = cfg.measure / 8;
   cfg.drain = false;  // safety-only checks; keeps big runs fast
   cfg.check_level = Checker::Level::kFast;
-  return run_experiment(cfg);
+  return run_configured(std::move(cfg));
 }
 
 inline std::string lat_cell(const ExperimentResult& r) {

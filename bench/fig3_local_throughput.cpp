@@ -11,7 +11,8 @@
 using namespace fastcast;
 using namespace fastcast::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  parse_bench_cli(argc, argv, "fig3_local_throughput");
   const std::vector<std::size_t> group_counts = {1, 2, 4, 8, 16};
 
   Table table("Fig. 3 — local-message throughput in LAN, 200 clients/group "
@@ -25,6 +26,7 @@ int main() {
           run_load(Environment::kLan, proto, groups, /*kg=*/1,
                    /*kc=*/200 * groups);
       check_or_warn(r, "fig3");
+      note_result("Fig. 3", std::to_string(groups), to_string(proto), r);
       row.push_back(tput_cell(r));
     }
     table.add_row(std::move(row));
@@ -32,5 +34,5 @@ int main() {
   table.print(
       "genuine protocols scale linearly with groups; MultiPaxos is "
       "CPU-bound at its fixed ordering group");
-  return 0;
+  return finish_bench("fig3_local_throughput");
 }

@@ -8,8 +8,9 @@
 
 #include "figure_panels.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  fastcast::bench::parse_bench_cli(argc, argv, "fig4_lan");
   fastcast::bench::run_figure_panels(fastcast::harness::Environment::kLan,
                                      "Fig. 4 (LAN)", /*slow_path_ablation=*/false);
-  return 0;
+  return fastcast::bench::finish_bench("fig4_lan");
 }

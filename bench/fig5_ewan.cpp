@@ -8,9 +8,10 @@
 
 #include "figure_panels.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  fastcast::bench::parse_bench_cli(argc, argv, "fig5_ewan");
   fastcast::bench::run_figure_panels(fastcast::harness::Environment::kEmulatedWan,
                                      "Fig. 5 (emulated WAN)",
                                      /*slow_path_ablation=*/true);
-  return 0;
+  return fastcast::bench::finish_bench("fig5_ewan");
 }

@@ -8,9 +8,10 @@
 
 #include "figure_panels.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  fastcast::bench::parse_bench_cli(argc, argv, "fig6_wan");
   fastcast::bench::run_figure_panels(fastcast::harness::Environment::kRealWan,
                                      "Fig. 6 (real WAN)",
                                      /*slow_path_ablation=*/false);
-  return 0;
+  return fastcast::bench::finish_bench("fig6_wan");
 }

@@ -36,12 +36,13 @@ ExperimentResult run_social(Protocol proto, std::size_t clients, DstPicker dst,
   cfg.slice = measure / 8;
   cfg.drain = false;
   cfg.check_level = Checker::Level::kFast;
-  return run_experiment(cfg);
+  return run_configured(cfg);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  parse_bench_cli(argc, argv, "fig7_socialnet");
   auto service = make_service();
 
   {
@@ -55,6 +56,8 @@ int main() {
                                   app::social_post_picker_with_span(service, span),
                                   milliseconds(3500));
         check_or_warn(r, "fig7 top-left");
+        note_result("Fig. 7 top-left", std::to_string(span), to_string(proto),
+                    r);
         row.push_back(lat_cell(r));
       }
       t.add_row(std::move(row));
@@ -72,6 +75,8 @@ int main() {
         const auto r =
             run_social(proto, clients, app::social_post_picker(service));
         check_or_warn(r, "fig7 top-right");
+        note_result("Fig. 7 top-right", std::to_string(clients),
+                    to_string(proto), r);
         row.push_back(tput_cell(r));
       }
       t.add_row(std::move(row));
@@ -121,5 +126,5 @@ int main() {
     for (auto& row : rows) t.add_row(std::move(row));
     t.print();
   }
-  return 0;
+  return finish_bench("fig7_socialnet");
 }

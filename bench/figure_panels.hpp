@@ -33,6 +33,8 @@ inline void run_figure_panels(Environment env, const char* fig,
       for (Protocol proto : kThreeProtocols) {
         const auto r = run_single_client(env, proto, g, all_groups(g));
         check_or_warn(r, fig);
+        note_result(std::string(fig) + " top-left", std::to_string(g),
+                    to_string(proto), r);
         row.push_back(lat_cell(r));
       }
       t.add_row(std::move(row));
@@ -49,6 +51,8 @@ inline void run_figure_panels(Environment env, const char* fig,
       for (Protocol proto : kThreeProtocols) {
         const auto r = run_single_client(env, proto, 16, random_subset(16, k));
         check_or_warn(r, fig);
+        note_result(std::string(fig) + " top-right", std::to_string(k),
+                    to_string(proto), r);
         row.push_back(lat_cell(r));
       }
       t.add_row(std::move(row));
@@ -70,6 +74,9 @@ inline void run_figure_panels(Environment env, const char* fig,
       for (Protocol proto : protos) {
         const auto r = run_load(env, proto, 16, kg, kc);
         check_or_warn(r, fig);
+        note_result(std::string(fig) + " bottom",
+                    std::to_string(kg) + "G/" + std::to_string(kc) + "C",
+                    to_string(proto), r);
         lrow.push_back(lat_cell(r));
         trow.push_back(tput_cell(r));
       }

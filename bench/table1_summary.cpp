@@ -44,7 +44,8 @@ const char* short_name(Protocol p) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  parse_bench_cli(argc, argv, "table1_summary");
   const std::vector<std::size_t> dest_counts = {1, 2, 4, 8, 16};
   Table table(
       "Table 1 — best protocol per configuration (16 groups; FC=FastCast, "
@@ -61,6 +62,8 @@ int main() {
         for (Protocol proto : kThreeProtocols) {
           const auto r = run_single_client(env, proto, 16, random_subset(16, k));
           check_or_warn(r, "table1 low");
+          note_result(std::string("Table 1 low ") + to_string(env),
+                      std::to_string(k), to_string(proto), r);
           scores.emplace_back(short_name(proto),
                               to_milliseconds(r.latency.median()));
         }
@@ -76,6 +79,8 @@ int main() {
         for (Protocol proto : kThreeProtocols) {
           const auto r = run_load(env, proto, 16, k, 1536 / k);
           check_or_warn(r, "table1 high");
+          note_result(std::string("Table 1 high ") + to_string(env),
+                      std::to_string(k), to_string(proto), r);
           scores.emplace_back(short_name(proto), r.throughput.mean_per_sec);
         }
         row.push_back(winner_by(scores, /*lower_is_better=*/false));
@@ -84,5 +89,5 @@ int main() {
     }
   }
   table.print("low load: winner by median latency; high load: by throughput");
-  return 0;
+  return finish_bench("table1_summary");
 }

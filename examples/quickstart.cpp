@@ -1,17 +1,46 @@
 // Quickstart: two replica groups in the simulator, a handful of global and
 // local multicasts through FastCast, and the delivery order printed from
 // every replica — the five-minute tour of the public API.
+//
+// Observability tour: run with `--trace spans.json` to dump every message's
+// lifecycle span and with `--metrics-out metrics.json` for the protocol
+// counters; both also print a short summary to stdout.
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <map>
+#include <sstream>
 #include <vector>
 
 #include "fastcast/harness/experiment.hpp"
+#include "fastcast/obs/observability.hpp"
 
 using namespace fastcast;
 using namespace fastcast::harness;
 
-int main() {
+int main(int argc, char** argv) {
+  std::string trace_path;
+  std::string metrics_path;
+  for (int i = 1; i < argc; ++i) {
+    auto want_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "quickstart: %s needs a path\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--trace") == 0) {
+      trace_path = want_value("--trace");
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0) {
+      metrics_path = want_value("--metrics-out");
+    } else {
+      std::fprintf(stderr,
+                   "usage: quickstart [--trace <path>] [--metrics-out <path>]\n");
+      return std::strcmp(argv[i], "--help") == 0 ? 0 : 2;
+    }
+  }
+
   ExperimentConfig cfg;
   cfg.topo.env = Environment::kLan;
   cfg.topo.groups = 2;
@@ -25,6 +54,8 @@ int main() {
   cfg.warmup = milliseconds(0);
   cfg.measure = milliseconds(50);
   cfg.check_level = Checker::Level::kFull;
+  cfg.observe = true;
+  cfg.trace = !trace_path.empty();
 
   Cluster cluster(cfg);
 
@@ -52,10 +83,44 @@ int main() {
   }
 
   const auto report = cluster.checker().check(/*quiesced=*/true);
-  std::printf("\nchecker: %s (%llu multicasts, %llu deliveries)\n",
+  auto& obs = *cluster.observability();
+  report.publish(obs.metrics);
+  const auto checked = obs.metrics.counter_value("checker.multicasts");
+  const auto compared = obs.metrics.counter_value("checker.orders_compared");
+  std::printf("\nchecker: %s (%llu messages checked, %llu orders compared)\n",
               report.ok ? "all atomic-multicast properties hold" : "VIOLATIONS",
-              static_cast<unsigned long long>(report.multicast_count),
-              static_cast<unsigned long long>(report.delivery_count));
+              static_cast<unsigned long long>(checked),
+              static_cast<unsigned long long>(compared));
   for (const auto& v : report.violations) std::printf("  %s\n", v.c_str());
-  return report.ok ? 0 : 1;
+
+  std::printf("\nprotocol metrics:\n");
+  std::ostringstream text;
+  obs.metrics.write_text(text);
+  std::fputs(text.str().c_str(), stdout);
+
+  bool io_ok = true;
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path);
+    if (out) {
+      obs.metrics.write_json(out);
+      out << '\n';
+      std::printf("\nwrote metrics to %s\n", metrics_path.c_str());
+    } else {
+      std::fprintf(stderr, "quickstart: cannot write %s\n",
+                   metrics_path.c_str());
+      io_ok = false;
+    }
+  }
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path);
+    if (out) {
+      obs.tracer.dump_json(out);
+      std::printf("wrote %zu message spans to %s\n", obs.tracer.span_count(),
+                  trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "quickstart: cannot write %s\n", trace_path.c_str());
+      io_ok = false;
+    }
+  }
+  return report.ok && io_ok ? 0 : 1;
 }

@@ -6,6 +6,11 @@ namespace fastcast {
 
 void MultiPaxosClientStub::amulticast(Context& ctx, const MulticastMessage& msg) {
   FC_ASSERT(!cfg_.ordering_members.empty());
+  if (auto* o = ctx.obs()) {
+    o->metrics.counter("client.mcast").inc();
+    o->trace(msg.id, obs::SpanEventKind::kMcast, ctx.self(), kNoGroup,
+             ctx.now(), static_cast<std::uint32_t>(msg.dst.size()));
+  }
   pending_.emplace(msg.id, msg);
   ctx.send(cfg_.ordering_members.front(), Message{MpSubmit{msg}});
   if (!cfg_.reliable_links) arm_retry(ctx);

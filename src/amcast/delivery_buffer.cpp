@@ -4,6 +4,7 @@
 
 #include "fastcast/common/assert.hpp"
 #include "fastcast/common/logging.hpp"
+#include "fastcast/obs/observability.hpp"
 
 namespace fastcast {
 
@@ -45,6 +46,10 @@ void DeliveryBuffer::add_entry(Context& ctx, EntryKind kind, GroupId group,
   }
   pm.entries.push_back(Entry{kind, group, ts});
   blocking_.insert(TsKey{ts, mid});
+  if (auto* o = ctx.obs()) {
+    o->metrics.gauge("amcast.delivery_buffer.max_depth")
+        .record_max(static_cast<std::int64_t>(msgs_.size()));
+  }
   if (kind == EntryKind::kSyncHard) {
     ++pm.sync_hard_count;
     try_form_final(ctx, mid, pm);

@@ -2,6 +2,7 @@
 
 #include "fastcast/common/assert.hpp"
 #include "fastcast/common/logging.hpp"
+#include "fastcast/obs/observability.hpp"
 #include <string>
 
 namespace fastcast {
@@ -63,6 +64,9 @@ void FastCast::before_propose(Context& ctx, const std::vector<Tuple>& batch) {
         soft_sent_.insert(t.mid);
         const Ts wire_ts = options_.force_slow_path ? cs_ + kForcedSlowOffset : cs_;
         ++guesses_sent_;
+        if (auto* o = ctx.obs()) {
+          o->metrics.counter("fastcast.guesses_sent").inc();
+        }
         sent_guess_.emplace(t.mid, wire_ts);
         rm_.multicast(ctx, t.dst, AmSendSoft{cfg_.group, wire_ts, t.mid, t.dst});
       }
@@ -77,7 +81,12 @@ void FastCast::apply_tuple(Context& ctx, const Tuple& tuple) {
     case TupleKind::kSetHard: {
       auto it = sent_guess_.find(tuple.mid);
       if (it != sent_guess_.end()) {
-        if (it->second != ch_ + 1) ++guess_mismatches_;
+        if (it->second != ch_ + 1) {
+          ++guess_mismatches_;
+          if (auto* o = ctx.obs()) {
+            o->metrics.counter("fastcast.guess_mismatches").inc();
+          }
+        }
         sent_guess_.erase(it);
       }
       handle_set_hard(ctx, tuple);
@@ -87,6 +96,10 @@ void FastCast::apply_tuple(Context& ctx, const Tuple& tuple) {
       // Task 5: Lamport update, then buffer the ordered guess; the guess
       // may immediately validate a SEND-HARD that arrived earlier (Task 6).
       if (tuple.ts > ch_) ch_ = tuple.ts;
+      if (auto* o = ctx.obs()) {
+        o->trace(tuple.mid, obs::SpanEventKind::kSyncSoft, ctx.self(),
+                 tuple.group, ctx.now());
+      }
       buffer_.note_dst(tuple.mid, tuple.dst);
       buffer_.add_entry(ctx, EntryKind::kSyncSoft, tuple.group, tuple.ts, tuple.mid);
       const TupleId hard_id{TupleKind::kSyncHard, tuple.group, tuple.mid};
@@ -104,6 +117,9 @@ void FastCast::apply_tuple(Context& ctx, const Tuple& tuple) {
     case TupleKind::kSyncHard:
       // Task 5 slow-path completion (Task 6 missed or mismatched).
       ++slow_hits_;
+      if (auto* o = ctx.obs()) {
+        o->metrics.counter("fastcast.slow_path").inc();
+      }
       handle_sync_hard(ctx, tuple);
       return;
   }
@@ -131,6 +147,11 @@ void FastCast::try_task6(Context& ctx, Tuple hard_tuple) {
   // members that order this tuple through the decision stream instead
   // compute the same clock.
   ++fast_hits_;
+  if (auto* o = ctx.obs()) {
+    o->metrics.counter("fastcast.fast_path").inc();
+    o->trace(hard_tuple.mid, obs::SpanEventKind::kTask6Match, ctx.self(),
+             hard_tuple.group, ctx.now());
+  }
   mark_ordered_out_of_band(id);
   buffer_.note_dst(hard_tuple.mid, hard_tuple.dst);
   if (hard_tuple.group == cfg_.group) settle_own_hard(ctx, hard_tuple.mid);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "fastcast/common/assert.hpp"
+#include "fastcast/obs/observability.hpp"
 
 namespace fastcast {
 
@@ -54,6 +55,9 @@ void MultiPaxosAmcast::on_decide(Context& ctx, const std::vector<std::byte>& val
     FC_ASSERT_MSG(decode_msg_batch(value, batch), "undecodable MultiPaxos batch");
     for (const MulticastMessage& msg : batch) {
       ++ordered_count_;
+      if (auto* o = ctx.obs()) {
+        o->metrics.counter("multipaxos.ordered").inc();
+      }
       if (cfg_.my_group == kNoGroup) continue;  // pure orderer delivers nothing
       if (std::find(msg.dst.begin(), msg.dst.end(), cfg_.my_group) == msg.dst.end()) {
         continue;  // not addressed to this replica's group

@@ -2,6 +2,7 @@
 
 #include "fastcast/common/assert.hpp"
 #include "fastcast/common/logging.hpp"
+#include "fastcast/obs/observability.hpp"
 
 namespace fastcast {
 
@@ -10,6 +11,12 @@ ReplicaNode::ReplicaNode(std::shared_ptr<AtomicMulticast> protocol, Options opti
   FC_ASSERT(protocol_ != nullptr);
   protocol_->set_deliver([this](Context& ctx, const MulticastMessage& msg) {
     ++delivered_count_;
+    if (auto* o = ctx.obs()) {
+      o->metrics.counter("amcast.adeliver").inc();
+      o->trace(msg.id, obs::SpanEventKind::kAdeliver, ctx.self(),
+               ctx.my_group(), ctx.now(),
+               static_cast<std::uint32_t>(msg.dst.size()));
+    }
     if (options_.send_acks && msg.sender != kInvalidNode) {
       ctx.send(msg.sender, Message{AmAck{msg.id, ctx.my_group(), ctx.self()}});
     }

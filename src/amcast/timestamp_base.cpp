@@ -2,6 +2,7 @@
 
 #include "fastcast/common/assert.hpp"
 #include "fastcast/common/logging.hpp"
+#include "fastcast/obs/observability.hpp"
 
 namespace fastcast {
 
@@ -97,6 +98,9 @@ void TimestampProtocolBase::flush(Context& ctx) {
   if (batch.empty()) return;
 
   before_propose(ctx, batch);
+  if (auto* o = ctx.obs()) {
+    o->metrics.counter("amcast.tuples_proposed").inc(batch.size());
+  }
   cons_.propose(ctx, encode_tuples(batch));
 }
 
@@ -123,6 +127,10 @@ void TimestampProtocolBase::on_decide(Context& ctx, InstanceId inst,
 void TimestampProtocolBase::handle_set_hard(Context& ctx, const Tuple& tuple) {
   FC_ASSERT_MSG(tuple.group == cfg_.group, "SET-HARD for a foreign group");
   ++ch_;
+  if (auto* o = ctx.obs()) {
+    o->trace(tuple.mid, obs::SpanEventKind::kSetHardDecided, ctx.self(),
+             cfg_.group, ctx.now());
+  }
   buffer_.note_dst(tuple.mid, tuple.dst);
   if (tuple.dst.size() > 1) {
     // Global: park our own (deterministic) hard timestamp as a placeholder
@@ -143,6 +151,10 @@ void TimestampProtocolBase::handle_set_hard(Context& ctx, const Tuple& tuple) {
 
 void TimestampProtocolBase::handle_sync_hard(Context& ctx, const Tuple& tuple) {
   if (tuple.ts > ch_) ch_ = tuple.ts;  // Lamport's rule
+  if (auto* o = ctx.obs()) {
+    o->trace(tuple.mid, obs::SpanEventKind::kSyncHard, ctx.self(), tuple.group,
+             ctx.now());
+  }
   buffer_.note_dst(tuple.mid, tuple.dst);
   if (tuple.group == cfg_.group) settle_own_hard(ctx, tuple.mid);
   buffer_.add_entry(ctx, EntryKind::kSyncHard, tuple.group, tuple.ts, tuple.mid);

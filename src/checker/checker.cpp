@@ -22,6 +22,14 @@ void Checker::violate(Report& r, std::string what) {
   if (r.violations.size() < 50) r.violations.push_back(std::move(what));
 }
 
+void Checker::Report::publish(obs::MetricsRegistry& metrics) const {
+  metrics.counter("checker.multicasts").inc(multicast_count);
+  metrics.counter("checker.deliveries").inc(delivery_count);
+  metrics.counter("checker.order_edges").inc(order_edges);
+  metrics.counter("checker.orders_compared").inc(orders_compared);
+  metrics.counter("checker.violations").inc(violations.size());
+}
+
 Checker::Report Checker::check(bool quiesced, Level level) const {
   Report r;
   r.multicast_count = multicast_.size();
@@ -72,6 +80,7 @@ void Checker::check_acyclic(Report& r) const {
     for (std::size_t i = 1; i < seq.size(); ++i) {
       succ[seq[i - 1]].push_back(seq[i]);
       ++indegree[seq[i]];
+      ++r.order_edges;
     }
   }
   std::deque<MsgId> ready;
@@ -121,6 +130,7 @@ void Checker::check_same_group(Report& r, bool quiesced) const {
       auto it = deliveries_.find(n);
       static const std::vector<MsgId> kEmpty;
       const std::vector<MsgId>& seq = it == deliveries_.end() ? kEmpty : it->second;
+      ++r.orders_compared;
       if (!std::equal(seq.begin(), seq.end(), longest->begin())) {
         std::ostringstream os;
         os << "group consistency: node " << n << " and node " << longest_node
@@ -162,6 +172,7 @@ void Checker::check_prefix_crosswise(Report& r) const {
       const GroupId gp = membership_->group_of(p);
       const GroupId gq = membership_->group_of(q);
       if (gp == gq) continue;  // covered by check_same_group
+      ++r.orders_compared;
       const auto& sp = delivered_sets[p];
       const auto& sq = delivered_sets[q];
 

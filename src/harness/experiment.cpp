@@ -1,9 +1,12 @@
 #include "fastcast/harness/experiment.hpp"
 
+#include <fstream>
+
 #include "fastcast/amcast/basecast.hpp"
 #include "fastcast/amcast/multipaxos_amcast.hpp"
 #include "fastcast/common/assert.hpp"
 #include "fastcast/common/logging.hpp"
+#include "fastcast/obs/json.hpp"
 
 namespace fastcast::harness {
 
@@ -13,12 +16,19 @@ Cluster::Cluster(const ExperimentConfig& config)
       checker_(&deployment_.membership) {
   sim::SimConfig sim_config;
   sim_config.seed = config_.seed;
-  sim_config.cpu = cpu_for(config_.topo.env);
+  sim_config.cpu = config_.cpu_override.value_or(cpu_for(config_.topo.env));
   sim_config.drop_probability = config_.drop_probability;
   sim_config.serialize_messages = config_.serialize_messages;
-  sim_ = std::make_unique<sim::Simulator>(
-      deployment_.membership,
-      make_latency(config_.topo.env, &deployment_.membership), sim_config);
+  auto latency = config_.latency_factory
+                     ? config_.latency_factory(&deployment_.membership)
+                     : make_latency(config_.topo.env, &deployment_.membership);
+  sim_ = std::make_unique<sim::Simulator>(deployment_.membership,
+                                          std::move(latency), sim_config);
+  if (config_.observe || config_.trace || !config_.metrics_out.empty()) {
+    obs_ = std::make_shared<obs::Observability>();
+    obs_->tracing = config_.trace;
+    sim_->set_observability(obs_.get());
+  }
   metrics_ = std::make_shared<Metrics>();
 
   // Replicas (including the ordering group's nodes for MultiPaxos).
@@ -160,6 +170,86 @@ std::pair<std::uint64_t, std::uint64_t> Cluster::path_stats() const {
   return {fast, slow};
 }
 
+namespace {
+
+/// {"config": ..., "latency_ms": ..., "throughput": ..., "metrics": ...,
+///  "delta": ...} — the per-run metrics.json consumed by the bench tooling.
+void write_metrics_file(const std::string& path, const ExperimentConfig& config,
+                        const ExperimentResult& result) {
+  std::ofstream out(path);
+  if (!out) {
+    FC_WARN("cannot write metrics file %s", path.c_str());
+    return;
+  }
+  obs::JsonWriter w(out);
+  w.begin_object();
+  w.key("config").begin_object();
+  w.kv("protocol", to_string(config.topo.protocol));
+  w.kv("environment", to_string(config.topo.env));
+  w.kv("groups", static_cast<std::uint64_t>(config.topo.groups));
+  w.kv("replicas_per_group",
+       static_cast<std::uint64_t>(config.topo.replicas_per_group));
+  w.kv("clients", static_cast<std::uint64_t>(config.topo.clients));
+  w.kv("seed", config.seed);
+  w.kv("measure_ms", to_milliseconds(config.measure));
+  w.end_object();
+
+  w.key("latency_ms").begin_object();
+  if (!result.latency.empty()) {
+    w.kv("median", to_milliseconds(result.latency.median()));
+    w.kv("p95", to_milliseconds(result.latency.percentile(95.0)));
+    w.kv("p99", to_milliseconds(result.latency.percentile(99.0)));
+    w.kv("mean", result.latency.mean() / static_cast<double>(kMillisecond));
+    w.kv("samples", static_cast<std::uint64_t>(result.latency.count()));
+  }
+  w.end_object();
+
+  w.key("throughput").begin_object();
+  w.kv("mean_per_sec", result.throughput.mean_per_sec);
+  w.kv("ci95_per_sec", result.throughput.ci95_per_sec);
+  w.kv("total", result.throughput.total);
+  w.end_object();
+
+  if (result.obs) {
+    const auto cs = result.obs->metrics.counters();
+    const auto gs = result.obs->metrics.gauges();
+    w.key("counters").begin_object();
+    for (const auto& [name, v] : cs) w.kv(name, v);
+    w.end_object();
+    w.key("gauges").begin_object();
+    for (const auto& [name, v] : gs) w.kv(name, v);
+    w.end_object();
+  }
+
+  if (config.trace && config.delta > 0) {
+    w.key("delta").begin_object();
+    w.kv("delta_ms", to_milliseconds(result.delta_summary.delta));
+    w.kv("deliveries", result.delta_summary.deliveries);
+    w.kv("unmatched", result.delta_summary.unmatched);
+    w.key("classes").begin_array();
+    for (const auto& c : result.delta_summary.classes) {
+      w.begin_object();
+      w.kv("dst_groups", static_cast<std::uint64_t>(c.dst_groups));
+      w.kv("samples", c.samples);
+      w.kv("min_hops", c.min_hops);
+      w.kv("mean_hops", c.mean_hops);
+      w.kv("max_hops", c.max_hops);
+      w.key("histogram").begin_object();
+      for (const auto& [hops, n] : c.histogram) {
+        w.kv(std::to_string(hops), n);
+      }
+      w.end_object();
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  out << '\n';
+}
+
+}  // namespace
+
 ExperimentResult run_experiment(const ExperimentConfig& config) {
   Cluster cluster(config);
   auto& sim = cluster.simulator();
@@ -192,6 +282,19 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   const auto [fast, slow] = cluster.path_stats();
   result.fast_path_hits = fast;
   result.slow_path_hits = slow;
+
+  if (auto obs = cluster.observability()) {
+    result.obs = obs;
+    obs->metrics.gauge("sim.events_processed")
+        .set(static_cast<std::int64_t>(result.events_processed));
+    if (config.run_checker) result.report.publish(obs->metrics);
+    if (config.trace && config.delta > 0) {
+      result.delta_summary = obs->tracer.summarize(config.delta);
+    }
+    if (!config.metrics_out.empty()) {
+      write_metrics_file(config.metrics_out, config, result);
+    }
+  }
   return result;
 }
 

@@ -3,6 +3,7 @@
 #include <map>
 #include <memory>
 
+#include "fastcast/obs/observability.hpp"
 #include "fastcast/rmcast/reliable_multicast.hpp"
 #include "fastcast/runtime/context.hpp"
 
@@ -45,6 +46,11 @@ class GenuineClientStub final : public ClientStub {
 
   void on_start(Context& ctx) override { rm_.on_start(ctx); }
   void amulticast(Context& ctx, const MulticastMessage& msg) override {
+    if (auto* o = ctx.obs()) {
+      o->metrics.counter("client.mcast").inc();
+      o->trace(msg.id, obs::SpanEventKind::kMcast, ctx.self(), kNoGroup,
+               ctx.now(), static_cast<std::uint32_t>(msg.dst.size()));
+    }
     rm_.multicast(ctx, msg.dst, AmStart{msg});
   }
   bool handle(Context& ctx, NodeId from, const Message& msg) override {

@@ -5,6 +5,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "fastcast/obs/metrics.hpp"
 #include "fastcast/runtime/membership.hpp"
 #include "fastcast/runtime/message.hpp"
 
@@ -49,6 +50,12 @@ class Checker {
     std::vector<std::string> violations;
     std::uint64_t multicast_count = 0;
     std::uint64_t delivery_count = 0;
+    std::uint64_t order_edges = 0;     ///< delivery-precedence edges examined
+    std::uint64_t orders_compared = 0; ///< replica-pair order comparisons
+
+    /// Reports the check through the run's metrics registry, keeping
+    /// experiment output uniform instead of ad-hoc stdout counts.
+    void publish(obs::MetricsRegistry& metrics) const;
   };
 
   /// `quiesced` enables the liveness-flavoured checks (agreement/validity).

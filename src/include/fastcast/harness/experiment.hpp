@@ -1,12 +1,15 @@
 #pragma once
 
 #include <memory>
+#include <optional>
+#include <string>
 
 #include "fastcast/amcast/fastcast.hpp"
 #include "fastcast/amcast/node.hpp"
 #include "fastcast/checker/checker.hpp"
 #include "fastcast/harness/client.hpp"
 #include "fastcast/harness/topology.hpp"
+#include "fastcast/obs/observability.hpp"
 
 /// \file experiment.hpp
 /// Builds a full cluster (replicas + protocol + clients + checker) inside
@@ -50,6 +53,19 @@ struct ExperimentConfig {
   std::size_t payload_size = 64;
   /// Ablation: Algorithm-2-verbatim eager SYNC-HARD proposals in FastCast.
   bool fastcast_eager_hard = false;
+
+  // Observability.
+  bool observe = false;        ///< attach a metrics registry to the run
+  bool trace = false;          ///< also record per-message spans (implies observe)
+  std::string metrics_out;     ///< write metrics JSON here (implies observe)
+  /// Nominal one-way delay for empirical δ-accounting; with trace on and
+  /// delta > 0 the result carries a DeltaSummary of hop counts.
+  Duration delta = 0;
+
+  // Environment overrides (δ-accounting uses a jitter-free uniform latency).
+  std::function<std::unique_ptr<sim::LatencyModel>(const Membership*)>
+      latency_factory;                     ///< replaces make_latency(env)
+  std::optional<sim::CpuModel> cpu_override;  ///< replaces cpu_for(env)
 };
 
 inline std::function<DstPicker(std::size_t)> same_dst_for_all(DstPicker p) {
@@ -65,6 +81,10 @@ struct ExperimentResult {
   std::uint64_t messages_sent = 0;
   std::uint64_t fast_path_hits = 0;  ///< FastCast Task-6 matches (all replicas)
   std::uint64_t slow_path_hits = 0;  ///< SYNC-HARDs ordered via consensus
+  /// Run-wide metrics/spans; null unless observe/trace/metrics_out was set.
+  std::shared_ptr<obs::Observability> obs;
+  /// Filled when trace is on and delta > 0.
+  obs::DeltaSummary delta_summary;
 };
 
 /// A fully wired cluster. Lifetime: construct → start() → run via
@@ -76,6 +96,10 @@ class Cluster {
   sim::Simulator& simulator() { return *sim_; }
   Checker& checker() { return checker_; }
   Metrics& metrics() { return *metrics_; }
+  /// Null unless the config asked for observability.
+  const std::shared_ptr<obs::Observability>& observability() const {
+    return obs_;
+  }
   const Deployment& deployment() const { return deployment_; }
   const ExperimentConfig& config() const { return config_; }
 
@@ -97,6 +121,7 @@ class Cluster {
 
   ExperimentConfig config_;
   Deployment deployment_;
+  std::shared_ptr<obs::Observability> obs_;
   std::unique_ptr<sim::Simulator> sim_;
   Checker checker_;
   std::shared_ptr<Metrics> metrics_;

@@ -18,7 +18,12 @@
 /// interaction happens only through sockets. Observers installed on
 /// processes are invoked on node threads and must synchronise themselves.
 
-namespace fastcast::net {
+namespace fastcast {
+namespace obs {
+class Observability;
+}
+
+namespace net {
 
 class TcpCluster {
  public:
@@ -26,6 +31,9 @@ class TcpCluster {
     Membership membership;
     std::uint16_t base_port = 17400;
     int poll_interval_ms = 2;
+    /// Optional run-wide metrics/tracing bundle shared by all node threads
+    /// (instruments are thread-safe). Must outlive the cluster.
+    obs::Observability* observability = nullptr;
   };
 
   explicit TcpCluster(Config config);
@@ -54,4 +62,5 @@ class TcpCluster {
   std::vector<std::thread> threads_;
 };
 
-}  // namespace fastcast::net
+}  // namespace net
+}  // namespace fastcast

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+/// \file json.hpp
+/// Minimal streaming JSON writer used by the observability exporters.
+///
+/// The repo deliberately has no third-party JSON dependency; everything we
+/// emit (metrics.json, trace dumps, bench result files) is flat enough that
+/// a small push-style writer suffices. The writer tracks container nesting
+/// so callers never manage commas, and escapes strings per RFC 8259.
+
+namespace fastcast::obs {
+
+class JsonWriter {
+ public:
+  /// Writes to `out`; `indent` spaces per nesting level (0 = compact).
+  explicit JsonWriter(std::ostream& out, int indent = 2)
+      : out_(out), indent_(indent) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emits a member key; must be followed by a value or container begin.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(unsigned v) { return value(static_cast<std::uint64_t>(v)); }
+
+  /// key + value in one call.
+  template <typename T>
+  JsonWriter& kv(std::string_view k, T v) {
+    key(k);
+    return value(v);
+  }
+
+ private:
+  struct Frame {
+    bool is_object = false;
+    std::size_t items = 0;
+  };
+
+  void before_value();  ///< comma/newline/indent bookkeeping before an item
+  void newline_indent();
+
+  std::ostream& out_;
+  int indent_;
+  bool pending_key_ = false;  ///< a key was emitted, value comes next
+  std::vector<Frame> stack_;
+};
+
+/// Writes `s` with JSON string escaping (quotes included).
+void write_json_string(std::ostream& out, std::string_view s);
+
+}  // namespace fastcast::obs

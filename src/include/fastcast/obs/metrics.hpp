@@ -1,0 +1,89 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+/// \file metrics.hpp
+/// Lightweight counters and gauges for protocol instrumentation.
+///
+/// A MetricsRegistry is shared by every node of a run (all simulator node
+/// contexts, or all TCP node threads), so instrument values are summed over
+/// the whole deployment: `paxos.decisions` is the total number of decided
+/// instances observed across all replicas, not a per-node figure.
+///
+/// Counter/Gauge use relaxed atomics: the simulator is single-threaded, but
+/// the TCP runtime runs one thread per node and instruments are hit from all
+/// of them. References returned by counter()/gauge() are stable for the
+/// registry's lifetime, so hot paths can look an instrument up once and keep
+/// the pointer.
+
+namespace fastcast::obs {
+
+/// Monotonically increasing count of events.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-written value with a lock-free running-max helper (buffer depths,
+/// queue lengths).
+class Gauge {
+ public:
+  void set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+
+  /// Raises the gauge to `v` if larger (CAS loop).
+  void record_max(std::int64_t v) {
+    std::int64_t cur = v_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !v_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+class MetricsRegistry {
+ public:
+  /// Finds or creates the named instrument. The returned reference stays
+  /// valid for the registry's lifetime.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+
+  /// Point-in-time copies, sorted by name.
+  std::map<std::string, std::uint64_t> counters() const;
+  std::map<std::string, std::int64_t> gauges() const;
+
+  /// Value of a counter, 0 if it was never touched (does not create it).
+  std::uint64_t counter_value(std::string_view name) const;
+  std::int64_t gauge_value(std::string_view name) const;
+
+  /// Folds `other` into this registry: counters add, gauges keep the max.
+  /// Used by the bench driver to accumulate metrics across runs.
+  void merge_from(const MetricsRegistry& other);
+
+  /// Emits {"counters": {...}, "gauges": {...}}.
+  void write_json(std::ostream& out, int indent = 2) const;
+
+  /// Human-readable two-column dump, one instrument per line.
+  void write_text(std::ostream& out) const;
+
+ private:
+  mutable std::mutex mu_;  ///< guards the maps; values are themselves atomic
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+};
+
+}  // namespace fastcast::obs

@@ -1,0 +1,131 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "fastcast/common/time.hpp"
+#include "fastcast/runtime/ids.hpp"
+
+/// \file trace.hpp
+/// Per-message lifecycle spans and empirical δ-accounting.
+///
+/// The paper's headline claim is time-complexity: FastCast a-delivers global
+/// messages in 4δ on the fast path and local messages in 3δ, against 6δ for
+/// BaseCast (δ = one-way message delay). The tracer turns that from an
+/// asymptotic argument into a measurement: every protocol layer records the
+/// events below against the message id, and `delivery_deltas()` divides each
+/// (adeliver − mcast) interval by the nominal δ to get the hop count a
+/// delivery actually took. Under a jitter-free latency model and a zero-cost
+/// CPU model the quotient is exact, which is what tests/delta_count_test.cpp
+/// asserts; under realistic jitter `summarize()` still gives a faithful
+/// hop-count distribution.
+
+namespace fastcast::obs {
+
+enum class SpanEventKind : std::uint8_t {
+  kMcast,           ///< client handed the message to amulticast
+  kRdeliver,        ///< reliable-multicast delivery at a replica
+  kSyncSoft,        ///< SYNC-SOFT tuple ordered by group consensus (FastCast)
+  kSetHardDecided,  ///< SET-HARD decided; hard clock bumped, SEND-HARD next
+  kSyncHard,        ///< SYNC-HARD tuple applied to the delivery buffer
+  kTask6Match,      ///< fast path: SEND-HARD matched an ordered SYNC-SOFT
+  kAdeliver,        ///< atomic delivery at a replica
+};
+constexpr std::size_t kSpanEventKinds = 7;
+
+const char* to_string(SpanEventKind k);
+
+struct SpanEvent {
+  SpanEventKind kind;
+  NodeId node = kInvalidNode;
+  GroupId group = kNoGroup;
+  Time at = 0;
+  /// Event-specific extra: destination-group count on kMcast/kAdeliver.
+  std::uint32_t aux = 0;
+};
+
+/// All recorded events of one message, in record order.
+struct Span {
+  MsgId mid = 0;
+  std::vector<SpanEvent> events;
+
+  /// Time of the first kMcast event, or -1 if none was recorded.
+  Time mcast_at() const;
+  /// Events of one kind, in record order.
+  std::vector<SpanEvent> of_kind(SpanEventKind k) const;
+};
+
+/// One delivery with its measured δ-count.
+struct DeliveryDelta {
+  MsgId mid = 0;
+  NodeId node = kInvalidNode;
+  GroupId group = kNoGroup;
+  std::uint32_t dst_groups = 0;  ///< 1 = local message
+  Duration elapsed = 0;          ///< adeliver time − mcast time
+  double hops = 0;               ///< elapsed / δ
+};
+
+/// Paper-style aggregation of delivery hop counts, split by destination-group
+/// count (local vs global messages behave differently in every protocol).
+struct DeltaSummary {
+  struct Class {
+    std::uint32_t dst_groups = 0;
+    std::uint64_t samples = 0;
+    double min_hops = 0;
+    double mean_hops = 0;
+    double max_hops = 0;
+    /// hop count rounded to nearest integer -> number of deliveries.
+    std::map<int, std::uint64_t> histogram;
+  };
+
+  Duration delta = 0;            ///< nominal δ used for the division
+  std::uint64_t deliveries = 0;  ///< total deliveries with a matched mcast
+  std::uint64_t unmatched = 0;   ///< adeliver events without a recorded mcast
+  std::vector<Class> classes;    ///< sorted by dst_groups
+
+  /// Renders the table ("dst groups | deliveries | min | mean | max | ...").
+  std::string to_string() const;
+};
+
+/// Thread-safe store of message spans. One tracer per run, shared by every
+/// node; `record` takes a mutex, so tracing is opt-in (Observability keeps a
+/// `tracing` flag and skips the call entirely when off).
+class Tracer {
+ public:
+  void record(MsgId mid, SpanEventKind kind, NodeId node, GroupId group,
+              Time at, std::uint32_t aux = 0);
+
+  std::size_t span_count() const;
+  std::uint64_t event_count() const;
+  std::uint64_t count(SpanEventKind kind) const;
+
+  /// Copy of one message's span; empty events if the id was never seen.
+  Span span(MsgId mid) const;
+  /// Copies of all spans, sorted by message id.
+  std::vector<Span> spans() const;
+
+  /// Pairs every kAdeliver with its span's kMcast and divides by `delta`.
+  /// Deliveries whose span has no mcast event (e.g. traced mid-run) are
+  /// skipped.
+  std::vector<DeliveryDelta> delivery_deltas(Duration delta) const;
+  DeltaSummary summarize(Duration delta) const;
+
+  /// Emits {"spans": [{"mid":..., "events": [...]}, ...]}.
+  void dump_json(std::ostream& out, int indent = 2) const;
+
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<MsgId, Span> spans_;
+  std::uint64_t events_ = 0;
+  std::array<std::uint64_t, kSpanEventKinds> by_kind_{};
+};
+
+}  // namespace fastcast::obs

@@ -21,6 +21,10 @@
 
 namespace fastcast {
 
+namespace obs {
+class Observability;
+}
+
 using TimerId = std::uint64_t;
 constexpr TimerId kInvalidTimer = 0;
 
@@ -60,6 +64,17 @@ class Context {
   void send_to_nodes(const std::vector<NodeId>& nodes, const Message& msg) {
     for (NodeId n : nodes) send(n, msg);
   }
+
+  // Observability -----------------------------------------------------------
+
+  /// Run-wide metrics/tracing bundle, or null when observability is off.
+  /// Non-virtual on purpose: instrumentation sites compile to a single
+  /// pointer test when disabled.
+  obs::Observability* obs() const { return obs_; }
+  void set_observability(obs::Observability* o) { obs_ = o; }
+
+ private:
+  obs::Observability* obs_ = nullptr;
 };
 
 /// A protocol endpoint: one object per node, driven by its environment.

@@ -98,6 +98,13 @@ struct AmSendHard {
 
 using AmcastPayload = std::variant<AmStart, AmSendSoft, AmSendHard>;
 
+/// Multicast-message id an amcast payload is about (tracing, logging).
+inline MsgId mid_of(const AmcastPayload& p) {
+  if (const auto* start = std::get_if<AmStart>(&p)) return start->msg.id;
+  if (const auto* soft = std::get_if<AmSendSoft>(&p)) return soft->mid;
+  return std::get<AmSendHard>(p).mid;
+}
+
 // ---------------------------------------------------------------------------
 // Reliable-multicast envelope.
 // ---------------------------------------------------------------------------

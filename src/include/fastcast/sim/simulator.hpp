@@ -22,7 +22,13 @@
 /// Determinism: one event queue ordered by (time, insertion seq); all
 /// randomness (jitter, drops, per-node RNGs) derives from a single seed.
 
-namespace fastcast::sim {
+namespace fastcast {
+namespace obs {
+class Observability;
+class Counter;
+}  // namespace obs
+
+namespace sim {
 
 /// Models per-message processing cost on a node.
 ///
@@ -88,6 +94,10 @@ class Simulator {
   /// Overrides the CPU model of one node (e.g. a slow replica).
   void set_node_cpu(NodeId node, CpuModel cpu);
 
+  /// Installs the run-wide observability bundle on every node context and
+  /// wires the simulator's own network counters. Pass null to detach.
+  void set_observability(obs::Observability* o);
+
   // Introspection -------------------------------------------------------------
 
   std::uint64_t events_processed() const { return events_processed_; }
@@ -132,6 +142,11 @@ class Simulator {
   TimerId next_timer_id_ = 1;
   LinkFilter link_filter_;
   SendObserver send_observer_;
+
+  // Cached instruments (looked up once in set_observability; null when off).
+  obs::Counter* c_unicasts_ = nullptr;
+  obs::Counter* c_dropped_ = nullptr;
 };
 
-}  // namespace fastcast::sim
+}  // namespace sim
+}  // namespace fastcast

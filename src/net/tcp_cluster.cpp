@@ -6,6 +6,7 @@
 
 #include "fastcast/common/assert.hpp"
 #include "fastcast/common/logging.hpp"
+#include "fastcast/obs/observability.hpp"
 
 namespace fastcast::net {
 
@@ -24,8 +25,14 @@ class TcpCluster::NodeRuntime final : public Context {
               std::uint64_t seed)
       : cluster_(cluster), self_(self), transport_(self, addresses), rng_(seed) {
     transport_.set_receive([this](NodeId from, const Message& msg) {
+      if (c_received_) c_received_->inc();
       process_->on_message(*this, from, msg);
     });
+    if (obs::Observability* o = cluster_->config_.observability) {
+      set_observability(o);
+      c_sent_ = &o->metrics.counter("net.unicasts");
+      c_received_ = &o->metrics.counter("net.received");
+    }
   }
 
   void set_process(std::shared_ptr<Process> p) { process_ = std::move(p); }
@@ -39,7 +46,10 @@ class TcpCluster::NodeRuntime final : public Context {
   const Membership& membership() const override {
     return cluster_->config_.membership;
   }
-  void send(NodeId to, const Message& msg) override { transport_.send(to, msg); }
+  void send(NodeId to, const Message& msg) override {
+    if (c_sent_) c_sent_->inc();
+    transport_.send(to, msg);
+  }
 
   TimerId set_timer(Duration delay, std::function<void()> cb) override {
     const TimerId id = next_timer_id_++;
@@ -95,6 +105,8 @@ class TcpCluster::NodeRuntime final : public Context {
   NodeId self_;
   TcpTransport transport_;
   Rng rng_;
+  obs::Counter* c_sent_ = nullptr;
+  obs::Counter* c_received_ = nullptr;
   std::shared_ptr<Process> process_;
   Time epoch_ = 0;
   TimerId next_timer_id_ = 1;

@@ -1,0 +1,139 @@
+#include "fastcast/obs/json.hpp"
+
+#include <array>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "fastcast/common/assert.hpp"
+
+namespace fastcast::obs {
+
+void write_json_string(std::ostream& out, std::string_view s) {
+  out << '"';
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\b': out << "\\b"; break;
+      case '\f': out << "\\f"; break;
+      case '\n': out << "\\n"; break;
+      case '\r': out << "\\r"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (c < 0x20) {
+          std::array<char, 8> buf{};
+          std::snprintf(buf.data(), buf.size(), "\\u%04x", c);
+          out << buf.data();
+        } else {
+          out << static_cast<char>(c);
+        }
+    }
+  }
+  out << '"';
+}
+
+void JsonWriter::newline_indent() {
+  if (indent_ <= 0) return;
+  out_ << '\n';
+  for (std::size_t i = 0; i < stack_.size() * static_cast<std::size_t>(indent_);
+       ++i) {
+    out_ << ' ';
+  }
+}
+
+void JsonWriter::before_value() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // the key already placed the comma and indentation
+  }
+  if (stack_.empty()) return;  // top-level value
+  Frame& f = stack_.back();
+  FC_ASSERT_MSG(!f.is_object, "object members need key() first");
+  if (f.items++ > 0) out_ << ',';
+  newline_indent();
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  FC_ASSERT_MSG(!stack_.empty() && stack_.back().is_object,
+                "key() outside object");
+  FC_ASSERT_MSG(!pending_key_, "two keys in a row");
+  Frame& f = stack_.back();
+  if (f.items++ > 0) out_ << ',';
+  newline_indent();
+  write_json_string(out_, k);
+  out_ << (indent_ > 0 ? ": " : ":");
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  out_ << '{';
+  stack_.push_back({/*is_object=*/true, 0});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  FC_ASSERT(!stack_.empty() && stack_.back().is_object);
+  const bool had_items = stack_.back().items > 0;
+  stack_.pop_back();
+  if (had_items) newline_indent();
+  out_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  out_ << '[';
+  stack_.push_back({/*is_object=*/false, 0});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  FC_ASSERT(!stack_.empty() && !stack_.back().is_object);
+  const bool had_items = stack_.back().items > 0;
+  stack_.pop_back();
+  if (had_items) newline_indent();
+  out_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  before_value();
+  write_json_string(out_, v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  before_value();
+  out_ << (v ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  before_value();
+  out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  before_value();
+  out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  before_value();
+  if (!std::isfinite(v)) {
+    out_ << "null";  // JSON has no Inf/NaN
+    return *this;
+  }
+  std::array<char, 32> buf{};
+  auto [ptr, ec] = std::to_chars(buf.data(), buf.data() + buf.size(), v);
+  FC_ASSERT(ec == std::errc());
+  out_.write(buf.data(), ptr - buf.data());
+  return *this;
+}
+
+}  // namespace fastcast::obs

@@ -1,0 +1,84 @@
+#include "fastcast/obs/metrics.hpp"
+
+#include <iomanip>
+
+#include "fastcast/obs/json.hpp"
+
+namespace fastcast::obs {
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+std::map<std::string, std::uint64_t> MetricsRegistry::counters() const {
+  std::lock_guard lock(mu_);
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& [name, c] : counters_) out.emplace(name, c->value());
+  return out;
+}
+
+std::map<std::string, std::int64_t> MetricsRegistry::gauges() const {
+  std::lock_guard lock(mu_);
+  std::map<std::string, std::int64_t> out;
+  for (const auto& [name, g] : gauges_) out.emplace(name, g->value());
+  return out;
+}
+
+std::uint64_t MetricsRegistry::counter_value(std::string_view name) const {
+  std::lock_guard lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->value();
+}
+
+std::int64_t MetricsRegistry::gauge_value(std::string_view name) const {
+  std::lock_guard lock(mu_);
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0 : it->second->value();
+}
+
+void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+  const auto cs = other.counters();
+  const auto gs = other.gauges();
+  for (const auto& [name, v] : cs) counter(name).inc(v);
+  for (const auto& [name, v] : gs) gauge(name).record_max(v);
+}
+
+void MetricsRegistry::write_json(std::ostream& out, int indent) const {
+  const auto cs = counters();
+  const auto gs = gauges();
+  JsonWriter w(out, indent);
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [name, v] : cs) w.kv(name, v);
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, v] : gs) w.kv(name, v);
+  w.end_object();
+  w.end_object();
+}
+
+void MetricsRegistry::write_text(std::ostream& out) const {
+  for (const auto& [name, v] : counters()) {
+    out << "  " << std::left << std::setw(40) << name << ' ' << v << '\n';
+  }
+  for (const auto& [name, v] : gauges()) {
+    out << "  " << std::left << std::setw(40) << name << ' ' << v << '\n';
+  }
+}
+
+}  // namespace fastcast::obs

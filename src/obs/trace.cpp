@@ -1,0 +1,195 @@
+#include "fastcast/obs/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "fastcast/common/assert.hpp"
+#include "fastcast/obs/json.hpp"
+
+namespace fastcast::obs {
+
+const char* to_string(SpanEventKind k) {
+  switch (k) {
+    case SpanEventKind::kMcast: return "mcast";
+    case SpanEventKind::kRdeliver: return "rdeliver";
+    case SpanEventKind::kSyncSoft: return "sync_soft";
+    case SpanEventKind::kSetHardDecided: return "set_hard_decided";
+    case SpanEventKind::kSyncHard: return "sync_hard";
+    case SpanEventKind::kTask6Match: return "task6_match";
+    case SpanEventKind::kAdeliver: return "adeliver";
+  }
+  return "?";
+}
+
+Time Span::mcast_at() const {
+  for (const SpanEvent& e : events) {
+    if (e.kind == SpanEventKind::kMcast) return e.at;
+  }
+  return -1;
+}
+
+std::vector<SpanEvent> Span::of_kind(SpanEventKind k) const {
+  std::vector<SpanEvent> out;
+  for (const SpanEvent& e : events) {
+    if (e.kind == k) out.push_back(e);
+  }
+  return out;
+}
+
+void Tracer::record(MsgId mid, SpanEventKind kind, NodeId node, GroupId group,
+                    Time at, std::uint32_t aux) {
+  std::lock_guard lock(mu_);
+  Span& span = spans_[mid];
+  span.mid = mid;
+  span.events.push_back({kind, node, group, at, aux});
+  ++events_;
+  ++by_kind_[static_cast<std::size_t>(kind)];
+}
+
+std::size_t Tracer::span_count() const {
+  std::lock_guard lock(mu_);
+  return spans_.size();
+}
+
+std::uint64_t Tracer::event_count() const {
+  std::lock_guard lock(mu_);
+  return events_;
+}
+
+std::uint64_t Tracer::count(SpanEventKind kind) const {
+  std::lock_guard lock(mu_);
+  return by_kind_[static_cast<std::size_t>(kind)];
+}
+
+Span Tracer::span(MsgId mid) const {
+  std::lock_guard lock(mu_);
+  auto it = spans_.find(mid);
+  if (it == spans_.end()) return Span{mid, {}};
+  return it->second;
+}
+
+std::vector<Span> Tracer::spans() const {
+  std::vector<Span> out;
+  {
+    std::lock_guard lock(mu_);
+    out.reserve(spans_.size());
+    for (const auto& [mid, span] : spans_) out.push_back(span);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Span& a, const Span& b) { return a.mid < b.mid; });
+  return out;
+}
+
+std::vector<DeliveryDelta> Tracer::delivery_deltas(Duration delta) const {
+  FC_ASSERT_MSG(delta > 0, "delta must be positive");
+  std::vector<DeliveryDelta> out;
+  for (const Span& span : spans()) {
+    const Time start = span.mcast_at();
+    if (start < 0) continue;
+    std::uint32_t dst_groups = 0;
+    for (const SpanEvent& e : span.events) {
+      if (e.kind == SpanEventKind::kMcast) dst_groups = e.aux;
+    }
+    for (const SpanEvent& e : span.events) {
+      if (e.kind != SpanEventKind::kAdeliver) continue;
+      const Duration elapsed = e.at - start;
+      out.push_back({span.mid, e.node, e.group, dst_groups, elapsed,
+                     static_cast<double>(elapsed) / static_cast<double>(delta)});
+    }
+  }
+  return out;
+}
+
+DeltaSummary Tracer::summarize(Duration delta) const {
+  DeltaSummary s;
+  s.delta = delta;
+  std::map<std::uint32_t, DeltaSummary::Class> classes;
+  for (const DeliveryDelta& d : delivery_deltas(delta)) {
+    DeltaSummary::Class& c = classes[d.dst_groups];
+    if (c.samples == 0) {
+      c.dst_groups = d.dst_groups;
+      c.min_hops = c.max_hops = d.hops;
+    } else {
+      c.min_hops = std::min(c.min_hops, d.hops);
+      c.max_hops = std::max(c.max_hops, d.hops);
+    }
+    c.mean_hops += d.hops;  // sum for now, divided below
+    ++c.samples;
+    ++c.histogram[static_cast<int>(std::lround(d.hops))];
+    ++s.deliveries;
+  }
+  {
+    std::lock_guard lock(mu_);
+    const std::uint64_t matched = s.deliveries;
+    const std::uint64_t total =
+        by_kind_[static_cast<std::size_t>(SpanEventKind::kAdeliver)];
+    s.unmatched = total > matched ? total - matched : 0;
+  }
+  for (auto& [dst, c] : classes) {
+    c.mean_hops /= static_cast<double>(c.samples);
+    s.classes.push_back(std::move(c));
+  }
+  return s;
+}
+
+std::string DeltaSummary::to_string() const {
+  std::ostringstream out;
+  out << "empirical δ-count (δ = " << to_milliseconds(delta) << " ms, "
+      << deliveries << " deliveries";
+  if (unmatched > 0) out << ", " << unmatched << " unmatched";
+  out << ")\n";
+  out << "  dst-groups  deliveries   min    mean    max   histogram\n";
+  char line[160];
+  for (const Class& c : classes) {
+    std::snprintf(line, sizeof(line), "  %9u  %10llu  %5.2f  %5.2f  %5.2f   ",
+                  c.dst_groups,
+                  static_cast<unsigned long long>(c.samples), c.min_hops,
+                  c.mean_hops, c.max_hops);
+    out << line;
+    bool first = true;
+    for (const auto& [hops, n] : c.histogram) {
+      if (!first) out << ", ";
+      first = false;
+      out << hops << "δ×" << n;
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+void Tracer::dump_json(std::ostream& out, int indent) const {
+  const auto all = spans();
+  JsonWriter w(out, indent);
+  w.begin_object();
+  w.key("spans").begin_array();
+  for (const Span& span : all) {
+    w.begin_object();
+    w.kv("mid", span.mid);
+    w.kv("sender", static_cast<std::uint64_t>(msg_id_sender(span.mid)));
+    w.kv("seq", static_cast<std::uint64_t>(msg_id_seq(span.mid)));
+    w.key("events").begin_array();
+    for (const SpanEvent& e : span.events) {
+      w.begin_object();
+      w.kv("kind", to_string(e.kind));
+      w.kv("node", static_cast<std::uint64_t>(e.node));
+      if (e.group != kNoGroup) w.kv("group", static_cast<std::uint64_t>(e.group));
+      w.kv("at_ns", static_cast<std::int64_t>(e.at));
+      if (e.aux != 0) w.kv("aux", static_cast<std::uint64_t>(e.aux));
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+void Tracer::clear() {
+  std::lock_guard lock(mu_);
+  spans_.clear();
+  events_ = 0;
+  by_kind_.fill(0);
+}
+
+}  // namespace fastcast::obs

@@ -4,6 +4,7 @@
 
 #include "fastcast/common/assert.hpp"
 #include "fastcast/common/logging.hpp"
+#include "fastcast/obs/observability.hpp"
 
 namespace fastcast::paxos {
 
@@ -47,6 +48,9 @@ GroupConsensus::GroupConsensus(Config config, NodeId self)
     learner_.set_decided_observer(
         [this](InstanceId inst, const std::vector<std::byte>& value) {
           FC_ASSERT_MSG(ctx_ != nullptr, "decision before on_start");
+          if (auto* o = ctx_->obs()) {
+            o->metrics.counter("paxos.decisions").inc();
+          }
           proposer_.on_decided(*ctx_, inst, value);
         });
     proposer_.set_first_undecided_provider(
@@ -91,6 +95,9 @@ void GroupConsensus::arm_catch_up(Context& ctx) {
 
 void GroupConsensus::propose(Context& ctx, std::vector<std::byte> value) {
   if (!is_member(self_) || !elector_.is_self_leader(ctx)) return;
+  if (auto* o = ctx.obs()) {
+    o->metrics.counter("paxos.proposals").inc();
+  }
   proposer_.propose(ctx, std::move(value));
 }
 

@@ -2,6 +2,7 @@
 
 #include "fastcast/common/assert.hpp"
 #include "fastcast/common/logging.hpp"
+#include "fastcast/obs/observability.hpp"
 
 namespace fastcast {
 
@@ -40,6 +41,9 @@ void ReliableMulticast::arm_retransmit(Context& ctx) {
   timer_armed_ = true;
   ctx.set_timer(config_.retransmit_interval, [this, &ctx] {
     timer_armed_ = false;
+    if (auto* o = ctx.obs(); o && !unacked_.empty()) {
+      o->metrics.counter("rmcast.retransmits").inc(unacked_.size());
+    }
     for (const auto& [key, frame] : unacked_) {
       RmData copy = frame;
       copy.seq = key.second;
@@ -72,6 +76,10 @@ void ReliableMulticast::on_data(Context& ctx, NodeId from, const RmData& data) {
   if (origin.holdback.contains(data.seq)) return;
 
   origin.holdback.emplace(data.seq, data);
+  if (auto* o = ctx.obs()) {
+    o->metrics.gauge("rmcast.holdback_max")
+        .record_max(static_cast<std::int64_t>(holdback_size()));
+  }
 
   // Drain contiguous prefix in FIFO order.
   while (true) {
@@ -84,7 +92,13 @@ void ReliableMulticast::on_data(Context& ctx, NodeId from, const RmData& data) {
     const bool should_relay =
         config_.relay == RmConfig::Relay::kSelf && (!relay_pred_ || relay_pred_());
     if (should_relay) relay(ctx, frame);
-    if (deliver_) deliver_(ctx, frame.origin, frame.inner);
+    if (deliver_) {
+      if (auto* o = ctx.obs()) {
+        o->trace(mid_of(frame.inner), obs::SpanEventKind::kRdeliver,
+                 ctx.self(), ctx.my_group(), ctx.now());
+      }
+      deliver_(ctx, frame.origin, frame.inner);
+    }
   }
 }
 

@@ -5,6 +5,7 @@
 
 #include "fastcast/common/assert.hpp"
 #include "fastcast/common/logging.hpp"
+#include "fastcast/obs/observability.hpp"
 
 namespace fastcast::sim {
 
@@ -125,6 +126,12 @@ void Simulator::set_node_cpu(NodeId node, CpuModel cpu) {
   nodes_[node]->cpu = cpu;
 }
 
+void Simulator::set_observability(obs::Observability* o) {
+  c_unicasts_ = o ? &o->metrics.counter("net.unicasts") : nullptr;
+  c_dropped_ = o ? &o->metrics.counter("net.dropped") : nullptr;
+  for (auto& node : nodes_) node->ctx->set_observability(o);
+}
+
 void Simulator::crash(NodeId node) {
   FC_ASSERT(node < nodes_.size());
   nodes_[node]->crashed = true;
@@ -178,15 +185,18 @@ void Simulator::run_handler(NodeState& node, Time at,
 void Simulator::flush_sends(NodeState& node, Time departure) {
   for (auto& send : node.ctx->pending_) {
     ++messages_sent_;
+    if (c_unicasts_) c_unicasts_->inc();
     const NodeId to = send.to;
     if (send_observer_) send_observer_(node.id, to, *send.msg);
     if (config_.drop_probability > 0.0 && to != node.id &&
         net_rng_.bernoulli(config_.drop_probability)) {
       ++messages_dropped_;
+      if (c_dropped_) c_dropped_->inc();
       continue;
     }
     if (link_filter_ && !link_filter_(node.id, to, departure)) {
       ++messages_dropped_;
+      if (c_dropped_) c_dropped_->inc();
       continue;
     }
     const Duration lat = latency_->sample(node.id, to, net_rng_);

@@ -1,0 +1,100 @@
+// Empirical δ-accounting: measures the paper's time-complexity claims from
+// recorded message spans instead of asserting them on paper.
+//
+// Setup: every link has a constant one-way delay δ with zero jitter and
+// nodes process messages in zero time (CpuModel{0,0}), so the interval
+// from amulticast to a-delivery is an exact integer multiple of δ. The
+// tracer divides each interval by δ; the tests assert the quotients the
+// algorithms promise:
+//   FastCast  — global messages 4δ (fast path), local messages 3δ;
+//   BaseCast  — global messages 6δ;
+//   FastCast with the fast path disabled — strictly worse than 4δ.
+
+#include <gtest/gtest.h>
+
+#include "fastcast/harness/experiment.hpp"
+#include "fastcast/sim/latency.hpp"
+
+namespace fastcast::harness {
+namespace {
+
+constexpr Duration kDelta = milliseconds(10);
+
+/// Jitter-free uniform-δ run: one client, `groups` groups, destinations
+/// chosen by `dst`, spans traced for δ-accounting.
+obs::DeltaSummary run_delta(Protocol proto, std::size_t groups, DstPicker dst) {
+  ExperimentConfig cfg;
+  cfg.topo.env = Environment::kEmulatedWan;  // only picks defaults we override
+  cfg.topo.groups = groups;
+  cfg.topo.clients = 1;
+  cfg.topo.protocol = proto;
+  cfg.dst_factory = same_dst_for_all(std::move(dst));
+  cfg.latency_factory = [](const Membership*) {
+    return std::make_unique<sim::ConstantLatency>(kDelta, /*jitter_frac=*/0.0);
+  };
+  cfg.cpu_override = sim::CpuModel{0, 0};
+  cfg.warmup = milliseconds(0);
+  cfg.measure = milliseconds(400);
+  cfg.trace = true;
+  cfg.delta = kDelta;
+  const ExperimentResult r = run_experiment(cfg);
+  EXPECT_TRUE(r.report.ok);
+  return r.delta_summary;
+}
+
+/// The summary class for `dst_groups`-destination deliveries; fails the
+/// test if the run produced none.
+const obs::DeltaSummary::Class& class_of(const obs::DeltaSummary& sum,
+                                         std::uint32_t dst_groups) {
+  for (const auto& c : sum.classes) {
+    if (c.dst_groups == dst_groups) return c;
+  }
+  ADD_FAILURE() << "no deliveries with dst_groups=" << dst_groups << "\n"
+                << sum.to_string();
+  static const obs::DeltaSummary::Class kEmpty{};
+  return kEmpty;
+}
+
+TEST(DeltaCount, FastCastGlobalMessagesTakeFourDelta) {
+  const auto sum = run_delta(Protocol::kFastCast, 2, all_groups(2));
+  EXPECT_EQ(sum.unmatched, 0u);
+  const auto& global = class_of(sum, 2);
+  ASSERT_GT(global.samples, 10u);
+  EXPECT_DOUBLE_EQ(global.min_hops, 4.0) << sum.to_string();
+  EXPECT_DOUBLE_EQ(global.max_hops, 4.0) << sum.to_string();
+}
+
+TEST(DeltaCount, FastCastLocalMessagesTakeThreeDelta) {
+  const auto sum = run_delta(Protocol::kFastCast, 2, fixed_group(0));
+  const auto& local = class_of(sum, 1);
+  ASSERT_GT(local.samples, 10u);
+  EXPECT_DOUBLE_EQ(local.min_hops, 3.0) << sum.to_string();
+  EXPECT_DOUBLE_EQ(local.max_hops, 3.0) << sum.to_string();
+}
+
+TEST(DeltaCount, BaseCastGlobalMessagesTakeSixDelta) {
+  const auto sum = run_delta(Protocol::kBaseCast, 2, all_groups(2));
+  const auto& global = class_of(sum, 2);
+  ASSERT_GT(global.samples, 10u);
+  EXPECT_DOUBLE_EQ(global.min_hops, 6.0) << sum.to_string();
+  EXPECT_DOUBLE_EQ(global.max_hops, 6.0) << sum.to_string();
+}
+
+TEST(DeltaCount, ForcedSlowPathIsWorseThanFastPath) {
+  const auto sum = run_delta(Protocol::kFastCastSlowPath, 2, all_groups(2));
+  const auto& global = class_of(sum, 2);
+  ASSERT_GT(global.samples, 10u);
+  EXPECT_GT(global.min_hops, 4.0) << sum.to_string();
+}
+
+TEST(DeltaCount, FourGroupsStillFourDelta) {
+  // The fast path's 4δ is independent of the destination count.
+  const auto sum = run_delta(Protocol::kFastCast, 4, all_groups(4));
+  const auto& global = class_of(sum, 4);
+  ASSERT_GT(global.samples, 5u);
+  EXPECT_DOUBLE_EQ(global.min_hops, 4.0) << sum.to_string();
+  EXPECT_DOUBLE_EQ(global.max_hops, 4.0) << sum.to_string();
+}
+
+}  // namespace
+}  // namespace fastcast::harness

@@ -1,0 +1,219 @@
+// Unit tests for the observability subsystem: the streaming JSON writer,
+// the metrics registry, and the message-lifecycle tracer.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <sstream>
+#include <thread>
+
+#include "fastcast/obs/json.hpp"
+#include "fastcast/obs/metrics.hpp"
+#include "fastcast/obs/observability.hpp"
+#include "fastcast/obs/trace.hpp"
+
+namespace fastcast::obs {
+namespace {
+
+// --- JsonWriter ------------------------------------------------------------
+
+TEST(JsonWriter, CompactObject) {
+  std::ostringstream out;
+  JsonWriter w(out, /*indent=*/0);
+  w.begin_object();
+  w.kv("a", 1);
+  w.kv("b", "two");
+  w.kv("c", true);
+  w.end_object();
+  EXPECT_EQ(out.str(), R"({"a":1,"b":"two","c":true})");
+}
+
+TEST(JsonWriter, NestedContainers) {
+  std::ostringstream out;
+  JsonWriter w(out, 0);
+  w.begin_object();
+  w.key("xs").begin_array();
+  w.value(1).value(2).value(3);
+  w.end_array();
+  w.key("o").begin_object().kv("k", 4.5).end_object();
+  w.end_object();
+  EXPECT_EQ(out.str(), R"({"xs":[1,2,3],"o":{"k":4.5}})");
+}
+
+TEST(JsonWriter, StringEscaping) {
+  std::ostringstream out;
+  write_json_string(out, "a\"b\\c\n\t\x01");
+  EXPECT_EQ(out.str(), "\"a\\\"b\\\\c\\n\\t\\u0001\"");
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  std::ostringstream out;
+  JsonWriter w(out, 0);
+  w.begin_array();
+  w.value(std::numeric_limits<double>::infinity());
+  w.value(std::numeric_limits<double>::quiet_NaN());
+  w.end_array();
+  EXPECT_EQ(out.str(), "[null,null]");
+}
+
+TEST(JsonWriter, IndentedOutput) {
+  std::ostringstream out;
+  JsonWriter w(out, 2);
+  w.begin_object().kv("a", 1).end_object();
+  EXPECT_EQ(out.str(), "{\n  \"a\": 1\n}");
+}
+
+// --- MetricsRegistry -------------------------------------------------------
+
+TEST(Metrics, CounterAndGaugeBasics) {
+  MetricsRegistry reg;
+  reg.counter("x").inc();
+  reg.counter("x").inc(4);
+  EXPECT_EQ(reg.counter_value("x"), 5u);
+  EXPECT_EQ(reg.counter_value("never-touched"), 0u);
+
+  reg.gauge("g").set(7);
+  reg.gauge("g").record_max(3);  // lower: ignored
+  EXPECT_EQ(reg.gauge_value("g"), 7);
+  reg.gauge("g").record_max(11);
+  EXPECT_EQ(reg.gauge_value("g"), 11);
+}
+
+TEST(Metrics, ReferencesAreStable) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("hot");
+  for (int i = 0; i < 100; ++i) reg.counter("filler" + std::to_string(i));
+  c.inc();
+  EXPECT_EQ(reg.counter_value("hot"), 1u);
+  EXPECT_EQ(&c, &reg.counter("hot"));
+}
+
+TEST(Metrics, MergeAddsCountersAndMaxesGauges) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  a.counter("n").inc(2);
+  b.counter("n").inc(3);
+  b.counter("only-b").inc();
+  a.gauge("depth").set(5);
+  b.gauge("depth").set(4);
+  a.merge_from(b);
+  EXPECT_EQ(a.counter_value("n"), 5u);
+  EXPECT_EQ(a.counter_value("only-b"), 1u);
+  EXPECT_EQ(a.gauge_value("depth"), 5);
+}
+
+TEST(Metrics, WriteJsonShape) {
+  MetricsRegistry reg;
+  reg.counter("a.count").inc(2);
+  reg.gauge("a.depth").set(-3);
+  std::ostringstream out;
+  reg.write_json(out, /*indent=*/0);
+  EXPECT_EQ(out.str(),
+            R"({"counters":{"a.count":2},"gauges":{"a.depth":-3}})");
+}
+
+TEST(Metrics, ConcurrentIncrementsDoNotLoseCounts) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 4;
+  constexpr int kIncs = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg] {
+      Counter& c = reg.counter("shared");
+      for (int i = 0; i < kIncs; ++i) c.inc();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(reg.counter_value("shared"), kThreads * kIncs);
+}
+
+// --- Tracer ----------------------------------------------------------------
+
+TEST(Tracer, RecordsSpansPerMessage) {
+  Tracer tr;
+  const MsgId m = make_msg_id(7, 0);
+  tr.record(m, SpanEventKind::kMcast, 7, kNoGroup, 100, /*aux=*/2);
+  tr.record(m, SpanEventKind::kRdeliver, 0, 0, 200);
+  tr.record(m, SpanEventKind::kAdeliver, 0, 0, 500, /*aux=*/2);
+  tr.record(make_msg_id(8, 0), SpanEventKind::kMcast, 8, kNoGroup, 150, 1);
+
+  EXPECT_EQ(tr.span_count(), 2u);
+  EXPECT_EQ(tr.event_count(), 4u);
+  EXPECT_EQ(tr.count(SpanEventKind::kMcast), 2u);
+  EXPECT_EQ(tr.count(SpanEventKind::kAdeliver), 1u);
+
+  const Span s = tr.span(m);
+  ASSERT_EQ(s.events.size(), 3u);
+  EXPECT_EQ(s.mcast_at(), 100);
+  EXPECT_EQ(s.of_kind(SpanEventKind::kRdeliver).size(), 1u);
+  EXPECT_EQ(tr.span(make_msg_id(99, 99)).events.size(), 0u);
+}
+
+TEST(Tracer, DeliveryDeltasDivideByDelta) {
+  Tracer tr;
+  const MsgId m = make_msg_id(5, 1);
+  tr.record(m, SpanEventKind::kMcast, 5, kNoGroup, 1000, /*aux=*/2);
+  tr.record(m, SpanEventKind::kAdeliver, 0, 0, 5000, /*aux=*/2);
+  tr.record(m, SpanEventKind::kAdeliver, 3, 1, 4000, /*aux=*/2);
+
+  const auto deltas = tr.delivery_deltas(/*delta=*/1000);
+  ASSERT_EQ(deltas.size(), 2u);
+  EXPECT_DOUBLE_EQ(deltas[0].hops, 4.0);
+  EXPECT_DOUBLE_EQ(deltas[1].hops, 3.0);
+  EXPECT_EQ(deltas[0].dst_groups, 2u);
+}
+
+TEST(Tracer, SummarizeSplitsByDstGroupsAndCountsUnmatched) {
+  Tracer tr;
+  // One local (1 dst group) and one global (2 dst groups) message.
+  const MsgId local = make_msg_id(1, 0);
+  tr.record(local, SpanEventKind::kMcast, 1, kNoGroup, 0, 1);
+  tr.record(local, SpanEventKind::kAdeliver, 0, 0, 3000, 1);
+  const MsgId global = make_msg_id(1, 1);
+  tr.record(global, SpanEventKind::kMcast, 1, kNoGroup, 0, 2);
+  tr.record(global, SpanEventKind::kAdeliver, 0, 0, 4000, 2);
+  tr.record(global, SpanEventKind::kAdeliver, 3, 1, 4000, 2);
+  // An adeliver with no recorded mcast (message traced mid-run).
+  tr.record(make_msg_id(2, 0), SpanEventKind::kAdeliver, 0, 0, 9000, 1);
+
+  const DeltaSummary sum = tr.summarize(/*delta=*/1000);
+  EXPECT_EQ(sum.deliveries, 3u);
+  EXPECT_EQ(sum.unmatched, 1u);
+  ASSERT_EQ(sum.classes.size(), 2u);
+  EXPECT_EQ(sum.classes[0].dst_groups, 1u);
+  EXPECT_DOUBLE_EQ(sum.classes[0].mean_hops, 3.0);
+  EXPECT_EQ(sum.classes[1].dst_groups, 2u);
+  EXPECT_EQ(sum.classes[1].samples, 2u);
+  EXPECT_EQ(sum.classes[1].histogram.at(4), 2u);
+  EXPECT_FALSE(sum.to_string().empty());
+}
+
+TEST(Tracer, DumpJsonAndClear) {
+  Tracer tr;
+  tr.record(make_msg_id(3, 7), SpanEventKind::kMcast, 3, kNoGroup, 42, 1);
+  std::ostringstream out;
+  tr.dump_json(out, 0);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"spans\""), std::string::npos);
+  EXPECT_NE(json.find("\"sender\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"seq\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"mcast\""), std::string::npos);
+
+  tr.clear();
+  EXPECT_EQ(tr.span_count(), 0u);
+  EXPECT_EQ(tr.event_count(), 0u);
+}
+
+// --- Observability bundle --------------------------------------------------
+
+TEST(Observability, TraceGateSkipsRecordingWhenOff) {
+  Observability obs;
+  obs.trace(make_msg_id(1, 0), SpanEventKind::kMcast, 1, kNoGroup, 0, 1);
+  EXPECT_EQ(obs.tracer.span_count(), 0u);  // tracing defaults to off
+  obs.tracing = true;
+  obs.trace(make_msg_id(1, 0), SpanEventKind::kMcast, 1, kNoGroup, 0, 1);
+  EXPECT_EQ(obs.tracer.span_count(), 1u);
+}
+
+}  // namespace
+}  // namespace fastcast::obs
