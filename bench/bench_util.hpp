@@ -47,6 +47,70 @@ struct BenchCli {
   bool observe() const { return !metrics_path.empty() || !trace_path.empty(); }
 };
 
+// ---------------------------------------------------------------------------
+// Build-flavor detection: numbers from unoptimized or sanitized builds are
+// not comparable to tracked baselines, so every bench stamps the flavor into
+// its JSON and warns loudly when it is not a clean optimized build.
+// ---------------------------------------------------------------------------
+
+constexpr bool build_is_optimized() {
+#ifdef __OPTIMIZE__
+  return true;
+#else
+  return false;
+#endif
+}
+
+constexpr bool build_has_assertions() {
+#ifdef NDEBUG
+  return false;
+#else
+  return true;
+#endif
+}
+
+constexpr bool build_is_sanitized() {
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+  return true;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(memory_sanitizer) || __has_feature(undefined_behavior_sanitizer)
+  return true;
+#else
+  return false;
+#endif
+#else
+  return false;
+#endif
+}
+
+constexpr bool build_is_benchmark_grade() {
+  return build_is_optimized() && !build_is_sanitized();
+}
+
+/// Warns on stderr when this binary was built in a flavor whose timings are
+/// meaningless (debug / sanitizers). Returns true when the build is clean.
+inline bool warn_if_not_benchmark_grade(const char* name) {
+  if (build_is_benchmark_grade()) return true;
+  std::fprintf(stderr,
+               "%s: WARNING: not a benchmark-grade build (optimized=%d, "
+               "sanitized=%d, assertions=%d); timings will be misleading — "
+               "rebuild with -DCMAKE_BUILD_TYPE=Release\n",
+               name, build_is_optimized() ? 1 : 0, build_is_sanitized() ? 1 : 0,
+               build_has_assertions() ? 1 : 0);
+  return false;
+}
+
+/// Writes the "build" JSON object (call inside an open object).
+inline void write_build_flavor(obs::JsonWriter& w) {
+  w.key("build").begin_object();
+  w.kv("optimized", build_is_optimized());
+  w.kv("sanitized", build_is_sanitized());
+  w.kv("assertions", build_has_assertions());
+  w.kv("benchmark_grade", build_is_benchmark_grade());
+  w.end_object();
+}
+
 inline BenchCli& bench_cli() {
   static BenchCli cli;
   return cli;
@@ -102,6 +166,7 @@ inline void note_result(const std::string& table, const std::string& x,
 /// Parses the shared flags; prints usage and exits on --help or a flag it
 /// does not know.
 inline void parse_bench_cli(int argc, char** argv, const char* name) {
+  warn_if_not_benchmark_grade(name);
   auto& cli = bench_cli();
   for (int i = 1; i < argc; ++i) {
     auto want_value = [&](const char* flag) -> const char* {
@@ -167,6 +232,7 @@ inline int finish_bench(const char* name) {
     obs::JsonWriter w(out);
     w.begin_object();
     w.kv("bench", name);
+    write_build_flavor(w);
     w.key("rows").begin_array();
     for (const BenchRow& row : bench_rows()) {
       w.begin_object();

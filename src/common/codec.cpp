@@ -2,6 +2,22 @@
 
 namespace fastcast {
 
+std::vector<std::byte> BufferPool::acquire() {
+  if (pool_.empty()) return {};
+  std::vector<std::byte> buf = std::move(pool_.back());
+  pool_.pop_back();
+  buf.clear();
+  return buf;
+}
+
+void BufferPool::release(std::vector<std::byte>&& buf) {
+  if (pool_.size() >= kMaxPooled || buf.capacity() == 0 ||
+      buf.capacity() > kMaxRetainedBytes) {
+    return;  // let it free; keeps idle memory bounded
+  }
+  pool_.push_back(std::move(buf));
+}
+
 std::vector<std::byte> to_bytes(std::string_view s) {
   const auto* p = reinterpret_cast<const std::byte*>(s.data());
   return std::vector<std::byte>(p, p + s.size());

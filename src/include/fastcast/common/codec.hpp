@@ -24,6 +24,15 @@ class Writer {
   Writer() = default;
   explicit Writer(std::size_t reserve) { buf_.reserve(reserve); }
 
+  /// Adopts `buf` (contents preserved, writes append) so hot paths can
+  /// recycle a scratch buffer's capacity instead of allocating per message.
+  /// Retrieve the buffer back with take().
+  explicit Writer(std::vector<std::byte>&& buf) : buf_(std::move(buf)) {}
+
+  /// Drops the accumulated bytes but keeps the capacity for reuse.
+  void clear() { buf_.clear(); }
+  void reserve(std::size_t n) { buf_.reserve(n); }
+
   void u8(std::uint8_t v) { buf_.push_back(std::byte{v}); }
 
   void u16(std::uint16_t v) { append_le(&v, sizeof v); }
@@ -158,6 +167,27 @@ class Reader {
   std::span<const std::byte> data_;
   std::size_t pos_ = 0;
   bool ok_ = true;
+};
+
+/// Recycles byte buffers so per-message hot paths (TCP framing, batch
+/// encoding, the simulator's serialize-everything mode) reuse capacity
+/// instead of allocating a fresh vector per message. acquire() returns an
+/// empty buffer (possibly with warm capacity); release() hands it back.
+/// Not thread-safe: use one pool per thread/transport/context.
+class BufferPool {
+ public:
+  std::vector<std::byte> acquire();
+  void release(std::vector<std::byte>&& buf);
+
+  std::size_t pooled() const { return pool_.size(); }
+
+ private:
+  /// Bounds idle memory: at most kMaxPooled buffers of kMaxRetainedBytes
+  /// capacity are retained; anything beyond is simply freed.
+  static constexpr std::size_t kMaxPooled = 64;
+  static constexpr std::size_t kMaxRetainedBytes = 1 << 20;
+
+  std::vector<std::vector<std::byte>> pool_;
 };
 
 /// Converts a string payload to bytes for Writer::bytes / tests.

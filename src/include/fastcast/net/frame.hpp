@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "fastcast/runtime/message.hpp"
@@ -10,6 +11,11 @@
 /// Length-prefixed framing for the TCP transport: each frame is a 4-byte
 /// little-endian length followed by one encoded Message. FrameParser
 /// incrementally consumes a byte stream and yields complete messages.
+///
+/// The hot paths are allocation-aware: frame_message_into appends into a
+/// caller-recycled buffer (pair with BufferPool), and FrameParser exposes
+/// its internal arena through recv_buffer()/commit() so sockets can read
+/// straight into it — no intermediate stack buffer, no feed() copy.
 
 namespace fastcast::net {
 
@@ -19,23 +25,39 @@ constexpr std::uint32_t kMaxFrameBytes = 16u << 20;
 /// Encodes `msg` as one frame (length prefix included).
 std::vector<std::byte> frame_message(const Message& msg);
 
+/// Appends one frame for `msg` to `out` (capacity reused, contents kept),
+/// so many frames can be coalesced into one buffer or a pooled buffer can
+/// be recycled across messages. Byte-identical to frame_message.
+void frame_message_into(const Message& msg, std::vector<std::byte>& out);
+
 class FrameParser {
  public:
-  /// Appends raw stream bytes.
+  /// Appends raw stream bytes (copying path; recv_buffer/commit is the
+  /// copy-free alternative).
   void feed(const std::byte* data, std::size_t len);
+
+  /// Returns a writable region of at least `min_bytes` at the tail of the
+  /// internal arena. Read socket data directly into it, then call
+  /// commit(n) with the byte count actually received.
+  std::span<std::byte> recv_buffer(std::size_t min_bytes);
+  void commit(std::size_t n);
 
   /// Extracts the next complete message, if any. Returns std::nullopt when
   /// more bytes are needed. Sets corrupted() on framing/codec errors, after
-  /// which the connection must be dropped.
+  /// which the connection must be dropped. Decoding reads std::span views
+  /// of the arena; only the decoded Message fields are materialized.
   std::optional<Message> next();
 
   bool corrupted() const { return corrupted_; }
-  std::size_t buffered() const { return buf_.size() - consumed_; }
+  std::size_t buffered() const { return end_ - consumed_; }
 
  private:
   void compact();
 
+  /// The arena: bytes [consumed_, end_) are unparsed stream data; the
+  /// vector's size is treated as capacity (bytes past end_ are garbage).
   std::vector<std::byte> buf_;
+  std::size_t end_ = 0;
   std::size_t consumed_ = 0;
   bool corrupted_ = false;
 };

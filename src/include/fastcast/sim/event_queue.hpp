@@ -1,29 +1,143 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <limits>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "fastcast/common/assert.hpp"
 #include "fastcast/common/time.hpp"
 
 /// \file event_queue.hpp
-/// The discrete-event heart of the simulator: a priority queue of (time,
-/// sequence) ordered closures. The monotonically increasing sequence number
-/// breaks time ties in insertion order, which makes runs deterministic and
-/// preserves FIFO among same-time arrivals.
+/// The discrete-event heart of the simulator: a pooled priority queue of
+/// (time, sequence) ordered callbacks. The monotonically increasing sequence
+/// number breaks time ties in insertion order, which makes runs deterministic
+/// and preserves FIFO among same-time arrivals.
+///
+/// Hot-path design (the simulator executes one of these per message hop):
+///   * EventFn stores callables inline (up to kInlineBytes) instead of going
+///     through std::function, so the dominant closures — deliver (node id ×2
+///     plus a shared_ptr message) and timer fires — never touch the heap.
+///   * Event nodes live in a free-list pool that is allocated once and
+///     recycled; a steady-state push/pop cycle performs zero allocations.
+///   * The binary heap stores (time, seq, pool-index) triples — the ordering
+///     keys stay inline, so sift compares never chase a pointer into the
+///     pool and sift moves copy 24-byte PODs instead of whole events.
 
 namespace fastcast::sim {
+
+/// Move-only type-erased callable with inline small-object storage sized for
+/// the simulator's hot closures. Callables larger than kInlineBytes (or with
+/// extended alignment) fall back to a single heap allocation.
+class EventFn {
+ public:
+  static constexpr std::size_t kInlineBytes = 48;
+
+  EventFn() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, EventFn>>>
+  EventFn(F&& f) {  // NOLINT(google-explicit-constructor): drop-in for std::function
+    using Fn = std::remove_cvref_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = &kInlineOps<Fn>;
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &kHeapOps<Fn>;
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept { take(other); }
+
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      take(other);
+    }
+    return *this;
+  }
+
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+
+  ~EventFn() { reset(); }
+
+  void operator()() {
+    FC_ASSERT_MSG(ops_ != nullptr, "invoking empty EventFn");
+    ops_->invoke(buf_);
+  }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    /// Move-constructs dst from src and destroys src.
+    void (*relocate)(void* src, void* dst);
+    void (*destroy)(void*);
+  };
+
+  template <typename Fn>
+  static constexpr Ops kInlineOps = {
+      [](void* p) { (*static_cast<Fn*>(p))(); },
+      [](void* src, void* dst) {
+        Fn* s = static_cast<Fn*>(src);
+        ::new (dst) Fn(std::move(*s));
+        s->~Fn();
+      },
+      [](void* p) { static_cast<Fn*>(p)->~Fn(); },
+  };
+
+  template <typename Fn>
+  static constexpr Ops kHeapOps = {
+      [](void* p) { (**static_cast<Fn**>(p))(); },
+      [](void* src, void* dst) {
+        ::new (dst) Fn*(*static_cast<Fn**>(src));
+      },
+      [](void* p) { delete *static_cast<Fn**>(p); },
+  };
+
+  void take(EventFn& other) noexcept {
+    if (other.ops_ != nullptr) {
+      other.ops_->relocate(other.buf_, buf_);
+      ops_ = std::exchange(other.ops_, nullptr);
+    }
+  }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
 
 class EventQueue {
  public:
   struct Event {
     Time at = 0;
     std::uint64_t seq = 0;
-    std::function<void()> fn;
+    EventFn fn;
   };
 
-  void push(Time at, std::function<void()> fn);
+  /// Schedules `fn` at time `at`. Accepts any void() callable; small ones
+  /// are stored inline in a recycled pool node (no allocation).
+  template <typename F>
+  void push(Time at, F&& fn) {
+    const std::uint32_t idx = acquire();
+    pool_[idx].fn = EventFn(std::forward<F>(fn));
+    enqueue(HeapEntry{at, next_seq_++, idx});
+  }
 
   bool empty() const { return heap_.empty(); }
   std::size_t size() const { return heap_.size(); }
@@ -32,20 +146,55 @@ class EventQueue {
   Time next_time() const;
 
   /// Pops and returns the earliest event (by time, then insertion order).
+  /// The event's pool node is recycled for future pushes.
   Event pop();
 
   std::uint64_t pushed_count() const { return next_seq_; }
 
+  /// Largest number of simultaneously pending events observed so far.
+  std::size_t high_water_mark() const { return high_water_; }
+
+  /// Event nodes allocated over the queue's lifetime (the pool never
+  /// shrinks; steady state is pool reuse with zero allocations).
+  std::size_t pool_size() const { return pool_.size(); }
+
  private:
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
+  static constexpr std::uint32_t kNilIndex =
+      std::numeric_limits<std::uint32_t>::max();
+
+  struct Node {
+    EventFn fn;
+    std::uint32_t next_free = kNilIndex;
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  /// Heap element: ordering keys inline plus the pool index of the callable.
+  struct HeapEntry {
+    Time at;
+    std::uint64_t seq;
+    std::uint32_t idx;
+  };
+
+  /// 4-ary heap: half the levels of a binary heap, and each level's
+  /// children share a cache line — fewer misses per sift on deep queues.
+  static constexpr std::size_t kArity = 4;
+
+  static bool before(const HeapEntry& a, const HeapEntry& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.seq < b.seq;
+  }
+
+  std::uint32_t acquire();
+  void enqueue(HeapEntry entry);
+  void release(std::uint32_t idx);
+
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+
+  std::vector<Node> pool_;
+  std::uint32_t free_head_ = kNilIndex;
+  std::vector<HeapEntry> heap_;  ///< (at, seq)-ordered min-heap
   std::uint64_t next_seq_ = 0;
+  std::size_t high_water_ = 0;
 };
 
 }  // namespace fastcast::sim

@@ -26,6 +26,7 @@ namespace fastcast {
 namespace obs {
 class Observability;
 class Counter;
+class Gauge;
 }  // namespace obs
 
 namespace sim {
@@ -104,6 +105,11 @@ class Simulator {
   std::uint64_t messages_sent() const { return messages_sent_; }
   std::uint64_t messages_dropped() const { return messages_dropped_; }
 
+  /// Largest number of simultaneously pending events observed so far (also
+  /// exported as the "sim.event_queue.high_water" gauge when observability
+  /// is attached).
+  std::size_t event_queue_high_water() const { return queue_.high_water_mark(); }
+
   /// Context of a node, e.g. for tests that poke protocol objects directly.
   Context& context(NodeId node);
 
@@ -121,11 +127,11 @@ class Simulator {
 
   void deliver(NodeId to, NodeId from, const std::shared_ptr<const Message>& msg);
   void fire_timer(NodeId node, TimerId id);
-  void execute_or_queue(NodeState& node, std::function<void()> task);
+  void execute_or_queue(NodeState& node, EventFn task);
   void arm_drain(NodeState& node);
   void drain_inbox(NodeState& node);
   void flush_sends(NodeState& node, Time departure);
-  void run_handler(NodeState& node, Time at, const std::function<void()>& body);
+  void run_handler(NodeState& node, Time at, EventFn&& body);
 
   Membership membership_;
   std::unique_ptr<LatencyModel> latency_;
@@ -133,6 +139,7 @@ class Simulator {
   EventQueue queue_;
   Time now_ = 0;
   Rng net_rng_;
+  std::vector<std::byte> codec_scratch_;  ///< reused by serialize_messages mode
 
   std::vector<std::unique_ptr<NodeState>> nodes_;
 
@@ -146,6 +153,8 @@ class Simulator {
   // Cached instruments (looked up once in set_observability; null when off).
   obs::Counter* c_unicasts_ = nullptr;
   obs::Counter* c_dropped_ = nullptr;
+  obs::Gauge* g_queue_hwm_ = nullptr;
+  std::size_t last_reported_hwm_ = 0;
 };
 
 }  // namespace sim

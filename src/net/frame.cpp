@@ -1,42 +1,69 @@
 #include "fastcast/net/frame.hpp"
 
+#include <algorithm>
 #include <cstring>
+
+#include "fastcast/common/assert.hpp"
 
 namespace fastcast::net {
 
 std::vector<std::byte> frame_message(const Message& msg) {
-  const std::vector<std::byte> body = encode_message(msg);
   std::vector<std::byte> out;
-  out.reserve(4 + body.size());
-  const auto len = static_cast<std::uint32_t>(body.size());
-  const auto* lp = reinterpret_cast<const std::byte*>(&len);
-  out.insert(out.end(), lp, lp + 4);
-  out.insert(out.end(), body.begin(), body.end());
+  frame_message_into(msg, out);
   return out;
 }
 
+void frame_message_into(const Message& msg, std::vector<std::byte>& out) {
+  // Reserve the length slot, encode the body in place, then backfill the
+  // prefix — one buffer, no body-copy.
+  const std::size_t len_pos = out.size();
+  out.resize(len_pos + 4);
+  Writer w(std::move(out));
+  encode(w, msg);
+  out = w.take();
+  const auto len = static_cast<std::uint32_t>(out.size() - len_pos - 4);
+  std::memcpy(out.data() + len_pos, &len, 4);
+}
+
 void FrameParser::feed(const std::byte* data, std::size_t len) {
-  buf_.insert(buf_.end(), data, data + len);
+  std::memcpy(recv_buffer(len).data(), data, len);
+  commit(len);
+}
+
+std::span<std::byte> FrameParser::recv_buffer(std::size_t min_bytes) {
+  compact();
+  if (buf_.size() - end_ < min_bytes) {
+    // The vector's size is the arena capacity; growth value-initializes
+    // once, after which the region is recycled without further writes.
+    buf_.resize(std::max(end_ + min_bytes, buf_.size() * 2));
+  }
+  return {buf_.data() + end_, buf_.size() - end_};
+}
+
+void FrameParser::commit(std::size_t n) {
+  FC_ASSERT(end_ + n <= buf_.size());
+  end_ += n;
 }
 
 void FrameParser::compact() {
-  // Reclaim consumed prefix once it dominates the buffer.
-  if (consumed_ > 4096 && consumed_ * 2 > buf_.size()) {
-    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+  // Reclaim the consumed prefix once it dominates the arena.
+  if (consumed_ > 4096 && consumed_ * 2 > end_) {
+    std::memmove(buf_.data(), buf_.data() + consumed_, end_ - consumed_);
+    end_ -= consumed_;
     consumed_ = 0;
   }
 }
 
 std::optional<Message> FrameParser::next() {
   if (corrupted_) return std::nullopt;
-  if (buf_.size() - consumed_ < 4) return std::nullopt;
+  if (end_ - consumed_ < 4) return std::nullopt;
   std::uint32_t len = 0;
   std::memcpy(&len, buf_.data() + consumed_, 4);
   if (len > kMaxFrameBytes) {
     corrupted_ = true;
     return std::nullopt;
   }
-  if (buf_.size() - consumed_ < 4 + static_cast<std::size_t>(len)) return std::nullopt;
+  if (end_ - consumed_ < 4 + static_cast<std::size_t>(len)) return std::nullopt;
 
   Message out;
   const std::span<const std::byte> body(buf_.data() + consumed_ + 4, len);
@@ -45,7 +72,6 @@ std::optional<Message> FrameParser::next() {
     return std::nullopt;
   }
   consumed_ += 4 + len;
-  compact();
   return out;
 }
 

@@ -169,10 +169,18 @@ bool decode(Reader& r, Tuple& out) {
 }
 
 std::vector<std::byte> encode_tuples(const std::vector<Tuple>& tuples) {
-  Writer w;
+  std::vector<std::byte> out;
+  encode_tuples_into(tuples, out);
+  return out;
+}
+
+void encode_tuples_into(const std::vector<Tuple>& tuples,
+                        std::vector<std::byte>& out) {
+  out.clear();
+  Writer w(std::move(out));
   w.varint(tuples.size());
   for (const Tuple& t : tuples) encode(w, t);
-  return w.take();
+  out = w.take();
 }
 
 bool decode_tuples(std::span<const std::byte> bytes, std::vector<Tuple>& out) {
@@ -190,10 +198,18 @@ bool decode_tuples(std::span<const std::byte> bytes, std::vector<Tuple>& out) {
 }
 
 std::vector<std::byte> encode_msg_batch(const std::vector<MulticastMessage>& msgs) {
-  Writer w;
+  std::vector<std::byte> out;
+  encode_msg_batch_into(msgs, out);
+  return out;
+}
+
+void encode_msg_batch_into(const std::vector<MulticastMessage>& msgs,
+                           std::vector<std::byte>& out) {
+  out.clear();
+  Writer w(std::move(out));
   w.varint(msgs.size());
   for (const auto& m : msgs) encode(w, m);
-  return w.take();
+  out = w.take();
 }
 
 bool decode_msg_batch(std::span<const std::byte> bytes,
@@ -410,9 +426,17 @@ bool decode(Reader& r, Message& out) {
 }
 
 std::vector<std::byte> encode_message(const Message& m) {
-  Writer w(128);
+  std::vector<std::byte> out;
+  out.reserve(128);
+  encode_message_into(m, out);
+  return out;
+}
+
+void encode_message_into(const Message& m, std::vector<std::byte>& out) {
+  out.clear();
+  Writer w(std::move(out));
   encode(w, m);
-  return w.take();
+  out = w.take();
 }
 
 bool decode_message(std::span<const std::byte> bytes, Message& out) {

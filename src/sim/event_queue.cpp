@@ -1,25 +1,84 @@
 #include "fastcast/sim/event_queue.hpp"
 
-#include "fastcast/common/assert.hpp"
+#include <algorithm>
 
 namespace fastcast::sim {
 
-void EventQueue::push(Time at, std::function<void()> fn) {
-  heap_.push(Event{at, next_seq_++, std::move(fn)});
+std::uint32_t EventQueue::acquire() {
+  // seq is the determinism anchor: it must never wrap or reuse values.
+  // 2^64 pushes is unreachable in practice, but the queue's ordering
+  // contract silently breaks if it ever did, so fail loudly instead.
+  FC_ASSERT_MSG(next_seq_ != std::numeric_limits<std::uint64_t>::max(),
+                "event sequence counter exhausted");
+  std::uint32_t idx;
+  if (free_head_ != kNilIndex) {
+    idx = free_head_;
+    free_head_ = pool_[idx].next_free;
+  } else {
+    FC_ASSERT_MSG(pool_.size() < kNilIndex, "event pool exhausted");
+    idx = static_cast<std::uint32_t>(pool_.size());
+    pool_.emplace_back();
+  }
+  return idx;
+}
+
+void EventQueue::enqueue(HeapEntry entry) {
+  heap_.push_back(entry);
+  sift_up(heap_.size() - 1);
+  if (heap_.size() > high_water_) high_water_ = heap_.size();
+}
+
+void EventQueue::release(std::uint32_t idx) {
+  pool_[idx].next_free = free_head_;
+  free_head_ = idx;
 }
 
 Time EventQueue::next_time() const {
   FC_ASSERT(!heap_.empty());
-  return heap_.top().at;
+  return heap_.front().at;
 }
 
 EventQueue::Event EventQueue::pop() {
   FC_ASSERT(!heap_.empty());
-  // priority_queue::top() is const; the move is safe because we pop
-  // immediately after and never touch the moved-from element.
-  Event e = std::move(const_cast<Event&>(heap_.top()));
-  heap_.pop();
+  const HeapEntry top = heap_.front();
+  Event e;
+  e.at = top.at;
+  e.seq = top.seq;
+  e.fn = std::move(pool_[top.idx].fn);
+  release(top.idx);
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
   return e;
+}
+
+void EventQueue::sift_up(std::size_t i) {
+  const HeapEntry entry = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / kArity;
+    if (!before(entry, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = entry;
+}
+
+void EventQueue::sift_down(std::size_t i) {
+  const HeapEntry entry = heap_[i];
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t first = kArity * i + 1;
+    if (first >= n) break;
+    const std::size_t last = std::min(first + kArity, n);
+    std::size_t best = first;
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (before(heap_[c], heap_[best])) best = c;
+    }
+    if (!before(heap_[best], entry)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = entry;
 }
 
 }  // namespace fastcast::sim

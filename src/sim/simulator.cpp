@@ -45,7 +45,7 @@ struct Simulator::NodeState {
   bool crashed = false;
   CpuModel cpu;
   std::unordered_map<TimerId, std::function<void()>> timers;
-  std::deque<std::function<void()>> inbox;  ///< tasks queued behind a busy CPU
+  std::deque<EventFn> inbox;  ///< tasks queued behind a busy CPU
   bool drain_scheduled = false;
 };
 
@@ -53,14 +53,18 @@ Rng& Simulator::NodeContext::rng() { return sim_->nodes_[self_]->rng; }
 
 void Simulator::NodeContext::send(NodeId to, const Message& msg) {
   FC_ASSERT(to < sim_->membership_.node_count());
-  auto shared = std::make_shared<const Message>(msg);
+  std::shared_ptr<const Message> shared;
   if (sim_->config_.serialize_messages) {
     // Round-trip through the codec so integration tests exercise exactly
-    // the bytes the TCP transport would carry.
-    Message decoded;
-    const auto bytes = encode_message(*shared);
-    FC_ASSERT_MSG(decode_message(bytes, decoded), "codec round-trip failed");
-    shared = std::make_shared<const Message>(std::move(decoded));
+    // the bytes the TCP transport would carry. The scratch buffer is owned
+    // by the (single-threaded) simulator and reused across sends.
+    encode_message_into(msg, sim_->codec_scratch_);
+    auto decoded = std::make_shared<Message>();
+    FC_ASSERT_MSG(decode_message(sim_->codec_scratch_, *decoded),
+                  "codec round-trip failed");
+    shared = std::move(decoded);
+  } else {
+    shared = std::make_shared<const Message>(msg);
   }
   pending_.push_back({to, std::move(shared)});
 }
@@ -129,6 +133,12 @@ void Simulator::set_node_cpu(NodeId node, CpuModel cpu) {
 void Simulator::set_observability(obs::Observability* o) {
   c_unicasts_ = o ? &o->metrics.counter("net.unicasts") : nullptr;
   c_dropped_ = o ? &o->metrics.counter("net.dropped") : nullptr;
+  g_queue_hwm_ = o ? &o->metrics.gauge("sim.event_queue.high_water") : nullptr;
+  last_reported_hwm_ = 0;
+  if (g_queue_hwm_ != nullptr && queue_.high_water_mark() > 0) {
+    last_reported_hwm_ = queue_.high_water_mark();
+    g_queue_hwm_->record_max(static_cast<std::int64_t>(last_reported_hwm_));
+  }
   for (auto& node : nodes_) node->ctx->set_observability(o);
 }
 
@@ -149,6 +159,12 @@ bool Simulator::is_crashed(NodeId node) const {
 
 bool Simulator::step() {
   if (queue_.empty()) return false;
+  // Export the queue's high-water mark lazily: only when it grew since the
+  // last report, so the steady-state cost is one inline comparison.
+  if (g_queue_hwm_ != nullptr && queue_.high_water_mark() > last_reported_hwm_) {
+    last_reported_hwm_ = queue_.high_water_mark();
+    g_queue_hwm_->record_max(static_cast<std::int64_t>(last_reported_hwm_));
+  }
   auto event = queue_.pop();
   FC_ASSERT(event.at >= now_);
   now_ = event.at;
@@ -170,8 +186,7 @@ bool Simulator::run_to_idle(Time limit) {
   return true;
 }
 
-void Simulator::run_handler(NodeState& node, Time at,
-                            const std::function<void()>& body) {
+void Simulator::run_handler(NodeState& node, Time at, EventFn&& body) {
   if (node.crashed) return;
   body();
   const Duration cost =
@@ -208,7 +223,7 @@ void Simulator::flush_sends(NodeState& node, Time departure) {
   node.ctx->pending_.clear();
 }
 
-void Simulator::execute_or_queue(NodeState& node, std::function<void()> task) {
+void Simulator::execute_or_queue(NodeState& node, EventFn task) {
   if (node.crashed) return;
   if (node.busy_until > now_) {
     // The node's CPU is still occupied by an earlier handler: queue the
@@ -219,7 +234,7 @@ void Simulator::execute_or_queue(NodeState& node, std::function<void()> task) {
     arm_drain(node);
     return;
   }
-  run_handler(node, now_, task);
+  run_handler(node, now_, std::move(task));
 }
 
 void Simulator::arm_drain(NodeState& node) {
@@ -240,9 +255,9 @@ void Simulator::drain_inbox(NodeState& node) {
     return;
   }
   if (node.inbox.empty()) return;
-  const std::function<void()> task = std::move(node.inbox.front());
+  EventFn task = std::move(node.inbox.front());
   node.inbox.pop_front();
-  run_handler(node, now_, task);
+  run_handler(node, now_, std::move(task));
   if (!node.inbox.empty()) arm_drain(node);
 }
 

@@ -3,6 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "fastcast/sim/event_queue.hpp"
@@ -35,6 +39,85 @@ TEST(EventQueue, NextTime) {
   EventQueue q;
   q.push(42, [] {});
   EXPECT_EQ(q.next_time(), 42);
+}
+
+TEST(EventQueue, PoolRecyclesNodesInSteadyState) {
+  EventQueue q;
+  for (int i = 0; i < 64; ++i) q.push(i, [] {});
+  const std::size_t pool_after_fill = q.pool_size();
+  // Steady-state churn at constant depth must not grow the pool: every
+  // pop returns a node to the free list that the next push reuses.
+  for (int i = 0; i < 10'000; ++i) {
+    q.pop().fn();
+    q.push(1'000 + i, [] {});
+  }
+  EXPECT_EQ(q.pool_size(), pool_after_fill);
+  EXPECT_EQ(q.size(), 64u);
+}
+
+TEST(EventQueue, HighWaterMarkTracksPeakDepth) {
+  EventQueue q;
+  for (int i = 0; i < 10; ++i) q.push(i, [] {});
+  for (int i = 0; i < 10; ++i) q.pop().fn();
+  EXPECT_EQ(q.high_water_mark(), 10u);
+  for (int i = 0; i < 3; ++i) q.push(i, [] {});
+  EXPECT_EQ(q.high_water_mark(), 10u);  // peak, not current depth
+  EXPECT_EQ(q.pushed_count(), 13u);
+}
+
+TEST(EventQueue, LargeClosuresFallBackToHeapCorrectly) {
+  // Captures past EventFn's inline buffer must still run and destruct
+  // exactly once (the fallback boxes them in a single heap allocation).
+  struct Big {
+    std::array<std::uint64_t, 16> data;  // 128 bytes, over kInlineBytes
+    std::shared_ptr<int> alive;
+  };
+  auto alive = std::make_shared<int>(0);
+  EventQueue q;
+  Big big{{}, alive};
+  big.data[7] = 99;
+  std::uint64_t seen = 0;
+  q.push(1, [big, &seen] { seen = big.data[7]; });
+  big.alive.reset();
+  EXPECT_EQ(alive.use_count(), 2);  // `alive` + the queued closure's copy
+  q.pop().fn();
+  EXPECT_EQ(seen, 99u);
+  EXPECT_EQ(alive.use_count(), 1);  // closure destroyed after the pop
+}
+
+TEST(EventQueue, StressOrderingMatchesStableSortReference) {
+  // Adversarial interleaving of pushes and pops with heavy time ties: the
+  // observed execution order must equal a stable sort by (time, push
+  // index) — the queue's determinism contract.
+  EventQueue q;
+  std::vector<std::pair<Time, int>> pushed;  // (time, id)
+  std::vector<int> executed;
+  int next_id = 0;
+  std::uint64_t rng = 12345;
+  auto rnd = [&rng](std::uint64_t mod) {
+    rng = rng * 6364136223846793005ULL + 1442695040888963407ULL;
+    return (rng >> 33) % mod;
+  };
+  Time floor_time = 0;  // pops raise the floor; later pushes stay above it
+  for (int round = 0; round < 2'000; ++round) {
+    if (q.empty() || rnd(3) != 0) {
+      const Time at = floor_time + static_cast<Time>(rnd(8));
+      const int id = next_id++;
+      pushed.push_back({at, id});
+      q.push(at, [id, &executed] { executed.push_back(id); });
+    } else {
+      floor_time = q.next_time();
+      q.pop().fn();
+    }
+  }
+  while (!q.empty()) q.pop().fn();
+
+  std::stable_sort(pushed.begin(), pushed.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  ASSERT_EQ(executed.size(), pushed.size());
+  for (std::size_t i = 0; i < pushed.size(); ++i) {
+    EXPECT_EQ(executed[i], pushed[i].second) << "at position " << i;
+  }
 }
 
 TEST(Latency, ConstantNominal) {
