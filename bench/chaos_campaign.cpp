@@ -1,0 +1,250 @@
+/// \file chaos_campaign.cpp
+/// Randomized fault-injection campaigns: for every protocol × fault
+/// intensity, runs a sweep of seeded chaos schedules (crash/recover
+/// windows with leader bias, drop bursts, partition episodes) through the
+/// harness chaos runner and reports
+///
+///   safety      checker verdict over the five atomic-multicast
+///               properties (non-quiesced) — any violation fails the
+///               campaign and the process exits non-zero;
+///   availability fraction of measurement slices with client progress
+///               (mean and worst seed);
+///   failover    leader failovers observed and the worst p99 failover
+///               latency reported by the paxos.failover_latency_ns
+///               histogram.
+///
+/// Every run reproduces from its printed seed: the schedule is a pure
+/// function of (membership, fault config, seed). `--smoke` shrinks the
+/// sweep for CI; `--json <path>` emits machine-readable rows; `--seeds N`
+/// overrides the per-cell seed count.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "fastcast/harness/chaos.hpp"
+#include "fastcast/harness/table.hpp"
+#include "fastcast/obs/json.hpp"
+
+namespace fastcast::bench {
+namespace {
+
+using namespace fastcast::harness;
+
+struct Intensity {
+  const char* name;
+  sim::ChaosConfig faults;
+};
+
+std::vector<Intensity> intensities() {
+  std::vector<Intensity> out;
+  {
+    Intensity i;
+    i.name = "light";
+    i.faults.crashes = 1;
+    i.faults.leader_bias = 0.25;
+    i.faults.min_downtime = milliseconds(30);
+    i.faults.max_downtime = milliseconds(60);
+    i.faults.drop_bursts = 1;
+    i.faults.burst_drop_probability = 0.02;
+    i.faults.min_burst = milliseconds(10);
+    i.faults.max_burst = milliseconds(30);
+    i.faults.partitions = 0;
+    out.push_back(i);
+  }
+  {
+    Intensity i;
+    i.name = "moderate";
+    i.faults.crashes = 2;
+    i.faults.leader_bias = 0.5;
+    i.faults.min_downtime = milliseconds(40);
+    i.faults.max_downtime = milliseconds(80);
+    i.faults.drop_bursts = 1;
+    i.faults.burst_drop_probability = 0.05;
+    i.faults.min_burst = milliseconds(20);
+    i.faults.max_burst = milliseconds(50);
+    i.faults.partitions = 1;
+    i.faults.min_partition = milliseconds(20);
+    i.faults.max_partition = milliseconds(60);
+    out.push_back(i);
+  }
+  {
+    Intensity i;
+    i.name = "heavy";
+    i.faults.crashes = 4;
+    i.faults.leader_bias = 0.75;
+    i.faults.min_downtime = milliseconds(50);
+    i.faults.max_downtime = milliseconds(100);
+    i.faults.drop_bursts = 2;
+    i.faults.burst_drop_probability = 0.10;
+    i.faults.min_burst = milliseconds(20);
+    i.faults.max_burst = milliseconds(60);
+    i.faults.partitions = 2;
+    i.faults.min_partition = milliseconds(20);
+    i.faults.max_partition = milliseconds(60);
+    out.push_back(i);
+  }
+  return out;
+}
+
+ChaosRunConfig base_config(Protocol proto) {
+  ChaosRunConfig cfg;
+  cfg.experiment.topo.env = Environment::kLan;
+  cfg.experiment.topo.groups = 2;
+  cfg.experiment.topo.clients = 4;
+  cfg.experiment.topo.protocol = proto;
+  cfg.experiment.warmup = milliseconds(20);
+  cfg.experiment.measure = milliseconds(600);
+  cfg.experiment.slice = milliseconds(20);
+  cfg.experiment.check_level = Checker::Level::kFull;
+  cfg.experiment.dst_factory = same_dst_for_all(random_subset(2, 2));
+  cfg.experiment.drop_probability = 0.01;  // arms retransmission/catch-up
+  cfg.experiment.heartbeats = true;        // arms re-election
+  return cfg;
+}
+
+struct CellResult {
+  const char* protocol;
+  const char* intensity;
+  std::uint64_t seeds = 0;
+  std::uint64_t passed = 0;
+  double availability_sum = 0;
+  double availability_min = 1.0;
+  std::uint64_t crashes = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t failovers = 0;
+  std::int64_t failover_p99_ns_max = 0;
+  std::vector<std::uint64_t> failed_seeds;
+};
+
+}  // namespace
+}  // namespace fastcast::bench
+
+int main(int argc, char** argv) {
+  using namespace fastcast;
+  using namespace fastcast::bench;
+  using namespace fastcast::harness;
+
+  std::uint64_t seeds = 20;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      seeds = 3;
+    } else if (std::strcmp(argv[i], "--seeds") == 0 && i + 1 < argc) {
+      seeds = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--seeds N] [--json <path>]\n"
+                   "  --smoke  3 seeds per cell (CI)\n"
+                   "  --seeds  seeds per protocol x intensity cell "
+                   "(default 20)\n"
+                   "  --json   machine-readable campaign results\n",
+                   argv[0]);
+      return std::strcmp(argv[i], "--help") == 0 ? 0 : 2;
+    }
+  }
+
+  const std::vector<Protocol> protocols = {
+      Protocol::kBaseCast, Protocol::kFastCast, Protocol::kMultiPaxos};
+  std::vector<CellResult> cells;
+  bool all_ok = true;
+
+  for (Protocol proto : protocols) {
+    for (const Intensity& intensity : intensities()) {
+      CellResult cell;
+      cell.protocol = to_string(proto);
+      cell.intensity = intensity.name;
+      for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+        ChaosRunConfig cfg = base_config(proto);
+        cfg.faults = intensity.faults;
+        cfg.seed = seed;
+        const ChaosRunResult r = run_chaos(cfg);
+        ++cell.seeds;
+        if (r.report.ok) {
+          ++cell.passed;
+        } else {
+          all_ok = false;
+          cell.failed_seeds.push_back(seed);
+          std::fprintf(stderr, "FAIL %s/%s seed %llu\n%s\nschedule:\n%s\n",
+                       cell.protocol, cell.intensity,
+                       static_cast<unsigned long long>(seed),
+                       r.to_string().c_str(), r.schedule.describe().c_str());
+        }
+        cell.availability_sum += r.availability;
+        cell.availability_min = std::min(cell.availability_min, r.availability);
+        cell.crashes += r.crashes;
+        cell.recoveries += r.recoveries;
+        cell.failovers += r.leader_failovers;
+        cell.failover_p99_ns_max =
+            std::max(cell.failover_p99_ns_max, r.failover_p99_ns);
+      }
+      cells.push_back(std::move(cell));
+    }
+  }
+
+  Table table("Chaos campaigns (LAN, 2 groups, 4 clients; " +
+                  std::to_string(seeds) + " seeds per cell)",
+              {"protocol", "intensity", "safety", "avail mean", "avail min",
+               "crashes", "failovers", "failover p99"});
+  for (const CellResult& c : cells) {
+    const double avail_mean =
+        c.seeds > 0 ? c.availability_sum / static_cast<double>(c.seeds) : 0;
+    table.add_row(
+        {c.protocol, c.intensity,
+         std::to_string(c.passed) + "/" + std::to_string(c.seeds),
+         fmt_double(avail_mean * 100, 1) + "%",
+         fmt_double(c.availability_min * 100, 1) + "%",
+         std::to_string(c.crashes),
+         std::to_string(c.failovers),
+         c.failover_p99_ns_max > 0
+             ? fmt_double(static_cast<double>(c.failover_p99_ns_max) / 1e6, 1) +
+                   " ms"
+             : "-"});
+  }
+  table.print(
+      "safety = seeds with all checker properties intact; failing seeds "
+      "reproduce deterministically.");
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "chaos_campaign: cannot write %s\n",
+                   json_path.c_str());
+      return 1;
+    }
+    obs::JsonWriter w(out);
+    w.begin_object();
+    w.kv("bench", "chaos_campaign");
+    w.kv("seeds_per_cell", seeds);
+    w.key("cells").begin_array();
+    for (const CellResult& c : cells) {
+      w.begin_object();
+      w.kv("protocol", c.protocol);
+      w.kv("intensity", c.intensity);
+      w.kv("seeds", c.seeds);
+      w.kv("passed", c.passed);
+      w.kv("availability_mean",
+           c.seeds > 0 ? c.availability_sum / static_cast<double>(c.seeds) : 0);
+      w.kv("availability_min", c.availability_min);
+      w.kv("crashes", c.crashes);
+      w.kv("recoveries", c.recoveries);
+      w.kv("leader_failovers", c.failovers);
+      w.kv("failover_p99_ns_max", c.failover_p99_ns_max);
+      w.key("failed_seeds").begin_array();
+      for (const std::uint64_t s : c.failed_seeds) w.value(s);
+      w.end_array();
+      w.end_object();
+    }
+    w.end_array();
+    w.kv("all_ok", all_ok);
+    w.end_object();
+    out << '\n';
+  }
+
+  return all_ok ? 0 : 1;
+}

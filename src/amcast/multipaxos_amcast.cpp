@@ -20,6 +20,12 @@ void MultiPaxosAmcast::on_start(Context& ctx) {
   cons_.on_start(ctx);
 }
 
+void MultiPaxosAmcast::on_recover(Context& ctx) {
+  ctx_ = &ctx;
+  cons_.on_recover(ctx);
+  flush(ctx);  // staged submissions from before the crash
+}
+
 bool MultiPaxosAmcast::handle(Context& ctx, NodeId from, const Message& msg) {
   if (cons_.handle(ctx, from, msg)) return true;
   if (const auto* submit = std::get_if<MpSubmit>(&msg.payload)) {

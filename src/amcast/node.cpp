@@ -29,6 +29,8 @@ ReplicaNode::ReplicaNode(std::shared_ptr<AtomicMulticast> protocol)
 
 void ReplicaNode::on_start(Context& ctx) { protocol_->on_start(ctx); }
 
+void ReplicaNode::on_recover(Context& ctx) { protocol_->on_recover(ctx); }
+
 void ReplicaNode::on_message(Context& ctx, NodeId from, const Message& msg) {
   if (!protocol_->handle(ctx, from, msg)) {
     FC_TRACE("node %u: unhandled %s from %u", ctx.self(), message_kind(msg), from);

@@ -43,6 +43,17 @@ void TimestampProtocolBase::on_start(Context& ctx) {
   if (cfg_.enable_repropose) arm_repropose(ctx);
 }
 
+void TimestampProtocolBase::on_recover(Context& ctx) {
+  decide_ctx_ = &ctx;
+  rm_.on_recover(ctx);
+  cons_.on_recover(ctx);
+  repropose_armed_ = false;
+  if (cfg_.enable_repropose) arm_repropose(ctx);
+  // Anything still unordered was in flight when we crashed; queue it for
+  // the next proposal round (the leader check inside flush() applies).
+  restage_all(ctx);
+}
+
 bool TimestampProtocolBase::handle(Context& ctx, NodeId from, const Message& msg) {
   if (rm_.handle(ctx, from, msg)) return true;
   if (cons_.handle(ctx, from, msg)) return true;

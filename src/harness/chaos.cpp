@@ -1,0 +1,74 @@
+#include "fastcast/harness/chaos.hpp"
+
+#include <sstream>
+
+#include "fastcast/common/assert.hpp"
+
+namespace fastcast::harness {
+
+ChaosRunResult run_chaos(const ChaosRunConfig& config) {
+  ExperimentConfig cfg = config.experiment;
+  cfg.seed = config.seed;
+  cfg.observe = true;  // fault counters and the failover histogram
+
+  Cluster cluster(cfg);
+  auto& sim = cluster.simulator();
+
+  sim::ChaosConfig faults = config.faults;
+  if (faults.end <= faults.start) {
+    faults.start = cfg.warmup;
+    faults.end = cfg.warmup + cfg.measure;
+  }
+  ChaosRunResult result;
+  result.schedule = sim::ChaosSchedule::generate(
+      cluster.deployment().membership, faults, config.seed);
+  result.schedule.apply(sim);
+
+  cluster.start();
+  sim.run_until(cfg.warmup);
+  const Time window_end = cfg.warmup + cfg.measure;
+  cluster.metrics().open_window(cfg.warmup, window_end, cfg.slice);
+  sim.run_until(window_end);
+  cluster.metrics().close_window();
+  cluster.stop_clients(window_end);
+  sim.run_for(config.cooldown);
+
+  // Safety only: heartbeat timers keep the queue busy forever, so the
+  // quiesced (agreement/validity) checks don't apply. Recovered nodes are
+  // correct processes — they are NOT excluded via note_crashed.
+  result.report = cluster.checker().check(/*quiesced=*/false, cfg.check_level);
+
+  result.completions = cluster.metrics().completions_total();
+  const auto& slices = cluster.metrics().slice_counts();
+  if (!slices.empty()) {
+    std::size_t live = 0;
+    for (const auto c : slices) live += c > 0 ? 1 : 0;
+    result.availability =
+        static_cast<double>(live) / static_cast<double>(slices.size());
+  }
+
+  const auto obs = cluster.observability();
+  FC_ASSERT(obs != nullptr);
+  result.crashes = obs->metrics.counter_value("fault.crashes");
+  result.recoveries = obs->metrics.counter_value("fault.recoveries");
+  result.leader_failovers = obs->metrics.counter_value("paxos.leader_failovers");
+  const auto hists = obs->metrics.histograms();
+  if (auto it = hists.find("paxos.failover_latency_ns"); it != hists.end()) {
+    result.failover_p99_ns = it->second.p99;
+  }
+  return result;
+}
+
+std::string ChaosRunResult::to_string() const {
+  std::ostringstream out;
+  out << (report.ok ? "OK " : "VIOLATION ") << "completions=" << completions
+      << " availability=" << availability << " crashes=" << crashes
+      << " recoveries=" << recoveries << " failovers=" << leader_failovers;
+  if (failover_p99_ns > 0) {
+    out << " failover_p99_ms=" << static_cast<double>(failover_p99_ns) / 1e6;
+  }
+  for (const auto& v : report.violations) out << "\n  " << v;
+  return out.str();
+}
+
+}  // namespace fastcast::harness

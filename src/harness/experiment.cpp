@@ -213,11 +213,22 @@ void write_metrics_file(const std::string& path, const ExperimentConfig& config,
   if (result.obs) {
     const auto cs = result.obs->metrics.counters();
     const auto gs = result.obs->metrics.gauges();
+    const auto hs = result.obs->metrics.histograms();
     w.key("counters").begin_object();
     for (const auto& [name, v] : cs) w.kv(name, v);
     w.end_object();
     w.key("gauges").begin_object();
     for (const auto& [name, v] : gs) w.kv(name, v);
+    w.end_object();
+    w.key("histograms").begin_object();
+    for (const auto& [name, h] : hs) {
+      w.key(name).begin_object();
+      w.kv("count", h.count);
+      w.kv("p50", h.p50);
+      w.kv("p95", h.p95);
+      w.kv("p99", h.p99);
+      w.end_object();
+    }
     w.end_object();
   }
 

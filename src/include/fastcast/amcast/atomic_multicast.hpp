@@ -29,6 +29,11 @@ class AtomicMulticast {
 
   virtual void on_start(Context& ctx) = 0;
 
+  /// Crash-recovery restart: protocol state is retained (durable-state
+  /// model) but all armed timers are gone — implementations reset their
+  /// timer guards and re-arm. Default: run on_start again.
+  virtual void on_recover(Context& ctx) { on_start(ctx); }
+
   /// Routes one inbound message; returns false if it is not for this
   /// protocol (the node wrapper may then try other components).
   virtual bool handle(Context& ctx, NodeId from, const Message& msg) = 0;

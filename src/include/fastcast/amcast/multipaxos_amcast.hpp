@@ -32,6 +32,7 @@ class MultiPaxosAmcast final : public AtomicMulticast {
   MultiPaxosAmcast(Config config, NodeId self);
 
   void on_start(Context& ctx) override;
+  void on_recover(Context& ctx) override;
   bool handle(Context& ctx, NodeId from, const Message& msg) override;
   const char* name() const override { return "MultiPaxos"; }
 

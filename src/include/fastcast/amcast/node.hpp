@@ -31,6 +31,7 @@ class ReplicaNode final : public Process {
   AtomicMulticast& protocol() { return *protocol_; }
 
   void on_start(Context& ctx) override;
+  void on_recover(Context& ctx) override;
   void on_message(Context& ctx, NodeId from, const Message& msg) override;
 
   std::uint64_t delivered_count() const { return delivered_count_; }

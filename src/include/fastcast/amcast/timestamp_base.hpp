@@ -54,6 +54,7 @@ class TimestampProtocolBase : public AtomicMulticast {
   TimestampProtocolBase(Config config, NodeId self);
 
   void on_start(Context& ctx) override;
+  void on_recover(Context& ctx) override;
   bool handle(Context& ctx, NodeId from, const Message& msg) override;
 
   // Introspection (tests, stats).

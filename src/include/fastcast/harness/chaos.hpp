@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "fastcast/harness/experiment.hpp"
+#include "fastcast/sim/chaos.hpp"
+
+/// \file chaos.hpp
+/// Randomized fault-campaign runner shared by the chaos tests and the
+/// chaos_campaign bench: wires a standard harness Cluster to a seeded
+/// ChaosSchedule, runs the measurement window under crash/recover windows,
+/// drop bursts and partitions, and reports safety (the checker's
+/// properties, non-quiesced) plus availability and failover latency.
+///
+/// Every run is a deterministic function of (config, seed): a failing
+/// campaign reproduces from the seed printed in its report.
+
+namespace fastcast::harness {
+
+struct ChaosRunConfig {
+  ExperimentConfig experiment;  ///< base deployment/workload/windows
+  /// Fault schedule knobs. start/end default to the measurement window
+  /// when end <= start. Campaigns should pair a nonzero
+  /// experiment.drop_probability with experiment.heartbeats = true so the
+  /// lossy-link machinery (retransmission, catch-up, re-election) is armed.
+  sim::ChaosConfig faults;
+  std::uint64_t seed = 1;  ///< overrides experiment.seed; also fault seed
+  /// Post-window settle time before the safety check (recovered nodes keep
+  /// catching up; the run never fully drains with heartbeats on).
+  Duration cooldown = milliseconds(500);
+};
+
+struct ChaosRunResult {
+  Checker::Report report;       ///< non-quiesced safety verdict
+  sim::ChaosSchedule schedule;  ///< what was injected (for failure reports)
+
+  std::uint64_t completions = 0;  ///< client completions in the window
+  /// Fraction of measurement slices with at least one client completion —
+  /// the campaign's availability signal (1.0 = no visible outage).
+  double availability = 0.0;
+
+  std::uint64_t crashes = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t leader_failovers = 0;
+  std::int64_t failover_p99_ns = 0;  ///< paxos.failover_latency_ns p99
+
+  /// One-line summary for campaign tables / failure messages.
+  std::string to_string() const;
+};
+
+/// Runs one seeded chaos campaign. The checker runs at level
+/// experiment.check_level with quiesced = false (safety properties only —
+/// the run cannot drain while heartbeat timers keep ticking).
+ChaosRunResult run_chaos(const ChaosRunConfig& config);
+
+}  // namespace fastcast::harness

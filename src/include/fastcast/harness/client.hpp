@@ -31,6 +31,9 @@ class Metrics {
   const LatencyRecorder& latency_for_tag(std::size_t tag) const;
   ThroughputSummary throughput() const;
   std::uint64_t completions_total() const { return completions_total_; }
+  /// Per-slice completion counts of the (closed) window; chaos campaigns
+  /// derive availability from the fraction of slices with progress.
+  const std::vector<std::uint64_t>& slice_counts() const { return slices_; }
 
  private:
   LatencyRecorder latency_;

@@ -51,6 +51,15 @@ class TcpCluster {
   /// Signals all loops to exit and joins the threads.
   void stop();
 
+  /// Kills one running node: its loop exits, sockets close, armed timers
+  /// are lost. Peers keep queueing frames for it under backoff reconnect.
+  void stop_node(NodeId node);
+
+  /// Restarts a stopped node (durable-state model: the Process keeps its
+  /// in-memory state). Re-binds the listener and runs on_recover on the
+  /// fresh node thread so the process re-arms its timers and re-joins.
+  void restart_node(NodeId node);
+
   const Membership& membership() const { return config_.membership; }
 
  private:
@@ -59,7 +68,7 @@ class TcpCluster {
   Config config_;
   std::atomic<bool> running_{false};
   std::vector<std::unique_ptr<NodeRuntime>> nodes_;
-  std::vector<std::thread> threads_;
+  std::vector<std::thread> threads_;  ///< indexed by NodeId
 };
 
 }  // namespace net

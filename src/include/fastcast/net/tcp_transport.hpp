@@ -1,5 +1,6 @@
 #pragma once
 
+#include <chrono>
 #include <deque>
 #include <functional>
 #include <map>
@@ -7,10 +8,16 @@
 #include <vector>
 
 #include "fastcast/common/codec.hpp"
+#include "fastcast/common/rng.hpp"
 #include "fastcast/net/frame.hpp"
 #include "fastcast/runtime/ids.hpp"
 
 struct pollfd;  // <poll.h>
+
+namespace fastcast::obs {
+class Observability;
+class Counter;
+}  // namespace fastcast::obs
 
 /// \file tcp_transport.hpp
 /// A single node's TCP endpoint: listens on its own port, lazily connects
@@ -28,8 +35,12 @@ struct pollfd;  // <poll.h>
 ///     the connection set changes (accept/drop), not on every call.
 ///   * Inbound reads land directly in each peer's FrameParser arena
 ///     (recv_buffer/commit) — no intermediate stack buffer copy.
-/// Writes still block on localhost-scale deployments; automatic reconnect
-/// on failure at the next send.
+/// Writes still block on localhost-scale deployments.
+///
+/// Failure handling: frames for an unreachable peer stay queued, and the
+/// transport reconnects with exponential backoff + jitter (RetryPolicy).
+/// Queued frames flush in order once the peer returns; the per-peer queue
+/// is bounded, with overflow counted rather than silently lost.
 
 namespace fastcast::net {
 
@@ -41,6 +52,21 @@ struct AddressBook {
   std::uint16_t port_of(NodeId n) const {
     return static_cast<std::uint16_t>(base_port + n);
   }
+};
+
+/// Reconnect/backoff behaviour for outbound connections.
+struct RetryPolicy {
+  int base_backoff_ms = 5;    ///< delay after the first failure
+  int max_backoff_ms = 1000;  ///< backoff doubles per failure up to this cap
+  double jitter = 0.2;        ///< ± fraction randomizing each backoff
+  /// Per-peer queued-bytes bound while disconnected; frames arriving beyond
+  /// it are dropped (and counted in stats().tx_frames_dropped).
+  std::size_t max_queued_bytes = 8 * 1024 * 1024;
+  /// Consecutive connect failures before the queued frames for that peer
+  /// are discarded (counted as dropped). Reconnection attempts continue at
+  /// max backoff so a recovered peer still re-establishes. 0 = never give
+  /// up the queue.
+  int max_attempts = 0;
 };
 
 class TcpTransport {
@@ -58,14 +84,21 @@ class TcpTransport {
 
   void set_receive(ReceiveFn fn) { receive_ = std::move(fn); }
 
-  /// Frames and queues one message (connecting first if needed). The frame
-  /// leaves the socket at the next flush()/poll_once(), or immediately once
-  /// the peer's queue passes the coalescing threshold. Best-effort: on
-  /// write failure the connection is dropped and re-established on the
-  /// next send.
+  /// Replaces the reconnect policy (call before traffic starts).
+  void set_retry_policy(const RetryPolicy& policy) { retry_ = policy; }
+
+  /// Wires degradation counters (net.reconnects, net.connect_failures,
+  /// net.disconnects, net.tx_frames_dropped). Pass null to detach.
+  void set_observability(obs::Observability* o);
+
+  /// Frames and queues one message. The frame leaves the socket at the next
+  /// flush()/poll_once(), or immediately once the peer's queue passes the
+  /// coalescing threshold. If the peer is unreachable the frame stays
+  /// queued and departs once backoff reconnection succeeds.
   void send(NodeId to, const Message& msg);
 
-  /// Writes every peer's queued frames (one gather syscall per peer).
+  /// Writes every peer's queued frames (one gather syscall per peer),
+  /// attempting due reconnects first.
   void flush();
 
   /// Bytes queued but not yet handed to the kernel (all peers).
@@ -80,6 +113,15 @@ class TcpTransport {
 
   NodeId self() const { return self_; }
 
+  /// Degradation counters (also exported through set_observability).
+  struct Stats {
+    std::uint64_t reconnects = 0;        ///< successful connects after a loss
+    std::uint64_t connect_failures = 0;  ///< failed connect attempts
+    std::uint64_t disconnects = 0;       ///< established connections lost
+    std::uint64_t tx_frames_dropped = 0;  ///< frames shed (overflow/budget)
+  };
+  const Stats& stats() const { return stats_; }
+
  private:
   struct Peer {
     int fd = -1;
@@ -91,15 +133,23 @@ class TcpTransport {
 
   /// Outbound connection with its coalescing queue: frames wait here and
   /// leave in one gather-write. head_offset tracks the partially-written
-  /// prefix of frames.front() across flushes.
+  /// prefix of frames.front() across flushes. While disconnected, frames
+  /// accumulate (bounded by RetryPolicy) and next_attempt gates backoff.
   struct Outbound {
     int fd = -1;
+    bool connected = false;
     std::deque<std::vector<std::byte>> frames;
     std::size_t head_offset = 0;
     std::size_t queued_bytes = 0;
+    int attempts = 0;  ///< consecutive failed connects this episode
+    std::chrono::steady_clock::time_point next_attempt{};  ///< epoch = now
   };
 
   int connect_to(NodeId to);
+  bool try_connect(NodeId to, Outbound& ob);  ///< respects backoff schedule
+  void disconnect(NodeId to, Outbound& ob);   ///< keep queue, arm reconnect
+  std::chrono::milliseconds backoff_for(int attempts);
+  void shed_queue(Outbound& ob);              ///< discard + count all frames
   void drop(int fd);
   std::size_t handle_readable(Peer& peer);
   bool write_pending(Outbound& ob);           ///< false = connection died
@@ -108,11 +158,18 @@ class TcpTransport {
 
   NodeId self_;
   AddressBook addresses_;
+  RetryPolicy retry_;
   int listen_fd_ = -1;
   std::map<NodeId, Outbound> outbound_;  // node → connection + queue
   std::map<int, Peer> inbound_;          // fd → peer state
   ReceiveFn receive_;
   BufferPool pool_;  ///< recycles frame buffers across sends
+  Rng rng_;          ///< backoff jitter
+  Stats stats_;
+  obs::Counter* c_reconnects_ = nullptr;
+  obs::Counter* c_connect_failures_ = nullptr;
+  obs::Counter* c_disconnects_ = nullptr;
+  obs::Counter* c_tx_dropped_ = nullptr;
 
   std::vector<struct pollfd> pollfds_;  ///< cached; [0] is the listen fd
   bool pollfds_dirty_ = true;

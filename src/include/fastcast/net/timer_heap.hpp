@@ -1,0 +1,113 @@
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "fastcast/common/time.hpp"
+#include "fastcast/runtime/context.hpp"
+
+/// \file timer_heap.hpp
+/// Min-heap of armed timers with lazy cancellation and stale-entry
+/// compaction. cancel() erases the callback but leaves the heap entry in
+/// place (removing an arbitrary heap element is O(n)); stale entries are
+/// skipped when they surface. Without compaction, arm-and-cancel loops —
+/// failure detectors re-arming on every heartbeat — grow the heap without
+/// bound; compaction rebuilds it whenever stale entries outnumber live
+/// ones past a minimum size, bounding heap_size() ≤ max(kCompactMin,
+/// 2 × armed()) outside the transient where a cancel burst just landed.
+
+namespace fastcast::net {
+
+class TimerHeap {
+ public:
+  /// Below this size compaction is skipped: rebuilding a tiny heap costs
+  /// more than the stale entries it reclaims.
+  static constexpr std::size_t kCompactMin = 64;
+
+  TimerId schedule(Time at, std::function<void()> cb) {
+    const TimerId id = next_id_++;
+    cbs_.emplace(id, std::move(cb));
+    heap_.push_back({at, id});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+    return id;
+  }
+
+  void cancel(TimerId id) {
+    cbs_.erase(id);
+    if (heap_.size() >= kCompactMin && heap_.size() >= 2 * cbs_.size()) {
+      compact();
+    }
+  }
+
+  bool empty() const { return cbs_.empty(); }
+  std::size_t armed() const { return cbs_.size(); }       ///< live timers
+  std::size_t heap_size() const { return heap_.size(); }  ///< incl. stale
+
+  /// Earliest live deadline; false when no timer is armed.
+  bool next_due(Time& at) {
+    prune_stale_head();
+    if (heap_.empty()) return false;
+    at = heap_.front().at;
+    return true;
+  }
+
+  /// Pops and runs every callback due at or before `now`, in deadline
+  /// order. Callbacks may re-entrantly schedule()/cancel(). Returns the
+  /// number fired.
+  std::size_t fire_due(Time now) {
+    std::size_t fired = 0;
+    for (;;) {
+      prune_stale_head();
+      if (heap_.empty() || heap_.front().at > now) break;
+      std::pop_heap(heap_.begin(), heap_.end(), Later{});
+      const TimerId id = heap_.back().id;
+      heap_.pop_back();
+      auto it = cbs_.find(id);
+      if (it == cbs_.end()) continue;  // cancelled while due
+      auto cb = std::move(it->second);
+      cbs_.erase(it);
+      ++fired;
+      cb();
+    }
+    return fired;
+  }
+
+  /// Drops every timer (crash semantics: armed timers do not survive).
+  void clear() {
+    cbs_.clear();
+    heap_.clear();
+  }
+
+ private:
+  struct Entry {
+    Time at;
+    TimerId id;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      return a.at != b.at ? a.at > b.at : a.id > b.id;
+    }
+  };
+
+  void prune_stale_head() {
+    while (!heap_.empty() && !cbs_.contains(heap_.front().id)) {
+      std::pop_heap(heap_.begin(), heap_.end(), Later{});
+      heap_.pop_back();
+    }
+  }
+
+  void compact() {
+    std::erase_if(heap_,
+                  [this](const Entry& e) { return !cbs_.contains(e.id); });
+    std::make_heap(heap_.begin(), heap_.end(), Later{});
+  }
+
+  std::vector<Entry> heap_;
+  std::map<TimerId, std::function<void()>> cbs_;
+  TimerId next_id_ = 1;
+};
+
+}  // namespace fastcast::net

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <map>
@@ -55,23 +56,76 @@ class Gauge {
   std::atomic<std::int64_t> v_{0};
 };
 
+/// Log2-bucketed distribution (latencies, queue residencies). Bucket i
+/// counts observations v with 2^(i-1) < v <= 2^i (bucket 0 holds v <= 1),
+/// so nanosecond-scale values span the full int64 range in 64 buckets.
+/// Same relaxed-atomic contract as Counter/Gauge: safe from all node
+/// threads, references from histogram() are stable.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  void observe(std::int64_t v) {
+    const std::uint64_t u = v <= 0 ? 0 : static_cast<std::uint64_t>(v);
+    const std::size_t b = u <= 1 ? 0 : 64 - static_cast<std::size_t>(
+                                                __builtin_clzll(u - 1));
+    buckets_[b].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v > 0 ? v : 0, std::memory_order_relaxed);
+  }
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t bucket(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  /// Upper bound of bucket i (inclusive): 2^i, saturating at int64 max.
+  static std::int64_t bucket_bound(std::size_t i);
+
+  /// Estimated p-th percentile (0..100): the upper bound of the bucket
+  /// containing that rank. Conservative (never underestimates by more than
+  /// one power of two); 0 when empty.
+  std::int64_t percentile(double p) const;
+
+  /// Adds another histogram's buckets into this one.
+  void merge_from(const Histogram& other);
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::int64_t> sum_{0};
+};
+
 class MetricsRegistry {
  public:
   /// Finds or creates the named instrument. The returned reference stays
   /// valid for the registry's lifetime.
   Counter& counter(std::string_view name);
   Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
 
   /// Point-in-time copies, sorted by name.
   std::map<std::string, std::uint64_t> counters() const;
   std::map<std::string, std::int64_t> gauges() const;
 
+  /// Snapshot of one histogram's headline stats, for reports.
+  struct HistogramSummary {
+    std::uint64_t count = 0;
+    std::int64_t sum = 0;
+    std::int64_t p50 = 0;
+    std::int64_t p95 = 0;
+    std::int64_t p99 = 0;
+  };
+  std::map<std::string, HistogramSummary> histograms() const;
+
   /// Value of a counter, 0 if it was never touched (does not create it).
   std::uint64_t counter_value(std::string_view name) const;
   std::int64_t gauge_value(std::string_view name) const;
 
-  /// Folds `other` into this registry: counters add, gauges keep the max.
-  /// Used by the bench driver to accumulate metrics across runs.
+  /// Folds `other` into this registry: counters add, gauges keep the max,
+  /// histograms merge bucket-wise. Used by the bench driver to accumulate
+  /// metrics across runs.
   void merge_from(const MetricsRegistry& other);
 
   /// Emits {"counters": {...}, "gauges": {...}}.
@@ -84,6 +138,7 @@ class MetricsRegistry {
   mutable std::mutex mu_;  ///< guards the maps; values are themselves atomic
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
 };
 
 }  // namespace fastcast::obs

@@ -45,6 +45,12 @@ class GroupConsensus {
 
   void on_start(Context& ctx);
 
+  /// Re-arms every sub-component's timer chain after a crash-recovery
+  /// restart. Acceptor/learner/proposer state is retained (durable-state
+  /// model), which is what keeps recovery safe: promises made before the
+  /// crash are still honoured afterwards.
+  void on_recover(Context& ctx);
+
   /// Queues a value for some instance. Only acts on the current leader.
   void propose(Context& ctx, std::vector<std::byte> value);
 
@@ -77,6 +83,7 @@ class GroupConsensus {
   Config config_;
   NodeId self_;
   Context* ctx_ = nullptr;  ///< bound at on_start; contexts outlive processes
+  bool catch_up_armed_ = false;  ///< exactly one catch-up chain pending
   LeaderChangeFn on_leader_change_;
   Acceptor acceptor_;
   Learner learner_;

@@ -43,6 +43,12 @@ class LeaderElector {
   void set_on_change(ChangeFn fn) { on_change_ = std::move(fn); }
 
   void on_start(Context& ctx);
+
+  /// Re-arms the heartbeat/monitor chains after a crash-recovery restart.
+  /// The generation bump invalidates any chain callback that survived the
+  /// restart (the TCP runtime keeps its timer map across restarts).
+  void on_recover(Context& ctx);
+
   bool handle(Context& ctx, NodeId from, const Message& msg);
 
  private:
@@ -54,6 +60,12 @@ class LeaderElector {
   std::uint64_t epoch_ = 0;
   Time last_heard_ = 0;
   ChangeFn on_change_;
+  /// Exactly one heartbeat chain and one monitor chain may be pending at a
+  /// time; advance_epoch on every re-promotion used to arm a second chain
+  /// while the first was still queued, doubling heartbeat traffic forever.
+  bool hb_armed_ = false;
+  bool monitor_armed_ = false;
+  std::uint64_t timer_generation_ = 0;  ///< bumped on recovery
 };
 
 }  // namespace fastcast::paxos

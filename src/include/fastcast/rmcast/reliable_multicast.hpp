@@ -65,6 +65,12 @@ class ReliableMulticast {
   /// Starts the retransmission timer when links are lossy.
   void on_start(Context& ctx);
 
+  /// Re-arms the retransmission timer after a crash-recovery restart (the
+  /// armed guard refers to a timer that died with the crash). Receiver and
+  /// sender state is retained — the crash-recovery model assumes it was
+  /// replayed from stable storage — so FIFO sequencing stays intact.
+  void on_recover(Context& ctx);
+
   /// Returns true if the message was an rmcast frame (consumed).
   bool handle(Context& ctx, NodeId from, const Message& msg);
 

@@ -85,6 +85,13 @@ class Process {
   /// Called once before any message, after the whole cluster is wired up.
   virtual void on_start(Context& ctx) { (void)ctx; }
 
+  /// Called when the environment restarts this node after a crash. The
+  /// model is crash-recovery with durable state: the object keeps its
+  /// protocol state (as if replayed from stable storage) but every timer it
+  /// had armed is gone, so implementations must re-arm their timer chains.
+  /// Default: run on_start again, which is correct for stateless processes.
+  virtual void on_recover(Context& ctx) { on_start(ctx); }
+
   /// Called for every message addressed to this node.
   virtual void on_message(Context& ctx, NodeId from, const Message& msg) = 0;
 };

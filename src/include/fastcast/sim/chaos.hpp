@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fastcast/common/time.hpp"
+#include "fastcast/runtime/membership.hpp"
+
+/// \file chaos.hpp
+/// Seeded fault-schedule generation for randomized recovery campaigns.
+///
+/// A ChaosSchedule is a deterministic function of (membership, config, seed):
+/// the same triple always produces the same crash/recover windows, drop
+/// bursts and partition episodes, so a failing campaign run reproduces from
+/// its seed alone. Generation respects the protocols' fault assumptions —
+/// only replicas are targeted (never clients) and at most one member of a
+/// group is down at any moment, so every group keeps a majority quorum and
+/// the five checker properties must hold on every run.
+
+namespace fastcast::sim {
+
+class Simulator;
+
+struct ChaosEvent {
+  enum class Kind : std::uint8_t {
+    kCrash,           ///< node stops; timers and queued work are lost
+    kRecover,         ///< node restarts with durable state, re-joins
+    kDropBurstStart,  ///< raise the fair-lossy drop probability
+    kDropBurstEnd,    ///< restore the baseline drop probability
+    kPartitionStart,  ///< cut `node` off from every other node
+    kPartitionEnd,    ///< heal the partition
+  };
+
+  Kind kind;
+  Time at = 0;
+  NodeId node = kInvalidNode;   ///< crash/recover/partition target
+  double drop_probability = 0;  ///< burst intensity (kDropBurstStart only)
+};
+
+const char* chaos_event_kind_name(ChaosEvent::Kind kind);
+
+struct ChaosConfig {
+  Time start = 0;  ///< faults are injected in [start, end)
+  Time end = 0;
+
+  /// Crash→recover episodes across the run. Each picks a group, then a
+  /// member: the group's conventional initial leader with probability
+  /// `leader_bias` (exercising failover), otherwise a uniform member.
+  std::size_t crashes = 2;
+  double leader_bias = 0.5;
+  Duration min_downtime = 0;
+  Duration max_downtime = 0;
+
+  /// Transient loss episodes: drop probability is raised to
+  /// `burst_drop_probability` for a window, then restored to the
+  /// simulator's baseline.
+  std::size_t drop_bursts = 1;
+  double burst_drop_probability = 0.05;
+  Duration min_burst = 0;
+  Duration max_burst = 0;
+
+  /// Partition episodes: one replica is isolated from everyone (both
+  /// directions), then healed. Single-node islands keep every group's
+  /// majority intact.
+  std::size_t partitions = 1;
+  Duration min_partition = 0;
+  Duration max_partition = 0;
+};
+
+class ChaosSchedule {
+ public:
+  /// Deterministically derives a fault schedule from the seed.
+  static ChaosSchedule generate(const Membership& membership,
+                                const ChaosConfig& config, std::uint64_t seed);
+
+  /// Installs every event into the simulator: crash/recover schedules, drop
+  /// bursts (restoring the drop probability the simulator has at call time),
+  /// and a link filter implementing the partition windows. Call once, before
+  /// running; replaces any link filter already installed on the simulator.
+  void apply(Simulator& sim) const;
+
+  const std::vector<ChaosEvent>& events() const { return events_; }
+
+  /// Human-readable one-line-per-event dump (for failure reports).
+  std::string describe() const;
+
+ private:
+  std::vector<ChaosEvent> events_;  // sorted by time
+};
+
+}  // namespace fastcast::sim

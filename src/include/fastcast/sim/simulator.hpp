@@ -86,7 +86,21 @@ class Simulator {
   void schedule_crash(NodeId node, Time at);
   bool is_crashed(NodeId node) const;
 
+  /// Restarts a crashed node (durable-state model: the Process object keeps
+  /// its in-memory state, equivalent to replaying it from stable storage).
+  /// All timers armed before the crash are gone; the node's on_recover hook
+  /// runs so it can re-arm them and re-join via catch-up/retransmission.
+  /// No-op if the node is not crashed.
+  void recover(NodeId node);
+  void schedule_recover(NodeId node, Time at);
+
+  /// Schedules an arbitrary simulation-level action (chaos campaigns use
+  /// this for drop bursts and partition windows). Runs at virtual time `at`
+  /// outside any node's CPU model.
+  void schedule_at(Time at, EventFn fn);
+
   void set_drop_probability(double p) { config_.drop_probability = p; }
+  double drop_probability() const { return config_.drop_probability; }
 
   /// Arbitrary link filter (partitions): return false to drop the unicast.
   using LinkFilter = std::function<bool(NodeId from, NodeId to, Time at)>;
@@ -153,6 +167,8 @@ class Simulator {
   // Cached instruments (looked up once in set_observability; null when off).
   obs::Counter* c_unicasts_ = nullptr;
   obs::Counter* c_dropped_ = nullptr;
+  obs::Counter* c_crashes_ = nullptr;
+  obs::Counter* c_recoveries_ = nullptr;
   obs::Gauge* g_queue_hwm_ = nullptr;
   std::size_t last_reported_hwm_ = 0;
 };

@@ -1,11 +1,10 @@
 #include "fastcast/net/tcp_cluster.hpp"
 
 #include <chrono>
-#include <map>
-#include <queue>
 
 #include "fastcast/common/assert.hpp"
 #include "fastcast/common/logging.hpp"
+#include "fastcast/net/timer_heap.hpp"
 #include "fastcast/obs/observability.hpp"
 
 namespace fastcast::net {
@@ -30,6 +29,7 @@ class TcpCluster::NodeRuntime final : public Context {
     });
     if (obs::Observability* o = cluster_->config_.observability) {
       set_observability(o);
+      transport_.set_observability(o);
       c_sent_ = &o->metrics.counter("net.unicasts");
       c_received_ = &o->metrics.counter("net.received");
     }
@@ -52,21 +52,29 @@ class TcpCluster::NodeRuntime final : public Context {
   }
 
   TimerId set_timer(Duration delay, std::function<void()> cb) override {
-    const TimerId id = next_timer_id_++;
-    timer_cbs_.emplace(id, std::move(cb));
-    timer_heap_.push({now() + delay, id});
-    return id;
+    return timers_.schedule(now() + delay, std::move(cb));
   }
-  void cancel_timer(TimerId id) override { timer_cbs_.erase(id); }
+  void cancel_timer(TimerId id) override { timers_.cancel(id); }
 
   // Node thread main loop ----------------------------------------------------
-  void run(std::atomic<bool>& running, int poll_interval_ms, Time epoch) {
+  void run(std::atomic<bool>& running, int poll_interval_ms, Time epoch,
+           bool recovering) {
     epoch_ = epoch;
-    process_->on_start(*this);
-    while (running.load(std::memory_order_relaxed)) {
+    active_.store(true, std::memory_order_relaxed);
+    if (recovering) {
+      // Crash semantics: timers armed before the kill are gone; the
+      // process re-arms what it needs from on_recover.
+      timers_.clear();
+      process_->on_recover(*this);
+    } else {
+      process_->on_start(*this);
+    }
+    while (running.load(std::memory_order_relaxed) &&
+           active_.load(std::memory_order_relaxed)) {
       int timeout = poll_interval_ms;
-      if (!timer_heap_.empty()) {
-        const Duration until = timer_heap_.top().at - now();
+      Time due = 0;
+      if (timers_.next_due(due)) {
+        const Duration until = due - now();
         if (until <= 0) {
           timeout = 0;
         } else {
@@ -75,32 +83,15 @@ class TcpCluster::NodeRuntime final : public Context {
         }
       }
       transport_.poll_once(timeout);
-      fire_due_timers();
+      timers_.fire_due(now());
     }
     transport_.close_all();
   }
 
+  void deactivate() { active_.store(false, std::memory_order_relaxed); }
+  Time epoch() const { return epoch_; }
+
  private:
-  struct TimerEntry {
-    Time at;
-    TimerId id;
-    bool operator>(const TimerEntry& o) const {
-      return at != o.at ? at > o.at : id > o.id;
-    }
-  };
-
-  void fire_due_timers() {
-    while (!timer_heap_.empty() && timer_heap_.top().at <= now()) {
-      const TimerEntry e = timer_heap_.top();
-      timer_heap_.pop();
-      auto it = timer_cbs_.find(e.id);
-      if (it == timer_cbs_.end()) continue;  // cancelled
-      auto cb = std::move(it->second);
-      timer_cbs_.erase(it);
-      cb();
-    }
-  }
-
   TcpCluster* cluster_;
   NodeId self_;
   TcpTransport transport_;
@@ -109,9 +100,8 @@ class TcpCluster::NodeRuntime final : public Context {
   obs::Counter* c_received_ = nullptr;
   std::shared_ptr<Process> process_;
   Time epoch_ = 0;
-  TimerId next_timer_id_ = 1;
-  std::map<TimerId, std::function<void()>> timer_cbs_;
-  std::priority_queue<TimerEntry, std::vector<TimerEntry>, std::greater<>> timer_heap_;
+  std::atomic<bool> active_{false};
+  TimerHeap timers_;
 };
 
 TcpCluster::TcpCluster(Config config) : config_(std::move(config)) {
@@ -139,10 +129,10 @@ void TcpCluster::start() {
   }
   running_.store(true);
   const Time epoch = steady_now_ns();
-  threads_.reserve(nodes_.size());
-  for (auto& n : nodes_) {
-    threads_.emplace_back([this, node = n.get(), epoch] {
-      node->run(running_, config_.poll_interval_ms, epoch);
+  threads_.resize(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    threads_[i] = std::thread([this, node = nodes_[i].get(), epoch] {
+      node->run(running_, config_.poll_interval_ms, epoch, /*recovering=*/false);
     });
   }
 }
@@ -153,6 +143,31 @@ void TcpCluster::stop() {
     if (t.joinable()) t.join();
   }
   threads_.clear();
+}
+
+void TcpCluster::stop_node(NodeId node) {
+  FC_ASSERT(node < nodes_.size());
+  FC_ASSERT_MSG(running_.load(), "cluster not running");
+  nodes_[node]->deactivate();
+  if (threads_[node].joinable()) threads_[node].join();
+  if (config_.observability) {
+    config_.observability->metrics.counter("fault.crashes").inc();
+  }
+}
+
+void TcpCluster::restart_node(NodeId node) {
+  FC_ASSERT(node < nodes_.size());
+  FC_ASSERT_MSG(running_.load(), "cluster not running");
+  FC_ASSERT_MSG(!threads_[node].joinable(), "node still running");
+  NodeRuntime* n = nodes_[node].get();
+  n->listen();  // SO_REUSEADDR: rebinding the same port succeeds promptly
+  const Time epoch = n->epoch();
+  threads_[node] = std::thread([this, n, epoch] {
+    n->run(running_, config_.poll_interval_ms, epoch, /*recovering=*/true);
+  });
+  if (config_.observability) {
+    config_.observability->metrics.counter("fault.recoveries").inc();
+  }
 }
 
 }  // namespace fastcast::net

@@ -8,11 +8,13 @@
 #include <sys/uio.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <stdexcept>
 
 #include "fastcast/common/logging.hpp"
+#include "fastcast/obs/observability.hpp"
 
 namespace fastcast::net {
 
@@ -51,7 +53,14 @@ void set_nodelay(int fd) {
 }  // namespace
 
 TcpTransport::TcpTransport(NodeId self, AddressBook addresses)
-    : self_(self), addresses_(addresses) {}
+    : self_(self), addresses_(addresses), rng_(0xbacc0ffULL + self) {}
+
+void TcpTransport::set_observability(obs::Observability* o) {
+  c_reconnects_ = o ? &o->metrics.counter("net.reconnects") : nullptr;
+  c_connect_failures_ = o ? &o->metrics.counter("net.connect_failures") : nullptr;
+  c_disconnects_ = o ? &o->metrics.counter("net.disconnects") : nullptr;
+  c_tx_dropped_ = o ? &o->metrics.counter("net.tx_frames_dropped") : nullptr;
+}
 
 TcpTransport::~TcpTransport() { close_all(); }
 
@@ -94,40 +103,98 @@ int TcpTransport::connect_to(NodeId to) {
   return fd;
 }
 
-void TcpTransport::send(NodeId to, const Message& msg) {
-  auto it = outbound_.find(to);
-  if (it == outbound_.end()) {
-    const int fd = connect_to(to);
-    if (fd < 0) {
-      FC_WARN("node %u: connect to %u failed: %s", self_, to, std::strerror(errno));
-      return;
-    }
-    Outbound ob;
-    ob.fd = fd;
-    it = outbound_.emplace(to, std::move(ob)).first;
+std::chrono::milliseconds TcpTransport::backoff_for(int attempts) {
+  const int shift = std::min(attempts > 0 ? attempts - 1 : 0, 20);
+  double ms = static_cast<double>(retry_.base_backoff_ms) *
+              static_cast<double>(1u << shift);
+  ms = std::min(ms, static_cast<double>(retry_.max_backoff_ms));
+  if (retry_.jitter > 0) {
+    ms *= 1.0 + retry_.jitter * (2.0 * rng_.uniform_double() - 1.0);
   }
-  Outbound& ob = it->second;
+  return std::chrono::milliseconds(std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(ms)));
+}
+
+bool TcpTransport::try_connect(NodeId to, Outbound& ob) {
+  if (ob.connected) return true;
+  const auto now = std::chrono::steady_clock::now();
+  if (now < ob.next_attempt) return false;
+  const int fd = connect_to(to);
+  if (fd < 0) {
+    ++ob.attempts;
+    ++stats_.connect_failures;
+    if (c_connect_failures_) c_connect_failures_->inc();
+    ob.next_attempt = now + backoff_for(ob.attempts);
+    if (ob.attempts == 1) {
+      FC_WARN("node %u: connect to %u failed: %s (retrying with backoff)",
+              self_, to, std::strerror(errno));
+    }
+    if (retry_.max_attempts > 0 && ob.attempts >= retry_.max_attempts) {
+      // Retry budget exhausted: shed the queue so memory stays bounded, but
+      // keep probing at max backoff so a recovered peer re-establishes.
+      shed_queue(ob);
+    }
+    return false;
+  }
+  ob.fd = fd;
+  ob.connected = true;
+  if (ob.attempts > 0 || stats_.disconnects > 0) {
+    ++stats_.reconnects;
+    if (c_reconnects_) c_reconnects_->inc();
+  }
+  ob.attempts = 0;
+  return true;
+}
+
+void TcpTransport::disconnect(NodeId to, Outbound& ob) {
+  FC_WARN("node %u: connection to %u lost; queueing for reconnect", self_, to);
+  if (ob.fd >= 0) ::close(ob.fd);
+  ob.fd = -1;
+  ob.connected = false;
+  // The partially-written head frame must be resent in full on the next
+  // connection (the peer's parser starts fresh), so re-account its prefix.
+  ob.queued_bytes += ob.head_offset;
+  ob.head_offset = 0;
+  ++stats_.disconnects;
+  if (c_disconnects_) c_disconnects_->inc();
+  ob.next_attempt = std::chrono::steady_clock::now() + backoff_for(1);
+  ob.attempts = 1;
+}
+
+void TcpTransport::shed_queue(Outbound& ob) {
+  if (ob.frames.empty()) return;
+  stats_.tx_frames_dropped += ob.frames.size();
+  if (c_tx_dropped_) c_tx_dropped_->inc(ob.frames.size());
+  for (auto& frame : ob.frames) pool_.release(std::move(frame));
+  ob.frames.clear();
+  ob.queued_bytes = 0;
+  ob.head_offset = 0;
+}
+
+void TcpTransport::send(NodeId to, const Message& msg) {
+  Outbound& ob = outbound_[to];
+  if (!ob.connected && ob.queued_bytes >= retry_.max_queued_bytes) {
+    // Unreachable peer with a full queue: shed the newest frame so memory
+    // stays bounded while the backoff loop keeps probing.
+    ++stats_.tx_frames_dropped;
+    if (c_tx_dropped_) c_tx_dropped_->inc();
+    return;
+  }
   std::vector<std::byte> frame = pool_.acquire();
   frame_message_into(msg, frame);
   ob.queued_bytes += frame.size();
   ob.frames.push_back(std::move(frame));
+  if (!try_connect(to, ob)) return;  // queued; backoff flush will deliver
   if (ob.queued_bytes >= kFlushThresholdBytes && !write_pending(ob)) {
-    FC_WARN("node %u: send to %u failed; dropping connection", self_, to);
-    ::close(ob.fd);
-    outbound_.erase(it);
+    disconnect(to, ob);
   }
 }
 
 void TcpTransport::flush() {
-  for (auto it = outbound_.begin(); it != outbound_.end();) {
-    if (write_pending(it->second)) {
-      ++it;
-    } else {
-      FC_WARN("node %u: send to %u failed; dropping connection", self_,
-              it->first);
-      ::close(it->second.fd);
-      it = outbound_.erase(it);
-    }
+  for (auto& [to, ob] : outbound_) {
+    if (ob.frames.empty()) continue;
+    if (!try_connect(to, ob)) continue;
+    if (!write_pending(ob)) disconnect(to, ob);
   }
 }
 
@@ -268,7 +335,9 @@ void TcpTransport::close_all() {
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
-  for (auto& [node, ob] : outbound_) ::close(ob.fd);
+  for (auto& [node, ob] : outbound_) {
+    if (ob.fd >= 0) ::close(ob.fd);
+  }
   outbound_.clear();
   for (auto& [fd, peer] : inbound_) ::close(fd);
   inbound_.clear();

@@ -1,6 +1,7 @@
 #include "fastcast/obs/metrics.hpp"
 
 #include <iomanip>
+#include <limits>
 
 #include "fastcast/obs/json.hpp"
 
@@ -25,6 +26,42 @@ Gauge& MetricsRegistry::gauge(std::string_view name) {
   return *it->second;
 }
 
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+std::int64_t Histogram::bucket_bound(std::size_t i) {
+  if (i >= 63) return std::numeric_limits<std::int64_t>::max();
+  return std::int64_t{1} << i;
+}
+
+std::int64_t Histogram::percentile(double p) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0;
+  const double rank = p / 100.0 * static_cast<double>(n);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += bucket(i);
+    if (static_cast<double>(seen) >= rank) return bucket_bound(i);
+  }
+  return bucket_bound(kBuckets - 1);
+}
+
+void Histogram::merge_from(const Histogram& other) {
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    const std::uint64_t n = other.bucket(i);
+    if (n > 0) buckets_[i].fetch_add(n, std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count(), std::memory_order_relaxed);
+  sum_.fetch_add(other.sum(), std::memory_order_relaxed);
+}
+
 std::map<std::string, std::uint64_t> MetricsRegistry::counters() const {
   std::lock_guard lock(mu_);
   std::map<std::string, std::uint64_t> out;
@@ -36,6 +73,17 @@ std::map<std::string, std::int64_t> MetricsRegistry::gauges() const {
   std::lock_guard lock(mu_);
   std::map<std::string, std::int64_t> out;
   for (const auto& [name, g] : gauges_) out.emplace(name, g->value());
+  return out;
+}
+
+std::map<std::string, MetricsRegistry::HistogramSummary>
+MetricsRegistry::histograms() const {
+  std::lock_guard lock(mu_);
+  std::map<std::string, HistogramSummary> out;
+  for (const auto& [name, h] : histograms_) {
+    out.emplace(name, HistogramSummary{h->count(), h->sum(), h->percentile(50),
+                                       h->percentile(95), h->percentile(99)});
+  }
   return out;
 }
 
@@ -56,11 +104,16 @@ void MetricsRegistry::merge_from(const MetricsRegistry& other) {
   const auto gs = other.gauges();
   for (const auto& [name, v] : cs) counter(name).inc(v);
   for (const auto& [name, v] : gs) gauge(name).record_max(v);
+  std::lock_guard lock(other.mu_);
+  for (const auto& [name, h] : other.histograms_) {
+    histogram(name).merge_from(*h);
+  }
 }
 
 void MetricsRegistry::write_json(std::ostream& out, int indent) const {
   const auto cs = counters();
   const auto gs = gauges();
+  const auto hs = histograms();
   JsonWriter w(out, indent);
   w.begin_object();
   w.key("counters").begin_object();
@@ -68,6 +121,17 @@ void MetricsRegistry::write_json(std::ostream& out, int indent) const {
   w.end_object();
   w.key("gauges").begin_object();
   for (const auto& [name, v] : gs) w.kv(name, v);
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : hs) {
+    w.key(name).begin_object();
+    w.kv("count", h.count);
+    w.kv("sum", h.sum);
+    w.kv("p50", h.p50);
+    w.kv("p95", h.p95);
+    w.kv("p99", h.p99);
+    w.end_object();
+  }
   w.end_object();
   w.end_object();
 }
@@ -78,6 +142,10 @@ void MetricsRegistry::write_text(std::ostream& out) const {
   }
   for (const auto& [name, v] : gauges()) {
     out << "  " << std::left << std::setw(40) << name << ' ' << v << '\n';
+  }
+  for (const auto& [name, h] : histograms()) {
+    out << "  " << std::left << std::setw(40) << name << " n=" << h.count
+        << " p50=" << h.p50 << " p99=" << h.p99 << '\n';
   }
 }
 

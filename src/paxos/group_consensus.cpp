@@ -83,8 +83,19 @@ void GroupConsensus::on_start(Context& ctx) {
   if (!config_.reliable_links) arm_catch_up(ctx);
 }
 
+void GroupConsensus::on_recover(Context& ctx) {
+  ctx_ = &ctx;
+  elector_.on_recover(ctx);
+  if (is_member(self_)) proposer_.on_recover(ctx);
+  catch_up_armed_ = false;
+  if (!config_.reliable_links) arm_catch_up(ctx);
+}
+
 void GroupConsensus::arm_catch_up(Context& ctx) {
+  if (catch_up_armed_) return;  // one chain even if on_start runs twice
+  catch_up_armed_ = true;
   ctx.set_timer(config_.retry_interval, [this, &ctx] {
+    catch_up_armed_ = false;
     const P2bRequest req{config_.group, learner_.next_to_deliver()};
     for (NodeId member : config_.members) {
       if (member != self_) ctx.send(member, Message{req});

@@ -2,6 +2,7 @@
 
 #include "fastcast/common/assert.hpp"
 #include "fastcast/common/logging.hpp"
+#include "fastcast/obs/observability.hpp"
 
 namespace fastcast::paxos {
 
@@ -20,9 +21,24 @@ void LeaderElector::on_start(Context& ctx) {
   arm_monitor(ctx);
 }
 
+void LeaderElector::on_recover(Context& ctx) {
+  // Timers died with the crash; the armed flags would otherwise keep both
+  // chains permanently disarmed. The generation bump kills chain callbacks
+  // that survive the restart in environments with persistent timer maps.
+  ++timer_generation_;
+  hb_armed_ = false;
+  monitor_armed_ = false;
+  on_start(ctx);
+}
+
 void LeaderElector::arm_heartbeat(Context& ctx) {
-  ctx.set_timer(config_.heartbeat_interval, [this, &ctx] {
-    if (!is_self_leader(ctx)) return;  // demoted meanwhile
+  if (hb_armed_) return;  // exactly one chain, even across re-promotions
+  hb_armed_ = true;
+  const std::uint64_t gen = timer_generation_;
+  ctx.set_timer(config_.heartbeat_interval, [this, &ctx, gen] {
+    if (gen != timer_generation_) return;  // stale pre-recovery chain
+    hb_armed_ = false;
+    if (!is_self_leader(ctx)) return;  // demoted meanwhile; chain ends here
     FdHeartbeat hb{config_.group, ctx.self(), epoch_};
     for (NodeId n : config_.members) {
       if (n != ctx.self()) ctx.send(n, Message{hb});
@@ -32,8 +48,14 @@ void LeaderElector::arm_heartbeat(Context& ctx) {
 }
 
 void LeaderElector::arm_monitor(Context& ctx) {
-  ctx.set_timer(config_.timeout, [this, &ctx] {
+  if (monitor_armed_) return;
+  monitor_armed_ = true;
+  const std::uint64_t gen = timer_generation_;
+  ctx.set_timer(config_.timeout, [this, &ctx, gen] {
+    if (gen != timer_generation_) return;
+    monitor_armed_ = false;
     if (!is_self_leader(ctx) && ctx.now() - last_heard_ >= config_.timeout) {
+      if (auto* o = ctx.obs()) o->metrics.counter("paxos.suspicions").inc();
       advance_epoch(ctx, epoch_ + 1);
     }
     arm_monitor(ctx);
@@ -42,10 +64,19 @@ void LeaderElector::arm_monitor(Context& ctx) {
 
 void LeaderElector::advance_epoch(Context& ctx, std::uint64_t epoch) {
   if (epoch <= epoch_) return;
+  const Time heard_gap = ctx.now() - last_heard_;
   epoch_ = epoch;
   last_heard_ = ctx.now();
   FC_INFO("group %u node %u: leader epoch -> %llu (leader %u)", config_.group,
           ctx.self(), static_cast<unsigned long long>(epoch_), leader());
+  if (auto* o = ctx.obs()) {
+    o->metrics.counter("paxos.leader_failovers").inc();
+    if (is_self_leader(ctx)) {
+      // Failover latency as the new leader observes it: time since the old
+      // leader was last heard until this node took over.
+      o->metrics.histogram("paxos.failover_latency_ns").observe(heard_gap);
+    }
+  }
   if (is_self_leader(ctx)) arm_heartbeat(ctx);
   if (on_change_) on_change_(ctx, leader(), epoch_);
 }

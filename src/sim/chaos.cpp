@@ -1,0 +1,178 @@
+#include "fastcast/sim/chaos.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <unordered_map>
+
+#include "fastcast/common/assert.hpp"
+#include "fastcast/common/rng.hpp"
+#include "fastcast/sim/simulator.hpp"
+
+namespace fastcast::sim {
+
+const char* chaos_event_kind_name(ChaosEvent::Kind kind) {
+  switch (kind) {
+    case ChaosEvent::Kind::kCrash: return "crash";
+    case ChaosEvent::Kind::kRecover: return "recover";
+    case ChaosEvent::Kind::kDropBurstStart: return "drop-burst-start";
+    case ChaosEvent::Kind::kDropBurstEnd: return "drop-burst-end";
+    case ChaosEvent::Kind::kPartitionStart: return "partition-start";
+    case ChaosEvent::Kind::kPartitionEnd: return "partition-end";
+  }
+  return "?";
+}
+
+namespace {
+
+Duration sample_duration(Rng& rng, Duration lo, Duration hi) {
+  if (hi <= lo) return lo;
+  return rng.uniform_range(lo, hi);
+}
+
+}  // namespace
+
+ChaosSchedule ChaosSchedule::generate(const Membership& membership,
+                                      const ChaosConfig& config,
+                                      std::uint64_t seed) {
+  FC_ASSERT(config.end >= config.start);
+  FC_ASSERT(membership.group_count() > 0);
+  Rng rng(seed ^ 0xc4a05c4a05ULL);
+  ChaosSchedule schedule;
+  const Time span = config.end - config.start;
+
+  // Crash→recover episodes. group_free[g] is the earliest time group g may
+  // lose another member: it enforces "at most one concurrent crash per
+  // group", which keeps every group at a majority and makes the checker's
+  // properties a hard pass/fail signal rather than a quorum-loss artifact.
+  std::vector<Time> group_free(membership.group_count(), config.start);
+  for (std::size_t i = 0; i < config.crashes && span > 0; ++i) {
+    const auto g = static_cast<GroupId>(rng.uniform(membership.group_count()));
+    const auto& members = membership.members(g);
+    const NodeId victim = rng.bernoulli(config.leader_bias)
+                              ? members.front()
+                              : members[rng.uniform(members.size())];
+    Time at = config.start + static_cast<Time>(rng.uniform(
+                                 static_cast<std::uint64_t>(span)));
+    at = std::max(at, group_free[g]);
+    const Duration down =
+        sample_duration(rng, config.min_downtime, config.max_downtime);
+    if (at + down > config.end) continue;  // would dangle past the window
+    schedule.events_.push_back(
+        {ChaosEvent::Kind::kCrash, at, victim, 0.0});
+    schedule.events_.push_back(
+        {ChaosEvent::Kind::kRecover, at + down, victim, 0.0});
+    // Leave slack after recovery so the node re-joins before the group's
+    // next episode (catch-up needs a few timer rounds).
+    group_free[g] = at + down + down / 2 + 1;
+  }
+
+  // Transient loss bursts.
+  for (std::size_t i = 0; i < config.drop_bursts && span > 0; ++i) {
+    const Time at = config.start + static_cast<Time>(rng.uniform(
+                                       static_cast<std::uint64_t>(span)));
+    const Duration len =
+        sample_duration(rng, config.min_burst, config.max_burst);
+    if (len <= 0 || at + len > config.end) continue;
+    schedule.events_.push_back({ChaosEvent::Kind::kDropBurstStart, at,
+                                kInvalidNode, config.burst_drop_probability});
+    schedule.events_.push_back(
+        {ChaosEvent::Kind::kDropBurstEnd, at + len, kInvalidNode, 0.0});
+  }
+
+  // Partition episodes: isolate one replica (a single-node island keeps the
+  // group's majority), then heal.
+  const auto replicas = membership.all_replicas();
+  for (std::size_t i = 0; i < config.partitions && span > 0; ++i) {
+    const NodeId victim = replicas[rng.uniform(replicas.size())];
+    const Time at = config.start + static_cast<Time>(rng.uniform(
+                                       static_cast<std::uint64_t>(span)));
+    const Duration len =
+        sample_duration(rng, config.min_partition, config.max_partition);
+    if (len <= 0 || at + len > config.end) continue;
+    schedule.events_.push_back(
+        {ChaosEvent::Kind::kPartitionStart, at, victim, 0.0});
+    schedule.events_.push_back(
+        {ChaosEvent::Kind::kPartitionEnd, at + len, victim, 0.0});
+  }
+
+  std::stable_sort(schedule.events_.begin(), schedule.events_.end(),
+                   [](const ChaosEvent& a, const ChaosEvent& b) {
+                     return a.at < b.at;
+                   });
+  return schedule;
+}
+
+void ChaosSchedule::apply(Simulator& sim) const {
+  const double base_drop = sim.drop_probability();
+
+  // Partition windows become one composite link filter: a unicast is
+  // dropped when exactly one endpoint is inside an active island.
+  struct Window {
+    NodeId node;
+    Time from;
+    Time to;
+  };
+  auto windows = std::make_shared<std::vector<Window>>();
+  {
+    std::unordered_map<NodeId, Time> open;
+    for (const ChaosEvent& e : events_) {
+      if (e.kind == ChaosEvent::Kind::kPartitionStart) {
+        open[e.node] = e.at;
+      } else if (e.kind == ChaosEvent::Kind::kPartitionEnd) {
+        auto it = open.find(e.node);
+        FC_ASSERT_MSG(it != open.end(), "partition end without start");
+        windows->push_back({e.node, it->second, e.at});
+        open.erase(it);
+      }
+    }
+    FC_ASSERT_MSG(open.empty(), "unhealed partition in schedule");
+  }
+  if (!windows->empty()) {
+    sim.set_link_filter([windows](NodeId from, NodeId to, Time at) {
+      for (const Window& w : *windows) {
+        if (at < w.from || at >= w.to) continue;
+        if ((from == w.node) != (to == w.node)) return false;
+      }
+      return true;
+    });
+  }
+
+  for (const ChaosEvent& e : events_) {
+    switch (e.kind) {
+      case ChaosEvent::Kind::kCrash:
+        sim.schedule_crash(e.node, e.at);
+        break;
+      case ChaosEvent::Kind::kRecover:
+        sim.schedule_recover(e.node, e.at);
+        break;
+      case ChaosEvent::Kind::kDropBurstStart: {
+        const double p = e.drop_probability;
+        sim.schedule_at(e.at, [&sim, p] { sim.set_drop_probability(p); });
+        break;
+      }
+      case ChaosEvent::Kind::kDropBurstEnd:
+        sim.schedule_at(e.at,
+                        [&sim, base_drop] { sim.set_drop_probability(base_drop); });
+        break;
+      case ChaosEvent::Kind::kPartitionStart:
+      case ChaosEvent::Kind::kPartitionEnd:
+        break;  // handled by the link filter above
+    }
+  }
+}
+
+std::string ChaosSchedule::describe() const {
+  std::ostringstream out;
+  for (const ChaosEvent& e : events_) {
+    out << e.at << "ns " << chaos_event_kind_name(e.kind);
+    if (e.node != kInvalidNode) out << " node=" << e.node;
+    if (e.kind == ChaosEvent::Kind::kDropBurstStart) {
+      out << " p=" << e.drop_probability;
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace fastcast::sim

@@ -133,6 +133,8 @@ void Simulator::set_node_cpu(NodeId node, CpuModel cpu) {
 void Simulator::set_observability(obs::Observability* o) {
   c_unicasts_ = o ? &o->metrics.counter("net.unicasts") : nullptr;
   c_dropped_ = o ? &o->metrics.counter("net.dropped") : nullptr;
+  c_crashes_ = o ? &o->metrics.counter("fault.crashes") : nullptr;
+  c_recoveries_ = o ? &o->metrics.counter("fault.recoveries") : nullptr;
   g_queue_hwm_ = o ? &o->metrics.gauge("sim.event_queue.high_water") : nullptr;
   last_reported_hwm_ = 0;
   if (g_queue_hwm_ != nullptr && queue_.high_water_mark() > 0) {
@@ -144,8 +146,12 @@ void Simulator::set_observability(obs::Observability* o) {
 
 void Simulator::crash(NodeId node) {
   FC_ASSERT(node < nodes_.size());
-  nodes_[node]->crashed = true;
-  nodes_[node]->timers.clear();
+  auto& n = *nodes_[node];
+  if (n.crashed) return;
+  n.crashed = true;
+  n.timers.clear();
+  n.inbox.clear();
+  if (c_crashes_) c_crashes_->inc();
 }
 
 void Simulator::schedule_crash(NodeId node, Time at) {
@@ -155,6 +161,27 @@ void Simulator::schedule_crash(NodeId node, Time at) {
 bool Simulator::is_crashed(NodeId node) const {
   FC_ASSERT(node < nodes_.size());
   return nodes_[node]->crashed;
+}
+
+void Simulator::recover(NodeId node) {
+  FC_ASSERT(node < nodes_.size());
+  auto& n = *nodes_[node];
+  if (!n.crashed) return;
+  n.crashed = false;
+  n.busy_until = now_;
+  n.inbox.clear();
+  if (c_recoveries_) c_recoveries_->inc();
+  NodeState* np = &n;
+  run_handler(n, now_, [np] { np->process->on_recover(*np->ctx); });
+}
+
+void Simulator::schedule_recover(NodeId node, Time at) {
+  queue_.push(at, [this, node] { recover(node); });
+}
+
+void Simulator::schedule_at(Time at, EventFn fn) {
+  FC_ASSERT(at >= now_);
+  queue_.push(at, std::move(fn));
 }
 
 bool Simulator::step() {

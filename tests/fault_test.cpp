@@ -85,23 +85,77 @@ TEST(Faults, MultiPaxosOrderingLeaderCrashRecovers) {
 }
 
 TEST(Faults, PartitionHealsAndDeliveryResumes) {
-  auto cfg = faulty_config(Protocol::kFastCast);
-  cfg.drop_probability = 0.01;  // enables retransmission machinery
-  cfg.dst_factory = same_dst_for_all(random_subset(2, 2));
-  Cluster cluster(cfg);
-  // Cut group 0's leader (node 0) off from group 1 between 50 and 150 ms.
-  cluster.simulator().set_link_filter([](NodeId from, NodeId to, Time at) {
-    const bool involved = (from == 0 && to >= 3 && to <= 5) ||
-                          (to == 0 && from >= 3 && from <= 5);
-    if (!involved) return true;
-    return at < milliseconds(50) || at > milliseconds(150);
-  });
-  cluster.start();
-  cluster.stop_clients(milliseconds(310));
-  cluster.simulator().run_until(seconds(6));
-  const auto report = cluster.checker().check(false, Checker::Level::kFull);
-  ASSERT_TRUE(report.ok) << report.violations[0];
-  EXPECT_GT(cluster.metrics().completions_total(), 20u);
+  for (Protocol proto :
+       {Protocol::kBaseCast, Protocol::kFastCast, Protocol::kMultiPaxos}) {
+    auto cfg = faulty_config(proto);
+    cfg.drop_probability = 0.01;  // enables retransmission machinery
+    cfg.dst_factory = same_dst_for_all(random_subset(2, 2));
+    Cluster cluster(cfg);
+    // Cut group 0's leader (node 0) off from group 1 between 50 and 150 ms.
+    cluster.simulator().set_link_filter([](NodeId from, NodeId to, Time at) {
+      const bool involved = (from == 0 && to >= 3 && to <= 5) ||
+                            (to == 0 && from >= 3 && from <= 5);
+      if (!involved) return true;
+      return at < milliseconds(50) || at > milliseconds(150);
+    });
+    cluster.start();
+    cluster.stop_clients(milliseconds(310));
+    cluster.simulator().run_until(seconds(6));
+    const auto report = cluster.checker().check(false, Checker::Level::kFull);
+    ASSERT_TRUE(report.ok) << to_string(proto) << ": " << report.violations[0];
+    EXPECT_GT(cluster.metrics().completions_total(), 20u) << to_string(proto);
+  }
+}
+
+TEST(Faults, CrashedFollowerRecoversAndRunContinues) {
+  for (Protocol proto :
+       {Protocol::kBaseCast, Protocol::kFastCast, Protocol::kMultiPaxos}) {
+    auto cfg = faulty_config(proto);
+    cfg.drop_probability = 0.01;  // catch-up/retransmission machinery on
+    cfg.observe = true;
+    cfg.dst_factory = same_dst_for_all(random_subset(2, 2));
+    Cluster cluster(cfg);
+    // Node 1 (follower of group 0) is down between 50 and 150 ms, then
+    // recovers and re-joins. It is a correct process over the whole run, so
+    // it is NOT excluded from the checker.
+    cluster.simulator().schedule_crash(1, milliseconds(50));
+    cluster.simulator().schedule_recover(1, milliseconds(150));
+    cluster.start();
+    cluster.stop_clients(milliseconds(310));
+    cluster.simulator().run_until(seconds(6));
+    const auto report = cluster.checker().check(false, Checker::Level::kFull);
+    ASSERT_TRUE(report.ok) << to_string(proto) << ": " << report.violations[0];
+    EXPECT_GT(cluster.metrics().completions_total(), 20u) << to_string(proto);
+    const auto obs = cluster.observability();
+    ASSERT_NE(obs, nullptr);
+    EXPECT_EQ(obs->metrics.counter_value("fault.crashes"), 1u);
+    EXPECT_EQ(obs->metrics.counter_value("fault.recoveries"), 1u);
+  }
+}
+
+TEST(Faults, CrashedLeaderRecoversAndRejoinsAsFollower) {
+  for (Protocol proto : {Protocol::kBaseCast, Protocol::kFastCast}) {
+    auto cfg = faulty_config(proto);
+    cfg.heartbeats = true;        // failover to node 1 while 0 is down
+    cfg.drop_probability = 0.01;  // recovery catch-up machinery on
+    cfg.observe = true;
+    cfg.dst_factory = same_dst_for_all(random_subset(2, 2));
+    Cluster cluster(cfg);
+    cluster.simulator().schedule_crash(0, milliseconds(60));
+    cluster.simulator().schedule_recover(0, milliseconds(250));
+    cluster.start();
+    cluster.stop_clients(milliseconds(310));
+    cluster.simulator().run_until(seconds(6));
+    const auto report = cluster.checker().check(false, Checker::Level::kFull);
+    ASSERT_TRUE(report.ok) << to_string(proto) << ": " << report.violations[0];
+    EXPECT_GT(cluster.metrics().completions_total(), 20u) << to_string(proto);
+    const auto obs = cluster.observability();
+    ASSERT_NE(obs, nullptr);
+    // The deposed leader's comeback must have triggered a real failover.
+    EXPECT_GE(obs->metrics.counter_value("paxos.leader_failovers"), 1u)
+        << to_string(proto);
+    EXPECT_EQ(obs->metrics.counter_value("fault.recoveries"), 1u);
+  }
 }
 
 TEST(Faults, ClientCrashMidStreamLeavesSystemConsistent) {

@@ -13,9 +13,110 @@
 #include "fastcast/amcast/node.hpp"
 #include "fastcast/checker/checker.hpp"
 #include "fastcast/net/tcp_cluster.hpp"
+#include "fastcast/net/timer_heap.hpp"
 
 namespace fastcast::net {
 namespace {
+
+TEST(TimerHeap, FiresInDeadlineOrderAndSkipsCancelled) {
+  TimerHeap heap;
+  std::vector<int> fired;
+  heap.schedule(30, [&] { fired.push_back(3); });
+  const TimerId cancelled = heap.schedule(10, [&] { fired.push_back(1); });
+  heap.schedule(20, [&] { fired.push_back(2); });
+  heap.cancel(cancelled);
+  Time due = 0;
+  ASSERT_TRUE(heap.next_due(due));
+  EXPECT_EQ(due, 20);
+  EXPECT_EQ(heap.fire_due(25), 1u);
+  EXPECT_EQ(heap.fire_due(100), 1u);
+  EXPECT_EQ(fired, (std::vector<int>{2, 3}));
+  EXPECT_TRUE(heap.empty());
+}
+
+TEST(TimerHeap, CallbacksMayRescheduleReentrantly) {
+  TimerHeap heap;
+  int chain = 0;
+  std::function<void()> arm = [&] {
+    ++chain;
+    if (chain < 5) heap.schedule(chain * 10, arm);
+  };
+  heap.schedule(0, arm);
+  // Each fire_due call runs everything due so far, including re-arms that
+  // came due within the same call.
+  EXPECT_EQ(heap.fire_due(100), 5u);
+  EXPECT_EQ(chain, 5);
+}
+
+TEST(TimerHeap, ArmAndCancelChurnDoesNotGrowHeapUnboundedly) {
+  // Regression: the TCP runtime used to keep every cancelled TimerEntry in
+  // its map forever, so failure-detector style arm-then-cancel churn leaked
+  // one entry per round. The heap must stay bounded by the compaction
+  // invariant: heap_size <= max(kCompactMin, 2 x armed) after any cancel.
+  TimerHeap heap;
+  std::vector<TimerId> standing;
+  for (int i = 0; i < 100; ++i) {
+    standing.push_back(heap.schedule(1'000'000 + i, [] {}));
+  }
+  for (int round = 0; round < 10'000; ++round) {
+    const TimerId id = heap.schedule(2'000'000 + round, [] {});
+    heap.cancel(id);
+    const std::size_t bound =
+        std::max(TimerHeap::kCompactMin, 2 * heap.armed());
+    ASSERT_LE(heap.heap_size(), bound) << "round " << round;
+  }
+  EXPECT_EQ(heap.armed(), standing.size());
+  // The standing timers are all still live and fire exactly once.
+  EXPECT_EQ(heap.fire_due(3'000'000), standing.size());
+}
+
+TEST(TcpTransport, QueuesWhileUnreachableAndFlushesAfterReconnect) {
+  AddressBook addresses;
+  addresses.base_port = static_cast<std::uint16_t>(24000 + (::getpid() % 1000));
+
+  TcpTransport sender(0, addresses);
+  RetryPolicy retry;
+  retry.base_backoff_ms = 1;
+  retry.max_backoff_ms = 20;
+  sender.set_retry_policy(retry);
+  sender.listen();
+
+  // Peer 1 is not listening yet: the frame must be queued, not dropped
+  // (this was the startup message-loss bug), and connect attempts counted.
+  sender.send(1, Message{RmAck{7, 9}});
+  for (int i = 0; i < 10; ++i) {
+    sender.flush();
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_GT(sender.stats().connect_failures, 0u);
+  EXPECT_EQ(sender.stats().tx_frames_dropped, 0u);
+  EXPECT_GT(sender.pending_bytes(), 0u);
+
+  // Peer comes up; backoff reconnection must deliver the queued frame.
+  TcpTransport receiver(1, addresses);
+  receiver.listen();
+  std::atomic<int> got{0};
+  NodeId got_from = kInvalidNode;
+  std::uint64_t got_seq = 0;
+  receiver.set_receive([&](NodeId from, const Message& msg) {
+    got_from = from;
+    got_seq = std::get<RmAck>(msg.payload).seq;
+    got.fetch_add(1);
+  });
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (got.load() == 0 && std::chrono::steady_clock::now() < deadline) {
+    sender.poll_once(1);
+    receiver.poll_once(1);
+  }
+  ASSERT_EQ(got.load(), 1);
+  EXPECT_EQ(got_from, 0u);
+  EXPECT_EQ(got_seq, 9u);
+  EXPECT_EQ(sender.pending_bytes(), 0u);
+  EXPECT_GE(sender.stats().reconnects, 1u);
+  sender.close_all();
+  receiver.close_all();
+}
 
 TEST(FrameParser, RoundTripsSingleFrame) {
   const Message msg{AmAck{make_msg_id(1, 2), 3, 4}};
@@ -168,6 +269,122 @@ TEST(TcpCluster, RunsFastCastOverRealSockets) {
   EXPECT_TRUE(report.ok) << (report.violations.empty() ? ""
                                                        : report.violations[0]);
   EXPECT_EQ(report.delivery_count, 20u * 6u);
+}
+
+/// A node is killed mid-run and restarted; no client message may be lost
+/// (the acceptance bar for the transport retry queues + cluster recovery).
+TEST(TcpCluster, SurvivesKilledAndRestartedNode) {
+  Membership membership;
+  membership.add_group(3, {0, 0, 0});
+  membership.add_group(3, {0, 0, 0});
+  const NodeId client_node = membership.add_client(0);
+  const NodeId victim = 4;  // follower of group 1 (leader is node 3)
+
+  TcpCluster::Config cfg;
+  cfg.membership = membership;
+  cfg.base_port = static_cast<std::uint16_t>(26000 + (::getpid() % 2000));
+  TcpCluster cluster(std::move(cfg));
+
+  std::mutex mu;
+  Checker checker(&membership);
+  std::atomic<int> completions{0};
+
+  for (NodeId n : membership.all_replicas()) {
+    const GroupId g = membership.group_of(n);
+    TimestampProtocolBase::Config pc;
+    pc.group = g;
+    pc.consensus.group = g;
+    pc.consensus.members = membership.members(g);
+    // Lossy-link machinery on: the victim's reconnect window behaves like
+    // loss, and the restarted node relies on retransmission + catch-up.
+    pc.consensus.reliable_links = false;
+    pc.rmcast.reliable_links = false;
+    pc.enable_repropose = true;
+    auto node = std::make_shared<ReplicaNode>(std::make_shared<FastCast>(pc, n));
+    node->add_observer([&mu, &checker](Context& ctx, const MulticastMessage& m) {
+      std::lock_guard<std::mutex> lock(mu);
+      checker.note_delivery(ctx.self(), m.id);
+    });
+    cluster.add_process(n, node);
+  }
+
+  // Closed-loop client pacing one global message per ~5ms so the kill and
+  // the restart both land while traffic is in flight.
+  class PacedClient : public Process {
+   public:
+    PacedClient(std::mutex* mu, Checker* checker, std::atomic<int>* completions)
+        : mu_(mu), checker_(checker), completions_(completions) {}
+    void on_start(Context& ctx) override {
+      stub_.on_start(ctx);
+      send_next(ctx);
+    }
+    void on_message(Context& ctx, NodeId from, const Message& msg) override {
+      if (const auto* ack = std::get_if<AmAck>(&msg.payload)) {
+        if (ack->mid == outstanding_) {
+          completions_->fetch_add(1);
+          outstanding_ = 0;
+          if (next_seq_ < 30) {
+            ctx.set_timer(milliseconds(5), [this, &ctx] { send_next(ctx); });
+          }
+        }
+        return;
+      }
+      stub_.handle(ctx, from, msg);
+    }
+
+   private:
+    void send_next(Context& ctx) {
+      MulticastMessage m;
+      m.id = make_msg_id(ctx.self(), next_seq_++);
+      m.sender = ctx.self();
+      m.dst = {0, 1};
+      m.payload = "post";
+      outstanding_ = m.id;
+      {
+        std::lock_guard<std::mutex> lock(*mu_);
+        checker_->note_multicast(m);
+      }
+      stub_.amulticast(ctx, m);
+    }
+    GenuineClientStub stub_;
+    std::mutex* mu_;
+    Checker* checker_;
+    std::atomic<int>* completions_;
+    std::uint32_t next_seq_ = 0;
+    MsgId outstanding_ = 0;
+  };
+  cluster.add_process(
+      client_node, std::make_shared<PacedClient>(&mu, &checker, &completions));
+
+  cluster.start();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  bool killed = false;
+  bool restarted = false;
+  while (completions.load() < 30 && std::chrono::steady_clock::now() < deadline) {
+    if (!killed && completions.load() >= 8) {
+      cluster.stop_node(victim);
+      killed = true;
+    }
+    if (killed && !restarted && completions.load() >= 18) {
+      cluster.restart_node(victim);
+      restarted = true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // Let the restarted node finish catching up before tearing down.
+  std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  cluster.stop();
+
+  EXPECT_TRUE(killed);
+  EXPECT_TRUE(restarted);
+  // Zero lost client messages across the kill/restart.
+  EXPECT_EQ(completions.load(), 30);
+  std::lock_guard<std::mutex> lock(mu);
+  // Safety-only: the restarted node may still be missing tail deliveries.
+  const auto report = checker.check(/*quiesced=*/false, Checker::Level::kFull);
+  EXPECT_TRUE(report.ok) << (report.violations.empty() ? ""
+                                                       : report.violations[0]);
 }
 
 }  // namespace

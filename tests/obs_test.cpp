@@ -108,8 +108,68 @@ TEST(Metrics, WriteJsonShape) {
   reg.gauge("a.depth").set(-3);
   std::ostringstream out;
   reg.write_json(out, /*indent=*/0);
-  EXPECT_EQ(out.str(),
-            R"({"counters":{"a.count":2},"gauges":{"a.depth":-3}})");
+  EXPECT_EQ(
+      out.str(),
+      R"({"counters":{"a.count":2},"gauges":{"a.depth":-3},"histograms":{}})");
+}
+
+// --- Histogram -------------------------------------------------------------
+
+TEST(Histogram, CountSumAndBuckets) {
+  Histogram h;
+  h.observe(0);
+  h.observe(1);
+  h.observe(2);
+  h.observe(3);
+  h.observe(1000);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 1006);
+  // 0 and 1 share bucket 0; 2 is bucket 1; 3 rounds up to bucket 2 (≤4).
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 1u);
+  EXPECT_EQ(Histogram::bucket_bound(0), 1);
+  EXPECT_EQ(Histogram::bucket_bound(10), 1024);
+}
+
+TEST(Histogram, PercentilesAreUpperBoundsOfRankBucket) {
+  Histogram h;
+  for (int i = 0; i < 90; ++i) h.observe(100);    // bucket bound 128
+  for (int i = 0; i < 10; ++i) h.observe(10000);  // bucket bound 16384
+  EXPECT_EQ(h.percentile(50), 128);
+  EXPECT_EQ(h.percentile(99), 16384);
+  Histogram empty;
+  EXPECT_EQ(empty.percentile(50), 0);
+}
+
+TEST(Histogram, MergeAddsBucketwise) {
+  Histogram a;
+  Histogram b;
+  a.observe(5);
+  b.observe(5);
+  b.observe(500);
+  a.merge_from(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.sum(), 510);
+}
+
+TEST(Metrics, RegistryHistogramsRoundTrip) {
+  MetricsRegistry a;
+  a.histogram("lat").observe(100);
+  MetricsRegistry b;
+  b.histogram("lat").observe(200);
+  b.histogram("only-b").observe(1);
+  a.merge_from(b);
+  const auto snap = a.histograms();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap.at("lat").count, 2u);
+  EXPECT_EQ(snap.at("lat").sum, 300);
+  EXPECT_EQ(snap.at("only-b").count, 1u);
+
+  std::ostringstream out;
+  a.write_json(out, 0);
+  EXPECT_NE(out.str().find("\"histograms\""), std::string::npos);
+  EXPECT_NE(out.str().find("\"lat\""), std::string::npos);
 }
 
 TEST(Metrics, ConcurrentIncrementsDoNotLoseCounts) {

@@ -39,6 +39,7 @@ class ConsensusNode : public Process {
     cons.on_start(ctx);
     if (start_hook) start_hook(ctx);
   }
+  void on_recover(Context& ctx) override { cons.on_recover(ctx); }
   void on_message(Context& ctx, NodeId from, const Message& msg) override {
     cons.handle(ctx, from, msg);
   }
@@ -373,6 +374,125 @@ TEST(LeaderElector, SuccessiveCrashesRotateLeadership) {
   EXPECT_EQ(f.nodes[2]->cons.leader(), 2u);
   EXPECT_EQ(f.nodes[3]->cons.leader(), 2u);
   EXPECT_EQ(f.nodes[4]->cons.leader(), 2u);
+}
+
+TEST(LeaderElector, RePromotionDoesNotDuplicateHeartbeatChain) {
+  // Regression: advance_epoch used to call arm_heartbeat unconditionally,
+  // so a node that was demoted and re-promoted while its original chain
+  // callback was still pending ended up with TWO self-rescheduling chains,
+  // doubling heartbeat traffic forever. Script a demote (epoch 1, leader 1)
+  // and a re-promote (epoch 3, leader 0 again) before the first chain
+  // callback fires, then count node 0's heartbeats.
+  class ElectorHost : public Process {
+   public:
+    explicit ElectorHost(LeaderElector::Config cfg) : elector(std::move(cfg)) {}
+    void on_start(Context& ctx) override { elector.on_start(ctx); }
+    void on_message(Context& ctx, NodeId from, const Message& msg) override {
+      elector.handle(ctx, from, msg);
+    }
+    LeaderElector elector;
+  };
+
+  Membership m;
+  m.add_group(3, {0, 0, 0});
+  Simulator sim(m, std::make_unique<ConstantLatency>(milliseconds(1)), {});
+  LeaderElector::Config cfg;
+  cfg.group = 0;
+  cfg.members = m.members(0);
+  cfg.heartbeats = true;
+  cfg.heartbeat_interval = milliseconds(20);
+  cfg.timeout = seconds(10);  // monitor never advances epochs in this run
+  auto host = std::make_shared<ElectorHost>(cfg);
+  sim.add_process(0, host);
+
+  class Script : public Process {
+   public:
+    void on_start(Context& ctx) override {
+      // Demote node 0 (epoch 1 -> leader 1), then re-promote it (epoch 3 ->
+      // leader 0), both before its first chain callback at 20ms.
+      ctx.set_timer(milliseconds(5), [&ctx] {
+        ctx.send(0, Message{FdHeartbeat{0, 1, 1}});
+      });
+      ctx.set_timer(milliseconds(10), [&ctx] {
+        ctx.send(0, Message{FdHeartbeat{0, 2, 3}});
+      });
+    }
+    void on_message(Context&, NodeId, const Message&) override {}
+  };
+  sim.add_process(1, std::make_shared<Script>());
+  class Sink : public Process {
+    void on_message(Context&, NodeId, const Message&) override {}
+  };
+  sim.add_process(2, std::make_shared<Sink>());
+
+  std::size_t hb_sends = 0;
+  sim.set_send_observer([&](NodeId from, NodeId, const Message& msg) {
+    if (from == 0 && std::holds_alternative<FdHeartbeat>(msg.payload)) {
+      ++hb_sends;
+    }
+  });
+  sim.start();
+  sim.run_until(milliseconds(400));
+
+  EXPECT_EQ(host->elector.epoch(), 3u);
+  EXPECT_EQ(host->elector.leader(), 0u);
+  // One chain firing every 20ms over ~400ms, 2 peers per fire ≈ 40 sends.
+  // The duplicate-chain bug produced roughly double.
+  EXPECT_GE(hb_sends, 30u);
+  EXPECT_LE(hb_sends, 48u) << "duplicate heartbeat chain";
+}
+
+TEST(GroupConsensus, CrashedFollowerRecoversAndCatchesUp) {
+  SimConfig sim_cfg;
+  sim_cfg.drop_probability = 0.05;  // lossy: retry + catch-up machinery on
+  Fixture f(sim_cfg);
+  std::shared_ptr<ConsensusNode> n0 = f.nodes[0];
+  f.nodes[0]->start_hook = [n0](Context& ctx) {
+    for (int i = 0; i < 10; ++i) n0->cons.propose(ctx, value_of(i));
+    // Second batch lands after node 2 recovers.
+    ctx.set_timer(milliseconds(300), [n0, &ctx] {
+      for (int i = 10; i < 20; ++i) n0->cons.propose(ctx, value_of(i));
+    });
+  };
+  f.sim->schedule_crash(2, milliseconds(20));
+  f.sim->schedule_recover(2, milliseconds(200));
+  f.sim->start();
+  f.sim->run_until(seconds(10));
+  // The recovered follower must learn the decisions it slept through (via
+  // the P2bRequest catch-up poll) as well as the post-recovery batch.
+  f.expect_agreement(20);
+}
+
+TEST(GroupConsensus, RecoveredLeaderRejoinsAsFollower) {
+  SimConfig sim_cfg;
+  sim_cfg.drop_probability = 0.05;
+  Fixture f(sim_cfg, /*heartbeats=*/true);
+  std::shared_ptr<ConsensusNode> n0 = f.nodes[0];
+  std::shared_ptr<ConsensusNode> n1 = f.nodes[1];
+  f.nodes[0]->start_hook = [n0](Context& ctx) {
+    for (int i = 0; i < 5; ++i) n0->cons.propose(ctx, value_of(i));
+  };
+  f.nodes[1]->start_hook = [n1](Context& ctx) {
+    // Proposed after node 0 is back: node 1 should still be leader then.
+    ctx.set_timer(milliseconds(600), [n1, &ctx] {
+      n1->cons.propose(ctx, value_of(100));
+    });
+  };
+  f.sim->schedule_crash(0, milliseconds(40));
+  f.sim->schedule_recover(0, milliseconds(400));
+  f.sim->start();
+  f.sim->run_until(seconds(5));
+  // The old leader wakes up believing epoch 0; node 1's heartbeats must
+  // demote it and all three must converge on the same leader and log.
+  EXPECT_EQ(f.nodes[0]->cons.leader(), f.nodes[1]->cons.leader());
+  EXPECT_EQ(f.nodes[2]->cons.leader(), f.nodes[1]->cons.leader());
+  EXPECT_GE(f.nodes[1]->cons.elector().epoch(), 1u);
+  f.expect_agreement(6);
+  bool found = false;
+  for (auto& [inst, v] : f.nodes[0]->decided) {
+    if (!v.empty() && value_to_int(v) == 100) found = true;
+  }
+  EXPECT_TRUE(found) << "post-recovery proposal not decided on recovered node";
 }
 
 TEST(GroupConsensus, LearnerCatchUpFillsTailGapUnderLoss) {

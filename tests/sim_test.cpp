@@ -5,10 +5,12 @@
 
 #include <algorithm>
 #include <array>
+#include <map>
 #include <memory>
 #include <utility>
 #include <vector>
 
+#include "fastcast/sim/chaos.hpp"
 #include "fastcast/sim/event_queue.hpp"
 #include "fastcast/sim/simulator.hpp"
 
@@ -328,6 +330,180 @@ TEST(Simulator, DeterministicAcrossRuns) {
   EXPECT_EQ(a, b);
   const auto c = run(78);
   EXPECT_NE(std::get<1>(a), std::get<1>(c));  // different seed, different jitter
+}
+
+/// Process that arms a repeating tick and records lifecycle calls, for the
+/// crash-recovery semantics tests.
+class TickingProcess : public Process {
+ public:
+  void on_start(Context& ctx) override {
+    ++starts;
+    arm(ctx);
+  }
+  void on_recover(Context& ctx) override {
+    ++recovers;
+    arm(ctx);
+  }
+  void on_message(Context&, NodeId, const Message&) override {}
+
+  int starts = 0;
+  int recovers = 0;
+  std::vector<Time> ticks;
+
+ private:
+  void arm(Context& ctx) {
+    ctx.set_timer(milliseconds(10), [this, &ctx] {
+      ticks.push_back(ctx.now());
+      arm(ctx);
+    });
+  }
+};
+
+TEST(Simulator, RecoverRunsOnRecoverAndResumesTimers) {
+  SimConfig cfg;
+  Simulator sim(two_nodes(), std::make_unique<ConstantLatency>(1), cfg);
+  auto p = std::make_shared<TickingProcess>();
+  sim.add_process(0, p);
+  sim.add_process(1, std::make_shared<Recorder>());
+  sim.schedule_crash(0, milliseconds(35));
+  sim.schedule_recover(0, milliseconds(100));
+  sim.start();
+  sim.run_until(milliseconds(165));
+
+  EXPECT_EQ(p->starts, 1);
+  EXPECT_EQ(p->recovers, 1);
+  EXPECT_FALSE(sim.is_crashed(0));
+  // Ticks at 10,20,30 — crash kills the armed timer — then the chain
+  // resumes relative to the recovery time: 110,120,...,160.
+  ASSERT_EQ(p->ticks.size(), 9u);
+  EXPECT_EQ(p->ticks[2], milliseconds(30));
+  EXPECT_EQ(p->ticks[3], milliseconds(110));
+  EXPECT_EQ(p->ticks.back(), milliseconds(160));
+}
+
+TEST(Simulator, RecoverIsNoOpOnLiveNodeAndCrashIsIdempotent) {
+  SimConfig cfg;
+  Simulator sim(two_nodes(), std::make_unique<ConstantLatency>(1), cfg);
+  auto p = std::make_shared<TickingProcess>();
+  sim.add_process(0, p);
+  sim.add_process(1, std::make_shared<Recorder>());
+  sim.start();
+  sim.recover(0);  // not crashed: must not re-run on_recover
+  EXPECT_EQ(p->recovers, 0);
+  sim.crash(0);
+  sim.crash(0);  // second crash is a no-op
+  EXPECT_TRUE(sim.is_crashed(0));
+}
+
+TEST(Simulator, ScheduleAtRunsSimulationLevelActions) {
+  SimConfig cfg;
+  Simulator sim(two_nodes(), std::make_unique<ConstantLatency>(1), cfg);
+  sim.add_process(0, std::make_shared<Recorder>());
+  sim.add_process(1, std::make_shared<Recorder>());
+  std::vector<Time> at;
+  sim.schedule_at(milliseconds(7), [&] { at.push_back(sim.now()); });
+  sim.schedule_at(milliseconds(3), [&] { at.push_back(sim.now()); });
+  sim.start();
+  sim.run_to_idle();
+  EXPECT_EQ(at, (std::vector<Time>{milliseconds(3), milliseconds(7)}));
+}
+
+// --- ChaosSchedule ---------------------------------------------------------
+
+Membership chaos_membership() {
+  Membership m;
+  m.add_group(3, {0, 0, 0});
+  m.add_group(3, {0, 0, 0});
+  m.add_client(0);
+  return m;
+}
+
+ChaosConfig chaos_config() {
+  ChaosConfig cfg;
+  cfg.start = milliseconds(10);
+  cfg.end = milliseconds(500);
+  cfg.crashes = 4;
+  cfg.min_downtime = milliseconds(20);
+  cfg.max_downtime = milliseconds(60);
+  cfg.drop_bursts = 2;
+  cfg.min_burst = milliseconds(10);
+  cfg.max_burst = milliseconds(40);
+  cfg.partitions = 2;
+  cfg.min_partition = milliseconds(10);
+  cfg.max_partition = milliseconds(40);
+  return cfg;
+}
+
+TEST(ChaosSchedule, IsDeterministicPerSeedAndVariesAcrossSeeds) {
+  const Membership m = chaos_membership();
+  const auto a = ChaosSchedule::generate(m, chaos_config(), 7);
+  const auto b = ChaosSchedule::generate(m, chaos_config(), 7);
+  ASSERT_EQ(a.events().size(), b.events().size());
+  for (std::size_t i = 0; i < a.events().size(); ++i) {
+    EXPECT_EQ(a.events()[i].at, b.events()[i].at);
+    EXPECT_EQ(a.events()[i].kind, b.events()[i].kind);
+    EXPECT_EQ(a.events()[i].node, b.events()[i].node);
+  }
+  const auto c = ChaosSchedule::generate(m, chaos_config(), 8);
+  EXPECT_NE(a.describe(), c.describe());
+}
+
+TEST(ChaosSchedule, RespectsFaultAssumptions) {
+  const Membership m = chaos_membership();
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    const auto s = ChaosSchedule::generate(m, chaos_config(), seed);
+    // Crash windows per group never overlap, every crash recovers inside
+    // the campaign window, and clients are never targeted.
+    std::map<GroupId, std::vector<std::pair<Time, Time>>> windows;
+    std::map<NodeId, Time> open;
+    for (const auto& e : s.events()) {
+      if (e.kind == ChaosEvent::Kind::kCrash) {
+        EXPECT_FALSE(m.is_client(e.node));
+        open[e.node] = e.at;
+      } else if (e.kind == ChaosEvent::Kind::kRecover) {
+        ASSERT_TRUE(open.contains(e.node));
+        EXPECT_LE(e.at, chaos_config().end);
+        windows[m.group_of(e.node)].push_back({open[e.node], e.at});
+        open.erase(e.node);
+      } else if (e.kind == ChaosEvent::Kind::kPartitionStart) {
+        EXPECT_FALSE(m.is_client(e.node));
+      }
+    }
+    EXPECT_TRUE(open.empty()) << "unrecovered crash, seed " << seed;
+    for (auto& [g, w] : windows) {
+      std::sort(w.begin(), w.end());
+      for (std::size_t i = 1; i < w.size(); ++i) {
+        EXPECT_GE(w[i].first, w[i - 1].second)
+            << "overlapping crashes in group " << g << ", seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(ChaosSchedule, ApplyInjectsCrashAndRecovery) {
+  Membership m = chaos_membership();
+  SimConfig cfg;
+  Simulator sim(m, std::make_unique<ConstantLatency>(1), cfg);
+  std::vector<std::shared_ptr<TickingProcess>> procs;
+  for (NodeId n = 0; n < m.node_count(); ++n) {
+    auto p = std::make_shared<TickingProcess>();
+    procs.push_back(p);
+    sim.add_process(n, p);
+  }
+  ChaosConfig ccfg = chaos_config();
+  ccfg.drop_bursts = 0;
+  ccfg.partitions = 0;
+  const auto schedule = ChaosSchedule::generate(m, ccfg, 3);
+  ASSERT_FALSE(schedule.events().empty());
+  schedule.apply(sim);
+  sim.start();
+  sim.run_until(milliseconds(600));
+  int recovered = 0;
+  for (const auto& p : procs) recovered += p->recovers;
+  EXPECT_GT(recovered, 0);
+  for (NodeId n = 0; n < m.node_count(); ++n) {
+    EXPECT_FALSE(sim.is_crashed(n)) << "node " << n;
+  }
 }
 
 TEST(Simulator, RunUntilAdvancesClockWithoutEvents) {
