@@ -17,6 +17,14 @@
 /// function of (membership, fault config, seed). `--smoke` shrinks the
 /// sweep for CI; `--json <path>` emits machine-readable rows; `--seeds N`
 /// overrides the per-cell seed count.
+///
+/// `--durable` arms the storage subsystem: every crash becomes a real
+/// process death (torn unsynced WAL bytes, replica rebuilt from snapshot +
+/// log replay) and each run ends with the wire-level acceptor
+/// no-regression check. `--wal-dir <path>` switches from the in-memory
+/// backend to file-backed WALs (one subdirectory per cell × seed so no
+/// state leaks between runs); `--fsync-policy always|batch[:N[:ms]]|never`
+/// picks the commit policy. Both imply `--durable`.
 
 #include <cstdio>
 #include <cstdlib>
@@ -118,6 +126,11 @@ struct CellResult {
   std::uint64_t failovers = 0;
   std::int64_t failover_p99_ns_max = 0;
   std::vector<std::uint64_t> failed_seeds;
+
+  // Durable-mode sums (zero when --durable is off).
+  std::uint64_t replayed_records = 0;
+  std::uint64_t storage_snapshots = 0;
+  std::uint64_t durability_checks = 0;
 };
 
 }  // namespace
@@ -130,6 +143,26 @@ int main(int argc, char** argv) {
 
   std::uint64_t seeds = 20;
   std::string json_path;
+  bool durable = false;
+  std::string wal_dir;
+  storage::FsyncPolicy fsync;
+  const auto usage = [argv] {
+    std::fprintf(stderr,
+                 "usage: %s [--smoke] [--seeds N] [--json <path>]\n"
+                 "       [--durable] [--wal-dir <path>] [--fsync-policy <p>]\n"
+                 "  --smoke         3 seeds per cell (CI)\n"
+                 "  --seeds         seeds per protocol x intensity cell "
+                 "(default 20)\n"
+                 "  --json          machine-readable campaign results\n"
+                 "  --durable       WAL-backed crashes: real process death,\n"
+                 "                  recovery from snapshot + log replay,\n"
+                 "                  acceptor no-regression check per run\n"
+                 "  --wal-dir       file-backed WALs under <path> (implies\n"
+                 "                  --durable; default: in-memory backend)\n"
+                 "  --fsync-policy  always | batch[:N[:ms]] | never "
+                 "(implies --durable; default always)\n",
+                 argv[0]);
+  };
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       seeds = 3;
@@ -137,14 +170,23 @@ int main(int argc, char** argv) {
       seeds = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--durable") == 0) {
+      durable = true;
+    } else if (std::strcmp(argv[i], "--wal-dir") == 0 && i + 1 < argc) {
+      wal_dir = argv[++i];
+      durable = true;
+    } else if (std::strcmp(argv[i], "--fsync-policy") == 0 && i + 1 < argc) {
+      const auto parsed = storage::FsyncPolicy::parse(argv[++i]);
+      if (!parsed) {
+        std::fprintf(stderr, "chaos_campaign: bad --fsync-policy '%s'\n",
+                     argv[i]);
+        usage();
+        return 2;
+      }
+      fsync = *parsed;
+      durable = true;
     } else {
-      std::fprintf(stderr,
-                   "usage: %s [--smoke] [--seeds N] [--json <path>]\n"
-                   "  --smoke  3 seeds per cell (CI)\n"
-                   "  --seeds  seeds per protocol x intensity cell "
-                   "(default 20)\n"
-                   "  --json   machine-readable campaign results\n",
-                   argv[0]);
+      usage();
       return std::strcmp(argv[i], "--help") == 0 ? 0 : 2;
     }
   }
@@ -163,6 +205,17 @@ int main(int argc, char** argv) {
         ChaosRunConfig cfg = base_config(proto);
         cfg.faults = intensity.faults;
         cfg.seed = seed;
+        if (durable) {
+          cfg.experiment.durability.durable = true;
+          cfg.experiment.durability.fsync = fsync;
+          if (!wal_dir.empty()) {
+            // One directory per cell × seed: file-backed state must never
+            // leak from one deterministic run into the next.
+            cfg.experiment.durability.wal_dir =
+                wal_dir + "/" + cell.protocol + "-" + cell.intensity +
+                "-seed" + std::to_string(seed);
+          }
+        }
         const ChaosRunResult r = run_chaos(cfg);
         ++cell.seeds;
         if (r.report.ok) {
@@ -182,29 +235,48 @@ int main(int argc, char** argv) {
         cell.failovers += r.leader_failovers;
         cell.failover_p99_ns_max =
             std::max(cell.failover_p99_ns_max, r.failover_p99_ns);
+        cell.replayed_records += r.replayed_records;
+        cell.storage_snapshots += r.storage_snapshots;
+        cell.durability_checks += r.durability_checks;
       }
       cells.push_back(std::move(cell));
     }
   }
 
-  Table table("Chaos campaigns (LAN, 2 groups, 4 clients; " +
-                  std::to_string(seeds) + " seeds per cell)",
-              {"protocol", "intensity", "safety", "avail mean", "avail min",
-               "crashes", "failovers", "failover p99"});
+  std::vector<std::string> headers = {"protocol",  "intensity", "safety",
+                                      "avail mean", "avail min", "crashes",
+                                      "failovers",  "failover p99"};
+  if (durable) {
+    headers.insert(headers.end(), {"replayed", "snapshots", "floor checks"});
+  }
+  std::string title = "Chaos campaigns (LAN, 2 groups, 4 clients; " +
+                      std::to_string(seeds) + " seeds per cell";
+  if (durable) {
+    title += "; durable, fsync " + fsync.to_string() +
+             (wal_dir.empty() ? ", mem backend" : ", file backend");
+  }
+  title += ")";
+  Table table(title, headers);
   for (const CellResult& c : cells) {
     const double avail_mean =
         c.seeds > 0 ? c.availability_sum / static_cast<double>(c.seeds) : 0;
-    table.add_row(
-        {c.protocol, c.intensity,
-         std::to_string(c.passed) + "/" + std::to_string(c.seeds),
-         fmt_double(avail_mean * 100, 1) + "%",
-         fmt_double(c.availability_min * 100, 1) + "%",
-         std::to_string(c.crashes),
-         std::to_string(c.failovers),
-         c.failover_p99_ns_max > 0
-             ? fmt_double(static_cast<double>(c.failover_p99_ns_max) / 1e6, 1) +
-                   " ms"
-             : "-"});
+    std::vector<std::string> row = {
+        c.protocol, c.intensity,
+        std::to_string(c.passed) + "/" + std::to_string(c.seeds),
+        fmt_double(avail_mean * 100, 1) + "%",
+        fmt_double(c.availability_min * 100, 1) + "%",
+        std::to_string(c.crashes),
+        std::to_string(c.failovers),
+        c.failover_p99_ns_max > 0
+            ? fmt_double(static_cast<double>(c.failover_p99_ns_max) / 1e6, 1) +
+                  " ms"
+            : "-"};
+    if (durable) {
+      row.push_back(std::to_string(c.replayed_records));
+      row.push_back(std::to_string(c.storage_snapshots));
+      row.push_back(std::to_string(c.durability_checks));
+    }
+    table.add_row(std::move(row));
   }
   table.print(
       "safety = seeds with all checker properties intact; failing seeds "
@@ -221,6 +293,11 @@ int main(int argc, char** argv) {
     w.begin_object();
     w.kv("bench", "chaos_campaign");
     w.kv("seeds_per_cell", seeds);
+    w.kv("durable", durable);
+    if (durable) {
+      w.kv("fsync_policy", fsync.to_string());
+      w.kv("backend", wal_dir.empty() ? "mem" : "file");
+    }
     w.key("cells").begin_array();
     for (const CellResult& c : cells) {
       w.begin_object();
@@ -235,6 +312,11 @@ int main(int argc, char** argv) {
       w.kv("recoveries", c.recoveries);
       w.kv("leader_failovers", c.failovers);
       w.kv("failover_p99_ns_max", c.failover_p99_ns_max);
+      if (durable) {
+        w.kv("replayed_records", c.replayed_records);
+        w.kv("storage_snapshots", c.storage_snapshots);
+        w.kv("durability_checks", c.durability_checks);
+      }
       w.key("failed_seeds").begin_array();
       for (const std::uint64_t s : c.failed_seeds) w.value(s);
       w.end_array();

@@ -13,7 +13,12 @@
 ///               round-trip p50/p99;
 ///   end_to_end  a full simulated FastCast experiment, reporting
 ///               wall-clock event rate and heap allocations per
-///               client-observed delivery.
+///               client-observed delivery;
+///   storage     WAL append+commit throughput (accept-sized records)
+///               under the three fsync policies, on the deterministic
+///               in-memory backend and on real files — pins the cost of
+///               the durability gate so fsync-policy regressions show up
+///               in the tracked BENCH output.
 ///
 /// Emits BENCH_hotpath.json (override with --json); `--smoke` shrinks the
 /// iteration counts so CI can run it as a build smoke test. Allocation
@@ -22,6 +27,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -40,6 +46,7 @@
 #include "fastcast/obs/json.hpp"
 #include "fastcast/obs/metrics.hpp"
 #include "fastcast/sim/event_queue.hpp"
+#include "fastcast/storage/storage.hpp"
 
 // ---------------------------------------------------------------------------
 // Heap instrumentation: every allocation in the process goes through these,
@@ -376,6 +383,82 @@ EndToEndResult bench_end_to_end(bool smoke) {
   return r;
 }
 
+// ---------------------------------------------------------------------------
+// Storage: WAL append + commit throughput per fsync policy. One accept-sized
+// record (64-byte value) per iteration, commit() after every record — the
+// exact shape of the acceptor hot path — with a final flush() so the batch
+// policy settles its tail before the clock stops.
+// ---------------------------------------------------------------------------
+
+struct StoragePolicyResult {
+  const char* name;
+  double mem_records_per_sec = 0;
+  double file_records_per_sec = 0;
+  std::uint64_t mem_records = 0;
+  std::uint64_t file_records = 0;
+};
+
+double bench_storage_one(std::unique_ptr<storage::StorageBackend> backend,
+                         storage::FsyncPolicy policy, std::size_t records) {
+  storage::NodeStorage::Config cfg;
+  cfg.fsync = policy;
+  storage::NodeStorage st(std::move(backend), cfg);
+  std::array<std::byte, 64> value{};
+  const auto t0 = Clock::now();
+  for (std::size_t i = 0; i < records; ++i) {
+    st.log_accept(0, i, Ballot{1, 0}, value);
+    st.commit();
+  }
+  st.flush();
+  return static_cast<double>(records) / seconds_since(t0);
+}
+
+std::vector<StoragePolicyResult> bench_storage(bool smoke) {
+  storage::FsyncPolicy always;
+  storage::FsyncPolicy batch;
+  batch.mode = storage::FsyncPolicy::Mode::kBatch;
+  storage::FsyncPolicy never;
+  never.mode = storage::FsyncPolicy::Mode::kNever;
+
+  const std::size_t mem_records = smoke ? 20'000 : 200'000;
+  // A real fsync per record is orders of magnitude slower than the append;
+  // keep the file/always cell honest but bounded.
+  const std::size_t file_always_records = smoke ? 500 : 5'000;
+  const std::size_t file_records = smoke ? 10'000 : 100'000;
+
+  char tmpl[] = "./fc_bench_storage_XXXXXX";
+  char* dir = ::mkdtemp(tmpl);
+  std::vector<StoragePolicyResult> out;
+  const struct {
+    const char* name;
+    storage::FsyncPolicy policy;
+  } policies[] = {{"always", always}, {"batch", batch}, {"never", never}};
+  int sub = 0;
+  for (const auto& p : policies) {
+    StoragePolicyResult r;
+    r.name = p.name;
+    r.mem_records = mem_records;
+    r.mem_records_per_sec = bench_storage_one(
+        std::make_unique<storage::MemBackend>(), p.policy, mem_records);
+    if (dir != nullptr) {
+      r.file_records = p.policy.mode == storage::FsyncPolicy::Mode::kAlways
+                           ? file_always_records
+                           : file_records;
+      const std::string sub_dir =
+          std::string(dir) + "/p" + std::to_string(sub++);
+      r.file_records_per_sec =
+          bench_storage_one(std::make_unique<storage::FileBackend>(sub_dir),
+                            p.policy, r.file_records);
+    }
+    out.push_back(r);
+  }
+  if (dir != nullptr) {
+    const std::string cleanup = std::string("rm -rf '") + dir + "'";
+    [[maybe_unused]] const int rc = std::system(cleanup.c_str());
+  }
+  return out;
+}
+
 }  // namespace
 }  // namespace fastcast::bench
 
@@ -428,6 +511,12 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(e2e.deliveries),
               e2e.check_ok ? "ok" : "FAILED");
 
+  const std::vector<StoragePolicyResult> sto = bench_storage(smoke);
+  for (const StoragePolicyResult& s : sto) {
+    std::printf("storage     %-6s mem %12.0f rec/s   file %12.0f rec/s\n",
+                s.name, s.mem_records_per_sec, s.file_records_per_sec);
+  }
+
   // Fold the headline numbers into a MetricsRegistry so the JSON carries
   // the same instruments the runtime exports.
   obs::MetricsRegistry metrics;
@@ -441,6 +530,14 @@ int main(int argc, char** argv) {
       .set(static_cast<std::int64_t>(tcp.frames_per_sec));
   metrics.gauge("hotpath.e2e.events_per_sec")
       .set(static_cast<std::int64_t>(e2e.events_per_sec));
+  for (const StoragePolicyResult& s : sto) {
+    metrics.gauge(std::string("hotpath.storage.mem_") + s.name +
+                  "_records_per_sec")
+        .set(static_cast<std::int64_t>(s.mem_records_per_sec));
+    metrics.gauge(std::string("hotpath.storage.file_") + s.name +
+                  "_records_per_sec")
+        .set(static_cast<std::int64_t>(s.file_records_per_sec));
+  }
 
   std::ofstream out(json_path);
   if (!out) {
@@ -480,6 +577,17 @@ int main(int argc, char** argv) {
   w.kv("events", e2e.events);
   w.kv("check_ok", e2e.check_ok);
   w.end_object();
+  w.key("storage").begin_array();
+  for (const StoragePolicyResult& s : sto) {
+    w.begin_object();
+    w.kv("fsync_policy", s.name);
+    w.kv("mem_records_per_sec", s.mem_records_per_sec);
+    w.kv("mem_records", s.mem_records);
+    w.kv("file_records_per_sec", s.file_records_per_sec);
+    w.kv("file_records", s.file_records);
+    w.end_object();
+  }
+  w.end_array();
   w.key("metrics").begin_object();
   for (const auto& [n, v] : metrics.gauges()) w.kv(n, v);
   w.end_object();

@@ -5,6 +5,7 @@
 #include "fastcast/common/assert.hpp"
 #include "fastcast/common/logging.hpp"
 #include "fastcast/obs/observability.hpp"
+#include "fastcast/storage/storage.hpp"
 
 namespace fastcast {
 
@@ -23,8 +24,31 @@ void DeliveryBuffer::store_body(Context& ctx, const MulticastMessage& msg) {
   if (!pm.body.has_value()) {
     pm.body = msg;
     note_dst(msg.id, msg.dst);
+    if (storage::NodeStorage* st = ctx.storage()) {
+      // Persist the payload: after the origin's retransmission settles,
+      // replaying this record is the only way a restarted node can still
+      // deliver the message. Input, not externalization — no gate.
+      st->log_body(msg.id, encode_msg_batch({msg}));
+      st->commit();
+    }
     // A formed FINAL may have been waiting for this body.
     if (pm.final_formed) try_deliver(ctx);
+  }
+}
+
+void DeliveryBuffer::restore_delivered(const std::set<MsgId>& delivered) {
+  delivered_.insert(delivered.begin(), delivered.end());
+}
+
+void DeliveryBuffer::restore_body(const MulticastMessage& msg) {
+  if (delivered_.contains(msg.id)) return;
+  auto& pm = msgs_[msg.id];
+  if (!pm.body.has_value()) {
+    pm.body = msg;
+    if (!pm.dst_known) {
+      pm.dst = msg.dst;
+      pm.dst_known = true;
+    }
   }
 }
 

@@ -15,6 +15,13 @@ MultiPaxosAmcast::MultiPaxosAmcast(Config config, NodeId self)
   });
 }
 
+void MultiPaxosAmcast::restore_durable(const storage::DurableState& durable) {
+  const auto it = durable.groups.find(cfg_.consensus.group);
+  cons_.restore_durable(it == durable.groups.end() ? nullptr : &it->second);
+  // Re-decided batches replayed by consensus catch-up must not re-deliver.
+  delivered_.insert(durable.delivered.begin(), durable.delivered.end());
+}
+
 void MultiPaxosAmcast::on_start(Context& ctx) {
   ctx_ = &ctx;
   cons_.on_start(ctx);

@@ -3,6 +3,7 @@
 #include "fastcast/common/assert.hpp"
 #include "fastcast/common/logging.hpp"
 #include "fastcast/obs/observability.hpp"
+#include "fastcast/storage/storage.hpp"
 
 namespace fastcast {
 
@@ -11,25 +12,91 @@ ReplicaNode::ReplicaNode(std::shared_ptr<AtomicMulticast> protocol, Options opti
   FC_ASSERT(protocol_ != nullptr);
   protocol_->set_deliver([this](Context& ctx, const MulticastMessage& msg) {
     ++delivered_count_;
-    if (auto* o = ctx.obs()) {
-      o->metrics.counter("amcast.adeliver").inc();
-      o->trace(msg.id, obs::SpanEventKind::kAdeliver, ctx.self(),
-               ctx.my_group(), ctx.now(),
-               static_cast<std::uint32_t>(msg.dst.size()));
+    if (storage::NodeStorage* st = ctx.storage()) {
+      // The delivered record is what recovery dedups on; the ack and the
+      // checker/application observers must not see a delivery the WAL can
+      // still forget, so they wait behind its commit.
+      const storage::Lsn lsn = st->log_delivered(msg.id);
+      st->when_durable(lsn, [this, c = &ctx, msg]() { externalize(*c, msg); });
+      st->commit();
+    } else {
+      externalize(ctx, msg);
     }
-    if (options_.send_acks && msg.sender != kInvalidNode) {
-      ctx.send(msg.sender, Message{AmAck{msg.id, ctx.my_group(), ctx.self()}});
-    }
-    for (const auto& observer : observers_) observer(ctx, msg);
   });
 }
 
 ReplicaNode::ReplicaNode(std::shared_ptr<AtomicMulticast> protocol)
     : ReplicaNode(std::move(protocol), Options{}) {}
 
-void ReplicaNode::on_start(Context& ctx) { protocol_->on_start(ctx); }
+void ReplicaNode::externalize(Context& ctx, const MulticastMessage& msg) {
+  if (auto* o = ctx.obs()) {
+    o->metrics.counter("amcast.adeliver").inc();
+    o->trace(msg.id, obs::SpanEventKind::kAdeliver, ctx.self(), ctx.my_group(),
+             ctx.now(), static_cast<std::uint32_t>(msg.dst.size()));
+  }
+  if (options_.send_acks && msg.sender != kInvalidNode) {
+    ctx.send(msg.sender, Message{AmAck{msg.id, ctx.my_group(), ctx.self()}});
+  }
+  for (const auto& observer : observers_) observer(ctx, msg);
+}
 
-void ReplicaNode::on_recover(Context& ctx) { protocol_->on_recover(ctx); }
+void ReplicaNode::redeliver_in_doubt(Context& ctx) {
+  storage::NodeStorage* st = ctx.storage();
+  if (st == nullptr) return;
+  for (const storage::NodeStorage::InDoubtDelivery& d :
+       st->in_doubt_deliveries()) {
+    MulticastMessage msg;
+    bool decoded = false;
+    if (!d.body.empty()) {
+      std::vector<MulticastMessage> batch;
+      if (decode_msg_batch(d.body, batch)) {
+        for (MulticastMessage& m : batch) {
+          if (m.id != d.mid) continue;
+          msg = std::move(m);
+          decoded = true;
+        }
+      }
+    }
+    if (!decoded) {
+      // No body in the WAL (e.g. state-machine protocols that only log
+      // consensus values). The ack and the delivery observers key on the
+      // id, and the id encodes the sender.
+      msg.id = d.mid;
+      msg.sender = static_cast<NodeId>(d.mid >> 32);
+    }
+    externalize(ctx, msg);
+  }
+}
+
+void ReplicaNode::arm_commit_tick(Context& ctx) {
+  storage::NodeStorage* st = ctx.storage();
+  if (st == nullptr ||
+      st->fsync_policy().mode != storage::FsyncPolicy::Mode::kBatch) {
+    return;
+  }
+  if (commit_tick_armed_) return;
+  commit_tick_armed_ = true;
+  // The batch policy's time bound: records that never fill a batch still
+  // become durable (and their gated sends released) within the interval.
+  ctx.set_timer(st->fsync_policy().batch_interval, [this, &ctx] {
+    commit_tick_armed_ = false;
+    if (storage::NodeStorage* s = ctx.storage()) s->flush();
+    arm_commit_tick(ctx);
+  });
+}
+
+void ReplicaNode::on_start(Context& ctx) {
+  redeliver_in_doubt(ctx);
+  protocol_->on_start(ctx);
+  arm_commit_tick(ctx);
+}
+
+void ReplicaNode::on_recover(Context& ctx) {
+  commit_tick_armed_ = false;
+  redeliver_in_doubt(ctx);
+  protocol_->on_recover(ctx);
+  arm_commit_tick(ctx);
+}
 
 void ReplicaNode::on_message(Context& ctx, NodeId from, const Message& msg) {
   if (!protocol_->handle(ctx, from, msg)) {

@@ -36,6 +36,21 @@ TimestampProtocolBase::TimestampProtocolBase(Config config, NodeId self)
   });
 }
 
+void TimestampProtocolBase::restore_durable(const storage::DurableState& durable) {
+  const auto it = durable.groups.find(cfg_.consensus.group);
+  cons_.restore_durable(it == durable.groups.end() ? nullptr : &it->second);
+  rm_.restore(durable);
+  buffer_.restore_delivered(durable.delivered);
+  for (const auto& [mid, encoded] : durable.bodies) {
+    std::vector<MulticastMessage> batch;
+    if (!decode_msg_batch(encoded, batch)) continue;  // guarded by WAL CRC
+    for (const MulticastMessage& m : batch) buffer_.restore_body(m);
+  }
+  // Timestamps (CH, buffer entries, ToOrder/Ordered) are deliberately not
+  // persisted: the consensus catch-up replays every decided tuple through
+  // on_decide, and delivered-set dedup suppresses re-deliveries.
+}
+
 void TimestampProtocolBase::on_start(Context& ctx) {
   decide_ctx_ = &ctx;
   rm_.on_start(ctx);
@@ -145,7 +160,10 @@ void TimestampProtocolBase::handle_set_hard(Context& ctx, const Tuple& tuple) {
   buffer_.note_dst(tuple.mid, tuple.dst);
   if (tuple.dst.size() > 1) {
     // Global: park our own (deterministic) hard timestamp as a placeholder
-    // and propagate it to every destination group.
+    // and propagate it to every destination group. Skipped for messages in
+    // the restored delivered set — catch-up after a storage recovery
+    // replays old SET-HARDs, and every destination settled them long ago.
+    if (buffer_.was_delivered(tuple.mid)) return;
     buffer_.add_entry(ctx, EntryKind::kPendingHard, cfg_.group, ch_, tuple.mid);
     hard_pending_[tuple.mid] = {ch_, tuple.dst};
     const bool transmit = cfg_.hard_send == Config::HardSend::kAll ||

@@ -132,9 +132,12 @@ void Checker::check_same_group(Report& r, bool quiesced) const {
       const std::vector<MsgId>& seq = it == deliveries_.end() ? kEmpty : it->second;
       ++r.orders_compared;
       if (!std::equal(seq.begin(), seq.end(), longest->begin())) {
+        const auto [mine, theirs] =
+            std::mismatch(seq.begin(), seq.end(), longest->begin());
         std::ostringstream os;
         os << "group consistency: node " << n << " and node " << longest_node
-           << " (group " << g << ") deliver diverging sequences";
+           << " (group " << g << ") deliver diverging sequences at position "
+           << (mine - seq.begin()) << ": " << *mine << " vs " << *theirs;
         violate(r, os.str());
       } else if (quiesced && seq.size() != longest->size()) {
         std::ostringstream os;

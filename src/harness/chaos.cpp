@@ -1,10 +1,94 @@
 #include "fastcast/harness/chaos.hpp"
 
+#include <algorithm>
+#include <map>
 #include <sstream>
 
 #include "fastcast/common/assert.hpp"
 
 namespace fastcast::harness {
+
+namespace {
+
+/// The highest promise ballot and per-instance accepted ballots a node has
+/// externalized (sent in a P1b/P2b) for one group. Durability contract:
+/// after any sequence of crashes, the node's recovered state must never
+/// fall below these — a lower promise would let it re-promise to a stale
+/// proposer and break the quorum intersection argument.
+struct AcceptorFloor {
+  Ballot promised;
+  std::map<InstanceId, Ballot> accepted;
+};
+
+using FloorMap = std::map<std::pair<NodeId, GroupId>, AcceptorFloor>;
+
+void observe_externalized(FloorMap& floors, NodeId from, const Message& msg) {
+  if (const auto* p1b = std::get_if<P1b>(&msg.payload)) {
+    AcceptorFloor& f = floors[{from, p1b->group}];
+    f.promised = std::max(f.promised, p1b->ballot);
+    for (const auto& e : p1b->accepted) {
+      Ballot& b = f.accepted[e.instance];
+      b = std::max(b, e.vballot);
+    }
+  } else if (const auto* p2b = std::get_if<P2b>(&msg.payload)) {
+    if (p2b->acceptor != from) return;  // not this node's acceptor state
+    AcceptorFloor& f = floors[{from, p2b->group}];
+    f.promised = std::max(f.promised, p2b->ballot);
+    Ballot& b = f.accepted[p2b->instance];
+    b = std::max(b, p2b->ballot);
+  }
+}
+
+/// Re-reads each floor-holding node's durable state from its backend and
+/// asserts no externalized promise/accept regressed. Appends violations to
+/// the report; returns the number of (node, group) checks performed.
+std::uint64_t check_durability_floors(Cluster& cluster, const FloorMap& floors,
+                                      Checker::Report& report) {
+  std::uint64_t checks = 0;
+  storage::StorageManager* sm = cluster.storage();
+  FC_ASSERT(sm != nullptr);
+  auto violation = [&report](std::string text) {
+    report.ok = false;
+    report.violations.push_back(std::move(text));
+  };
+  for (const auto& [key, floor] : floors) {
+    const auto [node, group] = key;
+    // Cold re-read: exactly what a fresh process after kill -9 would see.
+    const storage::DurableState& durable = sm->node(node)->reset_and_recover();
+    ++checks;
+    const auto git = durable.groups.find(group);
+    const storage::DurableState::GroupState* gs =
+        git == durable.groups.end() ? nullptr : &git->second;
+    if (gs == nullptr || gs->promised < floor.promised) {
+      std::ostringstream out;
+      out << "durability: node " << node << " group " << group
+          << " promise regressed: externalized (" << floor.promised.round << ","
+          << floor.promised.node << ") durable (";
+      if (gs != nullptr) {
+        out << gs->promised.round << "," << gs->promised.node;
+      } else {
+        out << "none";
+      }
+      out << ")";
+      violation(out.str());
+      continue;
+    }
+    for (const auto& [inst, ballot] : floor.accepted) {
+      const auto ait = gs->accepted.find(inst);
+      if (ait == gs->accepted.end() || ait->second.ballot < ballot) {
+        std::ostringstream out;
+        out << "durability: node " << node << " group " << group
+            << " accepted value lost at instance " << inst
+            << ": externalized ballot (" << ballot.round << "," << ballot.node
+            << ")";
+        violation(out.str());
+      }
+    }
+  }
+  return checks;
+}
+
+}  // namespace
 
 ChaosRunResult run_chaos(const ChaosRunConfig& config) {
   ExperimentConfig cfg = config.experiment;
@@ -13,6 +97,24 @@ ChaosRunResult run_chaos(const ChaosRunConfig& config) {
 
   Cluster cluster(cfg);
   auto& sim = cluster.simulator();
+
+  const bool durable = cfg.durability.durable;
+  // Decides how many unsynced bytes survive each kill (torn-write model).
+  Rng torn_rng(config.seed ^ 0x7042a11ULL);
+  FloorMap floors;
+  if (durable) {
+    sim.set_send_observer([&floors](NodeId from, NodeId, const Message& msg) {
+      observe_externalized(floors, from, msg);
+    });
+    sim.set_crash_hook([&cluster, &torn_rng](NodeId node) {
+      cluster.storage()->node(node)->on_crash(&torn_rng);
+    });
+    // Real process death: the old replica object is discarded and a fresh
+    // one rebuilt from snapshot + surviving WAL.
+    sim.set_recovery_factory([&cluster](NodeId node) {
+      return cluster.rebuild_replica(node);
+    });
+  }
 
   sim::ChaosConfig faults = config.faults;
   if (faults.end <= faults.start) {
@@ -56,6 +158,18 @@ ChaosRunResult run_chaos(const ChaosRunConfig& config) {
   if (auto it = hists.find("paxos.failover_latency_ns"); it != hists.end()) {
     result.failover_p99_ns = it->second.p99;
   }
+
+  if (durable) {
+    result.replayed_records = obs->metrics.counter_value("storage.replayed_records");
+    result.storage_snapshots = obs->metrics.counter_value("storage.snapshots");
+    // The no-regression floor check only holds under fsyncing policies:
+    // "never-for-sim" is documented as unsafe under crashes (it trades
+    // durability for speed in pure-throughput experiments).
+    if (cfg.durability.fsync.mode != storage::FsyncPolicy::Mode::kNever) {
+      result.durability_checks =
+          check_durability_floors(cluster, floors, result.report);
+    }
+  }
   return result;
 }
 
@@ -66,6 +180,11 @@ std::string ChaosRunResult::to_string() const {
       << " recoveries=" << recoveries << " failovers=" << leader_failovers;
   if (failover_p99_ns > 0) {
     out << " failover_p99_ms=" << static_cast<double>(failover_p99_ns) / 1e6;
+  }
+  if (durability_checks > 0) {
+    out << " replayed=" << replayed_records
+        << " snapshots=" << storage_snapshots
+        << " durability_checks=" << durability_checks;
   }
   for (const auto& v : report.violations) out << "\n  " << v;
   return out.str();

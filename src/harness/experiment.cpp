@@ -31,17 +31,27 @@ Cluster::Cluster(const ExperimentConfig& config)
   }
   metrics_ = std::make_shared<Metrics>();
 
+  if (config_.durability.durable) {
+    storage::StorageManager::Config sc;
+    sc.wal_dir = config_.durability.wal_dir;
+    sc.node.fsync = config_.durability.fsync;
+    sc.node.snapshot_every = config_.durability.snapshot_every;
+    storage_ = std::make_unique<storage::StorageManager>(std::move(sc));
+    if (obs_) storage_->set_metrics(&obs_->metrics);
+  }
+
   // Replicas (including the ordering group's nodes for MultiPaxos).
   for (NodeId n : deployment_.membership.all_replicas()) {
     const GroupId g = deployment_.membership.group_of(n);
     auto protocol = make_protocol(n, g);
-    auto node = std::make_shared<ReplicaNode>(protocol);
-    if (config_.run_checker) {
-      Checker* checker = &checker_;
-      node->add_observer([checker](Context& ctx, const MulticastMessage& msg) {
-        checker->note_delivery(ctx.self(), msg.id);
-      });
+    if (storage_) {
+      // A pre-existing wal_dir seeds the replica with its on-disk state
+      // (fresh dirs and the mem backend recover the empty state).
+      storage::NodeStorage* st = storage_->node(n);
+      protocol->restore_durable(st->state());
+      sim_->set_node_storage(n, st);
     }
+    auto node = make_replica(n, protocol);
     protocols_.push_back(std::move(protocol));
     replicas_.push_back(node);
     sim_->add_process(n, node);
@@ -69,6 +79,54 @@ Cluster::Cluster(const ExperimentConfig& config)
     clients_.push_back(client);
     sim_->add_process(deployment_.clients[i], client);
   }
+}
+
+std::shared_ptr<ReplicaNode> Cluster::make_replica(
+    NodeId node, std::shared_ptr<AtomicMulticast> protocol) {
+  auto replica = std::make_shared<ReplicaNode>(std::move(protocol));
+  if (config_.run_checker) {
+    Checker* checker = &checker_;
+    if (config_.durability.durable) {
+      // Crash recovery re-externalizes in-doubt deliveries at-least-once.
+      // This is the application-level dedup every durable client of the
+      // subsystem needs: it outlives replica rebuilds, so the checker's
+      // per-node sequence stays exactly-once.
+      std::set<MsgId>* seen = &seen_deliveries_[node];
+      replica->add_observer(
+          [checker, seen](Context& ctx, const MulticastMessage& msg) {
+            if (!seen->insert(msg.id).second) return;
+            checker->note_delivery(ctx.self(), msg.id);
+          });
+    } else {
+      replica->add_observer(
+          [checker](Context& ctx, const MulticastMessage& msg) {
+            checker->note_delivery(ctx.self(), msg.id);
+          });
+    }
+  }
+  return replica;
+}
+
+std::shared_ptr<Process> Cluster::rebuild_replica(NodeId node) {
+  FC_ASSERT_MSG(storage_ != nullptr, "rebuild_replica needs durability on");
+  const auto& reps = deployment_.membership.all_replicas();
+  std::size_t idx = reps.size();
+  for (std::size_t i = 0; i < reps.size(); ++i) {
+    if (reps[i] == node) {
+      idx = i;
+      break;
+    }
+  }
+  FC_ASSERT_MSG(idx < reps.size(), "not a replica node");
+
+  storage::NodeStorage* st = storage_->node(node);
+  const storage::DurableState& durable = st->reset_and_recover();
+  auto protocol = make_protocol(node, deployment_.membership.group_of(node));
+  protocol->restore_durable(durable);
+  auto fresh = make_replica(node, protocol);
+  protocols_[idx] = std::move(protocol);
+  replicas_[idx] = fresh;
+  return fresh;
 }
 
 std::shared_ptr<AtomicMulticast> Cluster::make_protocol(NodeId node, GroupId group) {

@@ -18,6 +18,13 @@
 
 namespace fastcast {
 
+namespace storage {
+struct DurableState;
+}
+namespace paxos {
+class GroupConsensus;
+}
+
 class AtomicMulticast {
  public:
   virtual ~AtomicMulticast() = default;
@@ -29,10 +36,26 @@ class AtomicMulticast {
 
   virtual void on_start(Context& ctx) = 0;
 
-  /// Crash-recovery restart: protocol state is retained (durable-state
-  /// model) but all armed timers are gone — implementations reset their
-  /// timer guards and re-arm. Default: run on_start again.
+  /// Crash-recovery restart. Without storage the environment retains this
+  /// object, so protocol state survives in-memory — a simulation
+  /// convenience, not durability. With storage the environment builds a
+  /// fresh instance, calls restore_durable() with the recovered state, and
+  /// then this; either way all armed timers are gone, so implementations
+  /// reset their timer guards and re-arm. Default: run on_start again.
   virtual void on_recover(Context& ctx) { on_start(ctx); }
+
+  /// Installs WAL-recovered state into a freshly constructed instance
+  /// (acceptor promises/accepted values, rmcast floors and staged frames,
+  /// the delivered set, persisted bodies). Called before on_recover, never
+  /// after messages. Default: nothing durable to restore.
+  virtual void restore_durable(const storage::DurableState& durable) {
+    (void)durable;
+  }
+
+  /// The group-consensus engine driving this protocol's deciding group, or
+  /// null (client stubs, protocols without one on this node). Lets the
+  /// environment flush/inspect acceptor state without knowing the subtype.
+  virtual paxos::GroupConsensus* consensus_engine() { return nullptr; }
 
   /// Routes one inbound message; returns false if it is not for this
   /// protocol (the node wrapper may then try other components).

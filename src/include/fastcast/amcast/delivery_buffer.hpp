@@ -50,8 +50,20 @@ class DeliveryBuffer {
   void note_dst(MsgId mid, const std::vector<GroupId>& dst);
 
   /// Stores the application message carried by START; may unblock delivery.
+  /// With storage present the body is also WAL-logged (kBody): once the
+  /// origin's retransmission stops, this node's disk is the only place the
+  /// payload survives a crash before delivery.
   void store_body(Context& ctx, const MulticastMessage& msg);
   bool has_body(MsgId mid) const;
+
+  /// Recovery: marks messages as already a-delivered (never again) without
+  /// counting them or invoking the upcall.
+  void restore_delivered(const std::set<MsgId>& delivered);
+
+  /// Recovery: re-installs a persisted body (and its destination set)
+  /// without attempting delivery — timestamps arrive separately via the
+  /// protocol layer's catch-up.
+  void restore_body(const MulticastMessage& msg);
 
   /// Adds one tentative-timestamp entry. At most one entry per
   /// (kind, group, mid) — duplicates are ignored (the protocol layer's

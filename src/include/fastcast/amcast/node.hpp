@@ -10,6 +10,16 @@
 /// forwards inbound traffic to it, acknowledges deliveries back to the
 /// message sender (how closed-loop clients measure completion latency),
 /// and exposes a delivery observer for the checker/metrics.
+///
+/// With storage attached, a-deliveries are the node's last externalization
+/// point: the delivered record is logged and the ack + observers gated on
+/// its commit, and under the batch fsync policy this node arms the
+/// interval timer that flushes partially filled batches. On start/recover
+/// the node re-externalizes every delivery recovery replayed from the WAL:
+/// a record can outlive its dropped gate closure (fsynced or kept by a
+/// torn tail), and without the redo the delivered-set dedup would hide
+/// that delivery from the application forever. Re-externalization is
+/// at-least-once; acks and observers dedup by message id.
 
 namespace fastcast {
 
@@ -37,10 +47,15 @@ class ReplicaNode final : public Process {
   std::uint64_t delivered_count() const { return delivered_count_; }
 
  private:
+  void externalize(Context& ctx, const MulticastMessage& msg);
+  void redeliver_in_doubt(Context& ctx);
+  void arm_commit_tick(Context& ctx);
+
   std::shared_ptr<AtomicMulticast> protocol_;
   Options options_;
   std::vector<ObserverFn> observers_;
   std::uint64_t delivered_count_ = 0;
+  bool commit_tick_armed_ = false;
 };
 
 }  // namespace fastcast

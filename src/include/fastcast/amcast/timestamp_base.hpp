@@ -55,6 +55,8 @@ class TimestampProtocolBase : public AtomicMulticast {
 
   void on_start(Context& ctx) override;
   void on_recover(Context& ctx) override;
+  void restore_durable(const storage::DurableState& durable) override;
+  paxos::GroupConsensus* consensus_engine() override { return &cons_; }
   bool handle(Context& ctx, NodeId from, const Message& msg) override;
 
   // Introspection (tests, stats).

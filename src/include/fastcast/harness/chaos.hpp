@@ -31,6 +31,14 @@ struct ChaosRunConfig {
   Duration cooldown = milliseconds(500);
 };
 
+/// With experiment.durability.durable set, every crash becomes a real
+/// process death: the crash hook drops a torn suffix of the victim's
+/// unsynced WAL bytes, and recovery rebuilds the replica from scratch out
+/// of its snapshot + surviving log (Cluster::rebuild_replica). The run
+/// additionally tracks every promise/accept an acceptor externalizes and,
+/// at the end, re-reads each replica's durable state to assert none of
+/// them regressed — the WAL-before-send contract, checked from the wire.
+
 struct ChaosRunResult {
   Checker::Report report;       ///< non-quiesced safety verdict
   sim::ChaosSchedule schedule;  ///< what was injected (for failure reports)
@@ -44,6 +52,13 @@ struct ChaosRunResult {
   std::uint64_t recoveries = 0;
   std::uint64_t leader_failovers = 0;
   std::int64_t failover_p99_ns = 0;  ///< paxos.failover_latency_ns p99
+
+  // Durable-mode extras (zero when durability is off).
+  std::uint64_t replayed_records = 0;   ///< WAL records replayed on recoveries
+  std::uint64_t storage_snapshots = 0;  ///< snapshots taken across the run
+  /// Per-(acceptor, group) no-regression checks performed against the
+  /// re-read durable state. Violations land in report.violations.
+  std::uint64_t durability_checks = 0;
 
   /// One-line summary for campaign tables / failure messages.
   std::string to_string() const;

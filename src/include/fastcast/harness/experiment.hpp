@@ -1,7 +1,9 @@
 #pragma once
 
+#include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 
 #include "fastcast/amcast/fastcast.hpp"
@@ -10,6 +12,7 @@
 #include "fastcast/harness/client.hpp"
 #include "fastcast/harness/topology.hpp"
 #include "fastcast/obs/observability.hpp"
+#include "fastcast/storage/storage.hpp"
 
 /// \file experiment.hpp
 /// Builds a full cluster (replicas + protocol + clients + checker) inside
@@ -53,6 +56,18 @@ struct ExperimentConfig {
   std::size_t payload_size = 64;
   /// Ablation: Algorithm-2-verbatim eager SYNC-HARD proposals in FastCast.
   bool fastcast_eager_hard = false;
+
+  // Durability. With durable on, every replica gets a storage::NodeStorage
+  // (in-memory backend unless wal_dir names a real directory) attached to
+  // its simulator Context, so acceptor promises/accepts, rmcast staging and
+  // a-deliveries are logged and their externalizations gated on commit.
+  struct DurabilityOptions {
+    bool durable = false;
+    storage::FsyncPolicy fsync;       ///< commit policy for every replica
+    std::string wal_dir;              ///< empty → deterministic MemBackend
+    std::uint64_t snapshot_every = 4096;  ///< records between snapshots
+  };
+  DurabilityOptions durability;
 
   // Observability.
   bool observe = false;        ///< attach a metrics registry to the run
@@ -115,19 +130,37 @@ class Cluster {
   /// Sums FastCast fast/slow path counters over all replicas.
   std::pair<std::uint64_t, std::uint64_t> path_stats() const;
 
+  /// Null unless the config asked for durability.
+  storage::StorageManager* storage() { return storage_.get(); }
+
+  /// Crash-recovers one replica as a real process death would: discards the
+  /// old protocol/ReplicaNode objects, re-reads the node's snapshot + WAL
+  /// (storage::NodeStorage::reset_and_recover), and builds a fresh stack
+  /// seeded only from that durable state. The returned process is what the
+  /// simulator's recovery factory installs before on_recover runs.
+  std::shared_ptr<Process> rebuild_replica(NodeId node);
+
  private:
   std::shared_ptr<AtomicMulticast> make_protocol(NodeId node, GroupId group);
   std::unique_ptr<ClientStub> make_stub();
 
+  std::shared_ptr<ReplicaNode> make_replica(NodeId node,
+                                            std::shared_ptr<AtomicMulticast>);
+
   ExperimentConfig config_;
   Deployment deployment_;
   std::shared_ptr<obs::Observability> obs_;
+  std::unique_ptr<storage::StorageManager> storage_;
   std::unique_ptr<sim::Simulator> sim_;
   Checker checker_;
   std::shared_ptr<Metrics> metrics_;
   std::vector<std::shared_ptr<ReplicaNode>> replicas_;        // by replica idx
   std::vector<std::shared_ptr<AtomicMulticast>> protocols_;   // parallel
   std::vector<std::shared_ptr<ClientProcess>> clients_;
+  /// Durable runs: per-node delivery ids already reported to the checker.
+  /// Outlives replica rebuilds so re-externalized in-doubt deliveries are
+  /// observed exactly once.
+  std::map<NodeId, std::set<MsgId>> seen_deliveries_;
 };
 
 /// The standard regimen: warm up, measure, optionally drain, check.

@@ -22,6 +22,9 @@ namespace fastcast {
 namespace obs {
 class Observability;
 }
+namespace storage {
+class StorageManager;
+}
 
 namespace net {
 
@@ -34,6 +37,12 @@ class TcpCluster {
     /// Optional run-wide metrics/tracing bundle shared by all node threads
     /// (instruments are thread-safe). Must outlive the cluster.
     obs::Observability* observability = nullptr;
+    /// Optional durable storage. When set, each node's Context carries its
+    /// NodeStorage (created lazily, one WAL directory per node), so the
+    /// protocol stack logs and gates exactly as it does in simulation.
+    /// Must outlive the cluster. Each NodeStorage is only ever touched from
+    /// its own node thread (plus restart plumbing after that thread joined).
+    storage::StorageManager* storage = nullptr;
   };
 
   explicit TcpCluster(Config config);
@@ -53,12 +62,22 @@ class TcpCluster {
 
   /// Kills one running node: its loop exits, sockets close, armed timers
   /// are lost. Peers keep queueing frames for it under backoff reconnect.
+  /// With storage attached, gated externalizations that never became
+  /// durable are dropped — exactly what a process death loses.
   void stop_node(NodeId node);
 
-  /// Restarts a stopped node (durable-state model: the Process keeps its
-  /// in-memory state). Re-binds the listener and runs on_recover on the
-  /// fresh node thread so the process re-arms its timers and re-joins.
+  /// Restarts a stopped node with its retained Process object. Without
+  /// storage this over-approximates durability (all in-memory state
+  /// survives, as if everything had been on disk); with storage attached
+  /// prefer the replacement overload, which models a real process death.
+  /// Re-binds the listener and runs on_recover on the fresh node thread so
+  /// the process re-arms its timers and re-joins.
   void restart_node(NodeId node);
+
+  /// Restarts a stopped node with a fresh Process (typically rebuilt from
+  /// storage::NodeStorage::reset_and_recover + restore_durable), discarding
+  /// the old object and every bit of state that was not on disk.
+  void restart_node(NodeId node, std::shared_ptr<Process> replacement);
 
   const Membership& membership() const { return config_.membership; }
 

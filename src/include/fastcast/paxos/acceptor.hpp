@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "fastcast/runtime/context.hpp"
+#include "fastcast/storage/snapshot.hpp"
 
 /// \file acceptor.hpp
 /// Paxos acceptor for one group's sequence of instances.
@@ -16,6 +17,11 @@
 /// On accepting a value the acceptor broadcasts P2b (including the value)
 /// to every learner; decisions are therefore learned two delays after the
 /// proposal, the latency structure Propositions 1–2 assume.
+///
+/// Durability: when the context carries storage, promises and accepts are
+/// logged to the WAL and the P1b/P2b replies are *gated* on the covering
+/// commit — an acceptor never externalizes a promise it could forget.
+/// Nacks stay ungated: they carry no promise, only advice.
 
 namespace fastcast::paxos {
 
@@ -24,8 +30,14 @@ class Acceptor {
   Acceptor(GroupId group, std::vector<NodeId> learners)
       : group_(group), learners_(std::move(learners)) {}
 
-  /// Pre-promises a ballot (stable-leader deployments).
+  /// Pre-promises a ballot (stable-leader deployments). Not logged: every
+  /// node derives the same initial promise from static configuration.
   void set_initial_promise(Ballot b) { promised_ = b; }
+
+  /// Installs recovered durable state (promise + accepted values) after a
+  /// real restart. Keeps the larger of the current and recovered promise,
+  /// so a pre-promised initial ballot is never regressed.
+  void restore(const storage::DurableState::GroupState& durable);
 
   void on_p1a(Context& ctx, NodeId from, const P1a& msg);
   void on_p2a(Context& ctx, NodeId from, const P2a& msg);
@@ -37,12 +49,15 @@ class Acceptor {
   Ballot promised() const { return promised_; }
   std::size_t accepted_count() const { return accepted_.size(); }
 
- private:
   struct AcceptedValue {
     Ballot vballot;
     std::vector<std::byte> value;
   };
+  const std::map<InstanceId, AcceptedValue>& accepted() const {
+    return accepted_;
+  }
 
+ private:
   GroupId group_;
   std::vector<NodeId> learners_;
   Ballot promised_;

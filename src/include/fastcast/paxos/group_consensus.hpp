@@ -46,10 +46,25 @@ class GroupConsensus {
   void on_start(Context& ctx);
 
   /// Re-arms every sub-component's timer chain after a crash-recovery
-  /// restart. Acceptor/learner/proposer state is retained (durable-state
-  /// model), which is what keeps recovery safe: promises made before the
-  /// crash are still honoured afterwards.
+  /// restart. Recovery safety — promises made before the crash are still
+  /// honoured afterwards — rests on the acceptor's state surviving: either
+  /// the environment retained this object (sim convenience, no storage),
+  /// or a fresh instance got the WAL-recovered promises/accepted values
+  /// via restore_durable() first.
   void on_recover(Context& ctx);
+
+  /// Installs WAL-recovered acceptor state into a fresh instance (null =
+  /// nothing was recovered for this group). Also marks the engine as
+  /// storage-recovered: learner/proposer state is *not* durable, so
+  /// catch-up polling is armed even over reliable links to relearn decided
+  /// instances from the acceptors. When the recovered state shows a prior
+  /// incarnation was active, the constructor's pre-promised stable
+  /// leadership no longer applies: on_start/on_recover re-run Phase 1 at a
+  /// round strictly above every ballot the dead incarnation can have
+  /// externalized (the promise quorum reveals its accepted instances, which
+  /// are re-driven before anything new — resuming at the old ballot with
+  /// reset instance tracking would overwrite slots peers already decided).
+  void restore_durable(const storage::DurableState::GroupState* durable);
 
   /// Queues a value for some instance. Only acts on the current leader.
   void propose(Context& ctx, std::vector<std::byte> value);
@@ -79,11 +94,15 @@ class GroupConsensus {
   bool is_member(NodeId n) const;
   static std::vector<NodeId> all_learners(const Config& config);
   void arm_catch_up(Context& ctx);
+  void reestablish_leadership(Context& ctx);
 
   Config config_;
   NodeId self_;
   Context* ctx_ = nullptr;  ///< bound at on_start; contexts outlive processes
   bool catch_up_armed_ = false;  ///< exactly one catch-up chain pending
+  bool recovered_from_storage_ = false;  ///< fresh instance fed by restore_durable
+  bool must_reestablish_ = false;  ///< durable past: Phase 1 before proposing
+  std::uint32_t recover_round_ = 2;  ///< first safe round after a restart
   LeaderChangeFn on_leader_change_;
   Acceptor acceptor_;
   Learner learner_;

@@ -41,7 +41,19 @@ class Proposer {
   void assume_stable_leadership(std::uint32_t round, NodeId self);
 
   /// Run Phase 1 with ballot (round, self), starting from `first_undecided`.
+  /// `round` is clamped up to the floor set by set_round_floor(). With
+  /// storage the P1a is WAL-logged (as a promise record, raising the
+  /// node's durable ballot watermark) and gated on its commit, so no
+  /// ballot ever reaches the wire that a restart could forget.
   void start_leadership(Context& ctx, std::uint32_t round, InstanceId first_undecided);
+
+  /// Lower bound for any future ballot round. A node restarted from its
+  /// WAL sets this strictly above every round the dead incarnation can
+  /// have externalized: reusing a round would let two incarnations place
+  /// different values in one (ballot, instance) slot, which acceptors
+  /// overwrite and learners mis-decide (votes at one ballot are assumed
+  /// to carry one value).
+  void set_round_floor(std::uint32_t round) { round_floor_ = round; }
 
   void resign() { phase_ = Phase::kIdle; }
   bool is_leading() const { return phase_ == Phase::kSteady; }
@@ -88,6 +100,11 @@ class Proposer {
   Config config_;
   Phase phase_ = Phase::kIdle;
   Ballot ballot_;
+  /// WAL position covering ballot_'s promise record (0 = implicit initial
+  /// ballot or no storage). Phase-1 retransmissions honour it like the
+  /// first send: the ballot must be durable before any P1a is on the wire.
+  std::uint64_t ballot_lsn_ = 0;
+  std::uint32_t round_floor_ = 0;
   InstanceId next_instance_ = 0;
 
   std::deque<std::vector<std::byte>> queue_;

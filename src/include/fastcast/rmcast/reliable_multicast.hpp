@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "fastcast/runtime/context.hpp"
+#include "fastcast/storage/snapshot.hpp"
 
 /// \file reliable_multicast.hpp
 /// Non-uniform FIFO reliable multicast (§2.3 of the paper).
@@ -27,6 +28,14 @@
 ///
 /// One delay: the origin unicasts a copy directly to every destination
 /// process, which is the 1δ propagation assumed by Propositions 1–2.
+///
+/// Durability (ctx.storage() non-null): sequence assignments and staged
+/// frames are WAL-logged and every transmission — the first send and
+/// retransmissions alike — gated on the covering commit, so a
+/// restarted origin never reuses a sequence number; receivers log FIFO
+/// progress and gate both the delivery upcall and the ack on it, so a
+/// frame is acked (retransmission stops) only once surviving the crash is
+/// guaranteed — anything less durable is simply retransmitted.
 
 namespace fastcast {
 
@@ -66,10 +75,17 @@ class ReliableMulticast {
   void on_start(Context& ctx);
 
   /// Re-arms the retransmission timer after a crash-recovery restart (the
-  /// armed guard refers to a timer that died with the crash). Receiver and
-  /// sender state is retained — the crash-recovery model assumes it was
-  /// replayed from stable storage — so FIFO sequencing stays intact.
+  /// armed guard refers to a timer that died with the crash). Without
+  /// storage the environment retains this object, so sender/receiver state
+  /// survives in-memory by fiat; with storage a fresh instance gets the
+  /// recovered sequence floors and staged frames via restore() first, so
+  /// FIFO sequencing stays intact across a real process death.
   void on_recover(Context& ctx);
+
+  /// Installs recovered durable state: per-destination sequence floors,
+  /// still-unacked staged frames (resuming retransmission), and receiver
+  /// next-expected floors (resuming dedup). Call before on_recover.
+  void restore(const storage::DurableState& durable);
 
   /// Returns true if the message was an rmcast frame (consumed).
   bool handle(Context& ctx, NodeId from, const Message& msg);
@@ -77,6 +93,10 @@ class ReliableMulticast {
   // Introspection for tests.
   std::size_t holdback_size() const;
   std::size_t unacked_count() const { return unacked_.size(); }
+  std::uint64_t next_expected_from(NodeId origin) const {
+    auto it = origins_.find(origin);
+    return it == origins_.end() ? 1 : it->second.next_expected;
+  }
 
  private:
   struct OriginState {
@@ -85,6 +105,7 @@ class ReliableMulticast {
   };
 
   void on_data(Context& ctx, NodeId from, const RmData& data);
+  void deliver_frame(Context& ctx, const RmData& frame);
   void relay(Context& ctx, const RmData& data);
   void arm_retransmit(Context& ctx);
 
@@ -93,12 +114,25 @@ class ReliableMulticast {
   std::function<bool()> relay_pred_;
 
   // Sender side.
+  struct Staged {
+    RmData frame;
+    /// WAL position covering the frame's seq advance and staged copy. The
+    /// frame must never hit the wire — first send OR retransmission —
+    /// before this is durable: a crash could otherwise forget the seq
+    /// advance of a frame a receiver already saw, and the recovered
+    /// sender would reuse the seq for a different message, which every
+    /// receiver silently drops as a duplicate. 0 = no gate (no storage,
+    /// or restored from the WAL itself).
+    storage::Lsn lsn = 0;
+  };
   std::unordered_map<NodeId, std::uint64_t> next_seq_;  // per destination
-  std::map<std::pair<NodeId, std::uint64_t>, RmData> unacked_;  // (dest,seq)
+  std::map<std::pair<NodeId, std::uint64_t>, Staged> unacked_;  // (dest,seq)
 
   // Receiver side.
   std::unordered_map<NodeId, OriginState> origins_;
   bool timer_armed_ = false;
+
+  std::vector<std::byte> stage_scratch_;  ///< reused staged-frame encoding
 };
 
 }  // namespace fastcast

@@ -25,6 +25,10 @@ namespace obs {
 class Observability;
 }
 
+namespace storage {
+class NodeStorage;
+}
+
 using TimerId = std::uint64_t;
 constexpr TimerId kInvalidTimer = 0;
 
@@ -73,8 +77,17 @@ class Context {
   obs::Observability* obs() const { return obs_; }
   void set_observability(obs::Observability* o) { obs_ = o; }
 
+  // Durability --------------------------------------------------------------
+
+  /// This node's write-ahead-log handle, or null when durability is off
+  /// (the default — protocol code must work unchanged without it). Same
+  /// single-pointer-test contract as obs().
+  storage::NodeStorage* storage() const { return storage_; }
+  void set_storage(storage::NodeStorage* s) { storage_ = s; }
+
  private:
   obs::Observability* obs_ = nullptr;
+  storage::NodeStorage* storage_ = nullptr;
 };
 
 /// A protocol endpoint: one object per node, driven by its environment.
@@ -85,11 +98,18 @@ class Process {
   /// Called once before any message, after the whole cluster is wired up.
   virtual void on_start(Context& ctx) { (void)ctx; }
 
-  /// Called when the environment restarts this node after a crash. The
-  /// model is crash-recovery with durable state: the object keeps its
-  /// protocol state (as if replayed from stable storage) but every timer it
-  /// had armed is gone, so implementations must re-arm their timer chains.
-  /// Default: run on_start again, which is correct for stateless processes.
+  /// Called when the environment restarts this node after a crash. Two
+  /// recovery modes exist:
+  ///   * Without storage (ctx.storage() == null) the environment retains
+  ///     this object across the restart, so in-memory protocol state
+  ///     survives by fiat — a simulation convenience, not real durability.
+  ///   * With storage, the environment may instead build a *fresh* process,
+  ///     hand it the recovered DurableState (see AtomicMulticast::
+  ///     restore_durable), and then call on_recover on it; anything not in
+  ///     the WAL is genuinely gone, as after a real kill -9.
+  /// In both modes every timer armed before the crash is gone, so
+  /// implementations must re-arm their timer chains here. Default: run
+  /// on_start again, which is correct for stateless processes.
   virtual void on_recover(Context& ctx) { on_start(ctx); }
 
   /// Called for every message addressed to this node.

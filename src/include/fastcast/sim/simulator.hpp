@@ -86,13 +86,34 @@ class Simulator {
   void schedule_crash(NodeId node, Time at);
   bool is_crashed(NodeId node) const;
 
-  /// Restarts a crashed node (durable-state model: the Process object keeps
-  /// its in-memory state, equivalent to replaying it from stable storage).
-  /// All timers armed before the crash are gone; the node's on_recover hook
+  /// Restarts a crashed node. By default the Process object is retained, so
+  /// its in-memory state survives the restart — a simulation convenience
+  /// that over-approximates durability (a real kill -9 keeps nothing that
+  /// was not written to disk). Installing a recovery factory removes the
+  /// fiction: the old process is discarded and a fresh one (typically
+  /// rebuilt from WAL-recovered state) takes its place. Either way all
+  /// timers armed before the crash are gone; the node's on_recover hook
   /// runs so it can re-arm them and re-join via catch-up/retransmission.
   /// No-op if the node is not crashed.
   void recover(NodeId node);
   void schedule_recover(NodeId node, Time at);
+
+  /// Called synchronously inside crash(), after the node's timers/inbox are
+  /// discarded. The durable chaos harness uses it to drop the node's
+  /// unsynced storage bytes (emulating what kill -9 loses).
+  using CrashHook = std::function<void(NodeId)>;
+  void set_crash_hook(CrashHook hook) { crash_hook_ = std::move(hook); }
+
+  /// When set, recover() replaces the node's Process with the factory's
+  /// product (a real process death: no in-memory state survives) before
+  /// running on_recover. Returning null keeps the existing process.
+  using RecoveryFactory = std::function<std::shared_ptr<Process>(NodeId)>;
+  void set_recovery_factory(RecoveryFactory factory) {
+    recovery_factory_ = std::move(factory);
+  }
+
+  /// Attaches a node's durable-storage handle to its context (null detaches).
+  void set_node_storage(NodeId node, storage::NodeStorage* storage);
 
   /// Schedules an arbitrary simulation-level action (chaos campaigns use
   /// this for drop bursts and partition windows). Runs at virtual time `at`
@@ -163,6 +184,8 @@ class Simulator {
   TimerId next_timer_id_ = 1;
   LinkFilter link_filter_;
   SendObserver send_observer_;
+  CrashHook crash_hook_;
+  RecoveryFactory recovery_factory_;
 
   // Cached instruments (looked up once in set_observability; null when off).
   obs::Counter* c_unicasts_ = nullptr;

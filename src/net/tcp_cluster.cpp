@@ -6,6 +6,7 @@
 #include "fastcast/common/logging.hpp"
 #include "fastcast/net/timer_heap.hpp"
 #include "fastcast/obs/observability.hpp"
+#include "fastcast/storage/storage.hpp"
 
 namespace fastcast::net {
 
@@ -32,6 +33,9 @@ class TcpCluster::NodeRuntime final : public Context {
       transport_.set_observability(o);
       c_sent_ = &o->metrics.counter("net.unicasts");
       c_received_ = &o->metrics.counter("net.received");
+    }
+    if (storage::StorageManager* sm = cluster_->config_.storage) {
+      set_storage(sm->node(self_));
     }
   }
 
@@ -150,16 +154,24 @@ void TcpCluster::stop_node(NodeId node) {
   FC_ASSERT_MSG(running_.load(), "cluster not running");
   nodes_[node]->deactivate();
   if (threads_[node].joinable()) threads_[node].join();
+  if (config_.storage) {
+    // Process death: gated externalizations whose records never became
+    // durable are gone for good — replay after restart must not see them.
+    config_.storage->node(node)->drop_pending();
+  }
   if (config_.observability) {
     config_.observability->metrics.counter("fault.crashes").inc();
   }
 }
 
-void TcpCluster::restart_node(NodeId node) {
+void TcpCluster::restart_node(NodeId node) { restart_node(node, nullptr); }
+
+void TcpCluster::restart_node(NodeId node, std::shared_ptr<Process> replacement) {
   FC_ASSERT(node < nodes_.size());
   FC_ASSERT_MSG(running_.load(), "cluster not running");
   FC_ASSERT_MSG(!threads_[node].joinable(), "node still running");
   NodeRuntime* n = nodes_[node].get();
+  if (replacement != nullptr) n->set_process(std::move(replacement));
   n->listen();  // SO_REUSEADDR: rebinding the same port succeeds promptly
   const Time epoch = n->epoch();
   threads_[node] = std::thread([this, n, epoch] {

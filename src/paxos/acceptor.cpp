@@ -1,8 +1,16 @@
 #include "fastcast/paxos/acceptor.hpp"
 
 #include "fastcast/common/logging.hpp"
+#include "fastcast/storage/storage.hpp"
 
 namespace fastcast::paxos {
+
+void Acceptor::restore(const storage::DurableState::GroupState& durable) {
+  if (durable.promised > promised_) promised_ = durable.promised;
+  for (const auto& [inst, acc] : durable.accepted) {
+    accepted_[inst] = AcceptedValue{acc.ballot, acc.value};
+  }
+}
 
 void Acceptor::on_p1a(Context& ctx, NodeId from, const P1a& msg) {
   // Ballots embed the proposer id, so equality implies the same proposer
@@ -21,7 +29,20 @@ void Acceptor::on_p1a(Context& ctx, NodeId from, const P1a& msg) {
        ++it) {
     reply.accepted.push_back({it->first, it->second.vballot, it->second.value});
   }
-  ctx.send(from, Message{std::move(reply)});
+
+  if (storage::NodeStorage* st = ctx.storage()) {
+    // The promise record is appended after any accept records it reports,
+    // so gating the reply on it transitively covers them all. The closure
+    // is dropped if the node crashes first — then the promise was never
+    // externalized and forgetting it is harmless.
+    const storage::Lsn lsn = st->log_promise(group_, promised_);
+    st->when_durable(lsn, [c = &ctx, from, reply = std::move(reply)]() {
+      c->send(from, Message{reply});
+    });
+    st->commit();
+  } else {
+    ctx.send(from, Message{std::move(reply)});
+  }
 }
 
 void Acceptor::on_p2a(Context& ctx, NodeId from, const P2a& msg) {
@@ -38,10 +59,27 @@ void Acceptor::on_p2a(Context& ctx, NodeId from, const P2a& msg) {
   vote.instance = msg.instance;
   vote.acceptor = ctx.self();
   vote.value = msg.value;
-  for (NodeId learner : learners_) ctx.send(learner, Message{vote});
+
+  if (storage::NodeStorage* st = ctx.storage()) {
+    // An accept record implies the promise (DurableState::apply), so one
+    // record covers both state changes this handler made.
+    const storage::Lsn lsn =
+        st->log_accept(group_, msg.instance, msg.ballot, msg.value);
+    st->when_durable(
+        lsn, [c = &ctx, learners = learners_, vote = std::move(vote)]() {
+          for (NodeId learner : learners) c->send(learner, Message{vote});
+        });
+    st->commit();
+  } else {
+    for (NodeId learner : learners_) ctx.send(learner, Message{vote});
+  }
 }
 
 void Acceptor::on_p2b_request(Context& ctx, NodeId from, const P2bRequest& msg) {
+  // Catch-up re-externalizes accepted values; make sure every logged accept
+  // is durable before any of them goes back on the wire.
+  if (storage::NodeStorage* st = ctx.storage()) st->flush();
+
   constexpr std::size_t kMaxReplies = 128;
   std::size_t sent = 0;
   for (auto it = accepted_.lower_bound(msg.from_instance);

@@ -73,14 +73,34 @@ bool GroupConsensus::is_member(NodeId n) const {
          config_.members.end();
 }
 
+void GroupConsensus::restore_durable(
+    const storage::DurableState::GroupState* durable) {
+  recovered_from_storage_ = true;
+  if (durable == nullptr) return;  // cold start: stable-leader fast path holds
+  acceptor_.restore(*durable);
+  must_reestablish_ = true;
+  // Every ballot the dead incarnation externalized is covered by a durable
+  // promise record (acceptor replies and proposer P1a sends are both gated
+  // on one), so promised.round is an upper bound on the wire history.
+  std::uint32_t round = durable->promised.round;
+  for (const auto& [inst, acc] : durable->accepted) {
+    round = std::max(round, acc.ballot.round);
+  }
+  recover_round_ = std::max<std::uint32_t>(round + 1, 2);
+  proposer_.set_round_floor(recover_round_);
+}
+
 void GroupConsensus::on_start(Context& ctx) {
   ctx_ = &ctx;
   elector_.on_start(ctx);
   if (is_member(self_)) proposer_.on_start(ctx);
   // Over lossy links a learner can permanently miss a quorum of P2b votes
   // (the proposer stops retrying once *it* has learned); poll acceptors
-  // for anything at or beyond our next undecided instance.
-  if (!config_.reliable_links) arm_catch_up(ctx);
+  // for anything at or beyond our next undecided instance. A storage-
+  // recovered instance polls even over reliable links: its learner starts
+  // empty and must relearn every decided instance from the acceptors.
+  if (!config_.reliable_links || recovered_from_storage_) arm_catch_up(ctx);
+  reestablish_leadership(ctx);
 }
 
 void GroupConsensus::on_recover(Context& ctx) {
@@ -88,7 +108,26 @@ void GroupConsensus::on_recover(Context& ctx) {
   elector_.on_recover(ctx);
   if (is_member(self_)) proposer_.on_recover(ctx);
   catch_up_armed_ = false;
-  if (!config_.reliable_links) arm_catch_up(ctx);
+  if (!config_.reliable_links || recovered_from_storage_) arm_catch_up(ctx);
+  reestablish_leadership(ctx);
+}
+
+void GroupConsensus::reestablish_leadership(Context& ctx) {
+  if (!must_reestablish_) return;
+  must_reestablish_ = false;
+  if (!is_member(self_)) return;
+  // A node restarted from its WAL cannot resume the constructor's
+  // pre-promised steady phase: the proposer's instance tracking is not
+  // persisted, so streaming Phase 2 at the old ballot would reuse
+  // instances the dead incarnation already filled — at an equal ballot,
+  // which acceptors overwrite and learners mis-decide. Re-run Phase 1 at
+  // recover_round_; the promise quorum reveals every accepted instance
+  // and re-drives it before anything new enters the stream.
+  if (elector_.is_self_leader(ctx)) {
+    proposer_.start_leadership(ctx, recover_round_, learner_.next_to_deliver());
+  } else {
+    proposer_.resign();
+  }
 }
 
 void GroupConsensus::arm_catch_up(Context& ctx) {

@@ -2,16 +2,19 @@
 
 #include "fastcast/common/assert.hpp"
 #include "fastcast/common/logging.hpp"
+#include "fastcast/storage/storage.hpp"
 
 namespace fastcast::paxos {
 
 void Proposer::assume_stable_leadership(std::uint32_t round, NodeId self) {
   ballot_ = Ballot{round, self};
+  ballot_lsn_ = 0;
   phase_ = Phase::kSteady;
 }
 
 void Proposer::start_leadership(Context& ctx, std::uint32_t round,
                                 InstanceId first_undecided) {
+  if (round < round_floor_) round = round_floor_;
   ballot_ = Ballot{round, ctx.self()};
   phase_ = Phase::kPrepare;
   prepare_from_ = first_undecided;
@@ -24,7 +27,22 @@ void Proposer::start_leadership(Context& ctx, std::uint32_t round,
   in_flight_.clear();
 
   P1a prepare{config_.group, ballot_, prepare_from_};
-  for (NodeId a : config_.acceptors) ctx.send(a, Message{prepare});
+  if (storage::NodeStorage* st = ctx.storage()) {
+    // WAL-before-send for the new ballot: log it as a promise record
+    // (raising the durable promise watermark this node restores from) and
+    // gate the P1a on its commit. A restart then picks a round strictly
+    // above anything this incarnation externalized — reusing a round
+    // would let two incarnations put different values in one
+    // (ballot, instance) slot.
+    ballot_lsn_ = st->log_promise(config_.group, ballot_);
+    st->when_durable(ballot_lsn_,
+                     [c = &ctx, acceptors = config_.acceptors, prepare]() {
+                       for (NodeId a : acceptors) c->send(a, Message{prepare});
+                     });
+    st->commit();
+  } else {
+    for (NodeId a : config_.acceptors) ctx.send(a, Message{prepare});
+  }
   arm_retry(ctx);
 }
 
@@ -124,7 +142,9 @@ void Proposer::arm_retry(Context& ctx) {
   retry_armed_ = true;
   ctx.set_timer(config_.retry_interval, [this, &ctx] {
     retry_armed_ = false;
-    if (phase_ == Phase::kPrepare) {
+    storage::NodeStorage* st = ctx.storage();
+    if (phase_ == Phase::kPrepare &&
+        (st == nullptr || ballot_lsn_ <= st->durable_lsn())) {
       P1a prepare{config_.group, ballot_, prepare_from_};
       for (NodeId a : config_.acceptors) ctx.send(a, Message{prepare});
     } else if (phase_ == Phase::kSteady) {

@@ -130,6 +130,11 @@ void Simulator::set_node_cpu(NodeId node, CpuModel cpu) {
   nodes_[node]->cpu = cpu;
 }
 
+void Simulator::set_node_storage(NodeId node, storage::NodeStorage* storage) {
+  FC_ASSERT(node < nodes_.size());
+  nodes_[node]->ctx->set_storage(storage);
+}
+
 void Simulator::set_observability(obs::Observability* o) {
   c_unicasts_ = o ? &o->metrics.counter("net.unicasts") : nullptr;
   c_dropped_ = o ? &o->metrics.counter("net.dropped") : nullptr;
@@ -152,6 +157,7 @@ void Simulator::crash(NodeId node) {
   n.timers.clear();
   n.inbox.clear();
   if (c_crashes_) c_crashes_->inc();
+  if (crash_hook_) crash_hook_(node);
 }
 
 void Simulator::schedule_crash(NodeId node, Time at) {
@@ -171,6 +177,13 @@ void Simulator::recover(NodeId node) {
   n.busy_until = now_;
   n.inbox.clear();
   if (c_recoveries_) c_recoveries_->inc();
+  if (recovery_factory_) {
+    // Real process death: the retained object (and every bit of state not
+    // recovered from storage by the factory) is discarded.
+    if (std::shared_ptr<Process> fresh = recovery_factory_(node)) {
+      n.process = std::move(fresh);
+    }
+  }
   NodeState* np = &n;
   run_handler(n, now_, [np] { np->process->on_recover(*np->ctx); });
 }

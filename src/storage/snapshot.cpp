@@ -1,0 +1,257 @@
+#include "fastcast/storage/snapshot.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "fastcast/common/assert.hpp"
+
+namespace fastcast::storage {
+
+// ---------------------------------------------------------------------------
+// DurableState
+// ---------------------------------------------------------------------------
+
+void DurableState::apply(const WalRecord& rec) {
+  switch (rec.type) {
+    case WalRecordType::kPromise: {
+      auto& g = groups[rec.group];
+      if (rec.ballot > g.promised) g.promised = rec.ballot;
+      break;
+    }
+    case WalRecordType::kAccept: {
+      auto& g = groups[rec.group];
+      // Accepting at a ballot implies having promised it.
+      if (rec.ballot > g.promised) g.promised = rec.ballot;
+      auto& acc = g.accepted[rec.instance];
+      if (rec.ballot >= acc.ballot) {
+        acc.ballot = rec.ballot;
+        acc.value = rec.value;
+      }
+      break;
+    }
+    case WalRecordType::kRmNextSeq: {
+      auto& next = rm_next_seq[rec.node];
+      if (rec.seq > next) next = rec.seq;
+      break;
+    }
+    case WalRecordType::kRmStage:
+      rm_staged[{rec.node, rec.seq}] = rec.value;
+      break;
+    case WalRecordType::kRmSettle:
+      rm_staged.erase({rec.node, rec.seq});
+      break;
+    case WalRecordType::kRmProgress: {
+      auto& next = rm_next_expected[rec.node];
+      if (rec.seq > next) next = rec.seq;
+      break;
+    }
+    case WalRecordType::kDelivered:
+      delivered.insert(rec.seq);
+      bodies.erase(rec.seq);  // a delivered message's body is no longer needed
+      break;
+    case WalRecordType::kBody:
+      if (!delivered.contains(rec.seq)) bodies[rec.seq] = rec.value;
+      break;
+  }
+}
+
+namespace {
+
+/// Snapshot body version; bumped on any layout change so stale snapshots
+/// are rejected instead of misdecoded.
+constexpr std::uint8_t kSnapshotVersion = 1;
+
+}  // namespace
+
+void encode_state(Writer& w, const DurableState& state) {
+  w.u8(kSnapshotVersion);
+  w.varint(state.groups.size());
+  for (const auto& [gid, g] : state.groups) {
+    w.u32(gid);
+    w.u32(g.promised.round);
+    w.u32(g.promised.node);
+    w.varint(g.accepted.size());
+    for (const auto& [inst, acc] : g.accepted) {
+      w.varint(inst);
+      w.u32(acc.ballot.round);
+      w.u32(acc.ballot.node);
+      w.bytes(acc.value);
+    }
+  }
+  w.varint(state.rm_next_seq.size());
+  for (const auto& [node, seq] : state.rm_next_seq) {
+    w.u32(node);
+    w.varint(seq);
+  }
+  w.varint(state.rm_staged.size());
+  for (const auto& [key, frame] : state.rm_staged) {
+    w.u32(key.first);
+    w.varint(key.second);
+    w.bytes(frame);
+  }
+  w.varint(state.rm_next_expected.size());
+  for (const auto& [node, seq] : state.rm_next_expected) {
+    w.u32(node);
+    w.varint(seq);
+  }
+  w.varint(state.delivered.size());
+  for (const MsgId mid : state.delivered) w.varint(mid);
+  w.varint(state.bodies.size());
+  for (const auto& [mid, body] : state.bodies) {
+    w.varint(mid);
+    w.bytes(body);
+  }
+}
+
+bool decode_state(Reader& r, DurableState& state) {
+  state = DurableState{};
+  if (r.u8() != kSnapshotVersion) return false;
+  const std::uint64_t n_groups = r.varint();
+  for (std::uint64_t i = 0; r.ok() && i < n_groups; ++i) {
+    const GroupId gid = r.u32();
+    auto& g = state.groups[gid];
+    g.promised.round = r.u32();
+    g.promised.node = r.u32();
+    const std::uint64_t n_acc = r.varint();
+    for (std::uint64_t j = 0; r.ok() && j < n_acc; ++j) {
+      const InstanceId inst = r.varint();
+      auto& acc = g.accepted[inst];
+      acc.ballot.round = r.u32();
+      acc.ballot.node = r.u32();
+      acc.value = r.bytes();
+    }
+  }
+  const std::uint64_t n_next = r.varint();
+  for (std::uint64_t i = 0; r.ok() && i < n_next; ++i) {
+    const NodeId node = r.u32();
+    state.rm_next_seq[node] = r.varint();
+  }
+  const std::uint64_t n_staged = r.varint();
+  for (std::uint64_t i = 0; r.ok() && i < n_staged; ++i) {
+    const NodeId node = r.u32();
+    const std::uint64_t seq = r.varint();
+    state.rm_staged[{node, seq}] = r.bytes();
+  }
+  const std::uint64_t n_exp = r.varint();
+  for (std::uint64_t i = 0; r.ok() && i < n_exp; ++i) {
+    const NodeId node = r.u32();
+    state.rm_next_expected[node] = r.varint();
+  }
+  const std::uint64_t n_del = r.varint();
+  for (std::uint64_t i = 0; r.ok() && i < n_del; ++i) {
+    state.delivered.insert(r.varint());
+  }
+  const std::uint64_t n_bodies = r.varint();
+  for (std::uint64_t i = 0; r.ok() && i < n_bodies; ++i) {
+    const MsgId mid = r.varint();
+    state.bodies[mid] = r.bytes();
+  }
+  return r.ok() && r.at_end();
+}
+
+// ---------------------------------------------------------------------------
+// SnapshotStore
+// ---------------------------------------------------------------------------
+
+SnapshotStore::SnapshotStore(StorageBackend* backend) : backend_(backend) {
+  FC_ASSERT_MSG(backend_ != nullptr, "SnapshotStore needs a backend");
+}
+
+std::string SnapshotStore::snapshot_name(Lsn lsn) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "snap-%016llx.snap",
+                static_cast<unsigned long long>(lsn));
+  return buf;
+}
+
+bool SnapshotStore::parse_snapshot_name(const std::string& name, Lsn& lsn) {
+  // "snap-" + 16 hex digits + ".snap"
+  if (name.size() != 26 || !name.starts_with("snap-") ||
+      !name.ends_with(".snap")) {
+    return false;
+  }
+  Lsn v = 0;
+  for (std::size_t i = 5; i < 21; ++i) {
+    const char c = name[i];
+    std::uint64_t digit;
+    if (c >= '0' && c <= '9') digit = static_cast<std::uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') digit = static_cast<std::uint64_t>(c - 'a') + 10;
+    else return false;
+    v = (v << 4) | digit;
+  }
+  lsn = v;
+  return true;
+}
+
+void SnapshotStore::write(Lsn lsn, const DurableState& state) {
+  scratch_.clear();
+  encode_state(scratch_, state);
+  // Same [len][crc] guard as WAL frames, so bit rot is detected on load.
+  Writer framed;
+  framed.reserve(scratch_.size() + 8);
+  framed.u32(static_cast<std::uint32_t>(scratch_.size()));
+  framed.u32(crc32(scratch_.data()));
+  framed.raw(scratch_.data());
+  backend_->write_atomic(snapshot_name(lsn), framed.data());
+
+  // GC: keep the newest two snapshots (this one and its predecessor).
+  std::vector<Lsn> lsns;
+  for (const std::string& name : backend_->list()) {
+    Lsn at = 0;
+    if (parse_snapshot_name(name, at)) lsns.push_back(at);
+  }
+  std::sort(lsns.begin(), lsns.end());
+  while (lsns.size() > 2) {
+    backend_->remove(snapshot_name(lsns.front()));
+    lsns.erase(lsns.begin());
+  }
+}
+
+Lsn SnapshotStore::load_latest(DurableState& state, std::uint64_t* rejected) {
+  std::vector<Lsn> lsns;
+  for (const std::string& name : backend_->list()) {
+    Lsn at = 0;
+    if (parse_snapshot_name(name, at)) lsns.push_back(at);
+  }
+  std::sort(lsns.begin(), lsns.end());
+  std::vector<std::byte> content;
+  for (auto it = lsns.rbegin(); it != lsns.rend(); ++it) {
+    if (!backend_->read(snapshot_name(*it), content)) continue;
+    if (content.size() < 8) {
+      if (rejected != nullptr) ++*rejected;
+      continue;
+    }
+    Reader header(content);
+    const std::uint32_t len = header.u32();
+    const std::uint32_t crc = header.u32();
+    if (content.size() - 8 != len) {
+      if (rejected != nullptr) ++*rejected;
+      continue;
+    }
+    const std::span<const std::byte> body(content.data() + 8, len);
+    if (crc32(body) != crc) {
+      if (rejected != nullptr) ++*rejected;
+      continue;
+    }
+    Reader r(body);
+    DurableState decoded;
+    if (!decode_state(r, decoded)) {
+      if (rejected != nullptr) ++*rejected;
+      continue;
+    }
+    state = std::move(decoded);
+    return *it;
+  }
+  return 0;
+}
+
+std::size_t SnapshotStore::count() const {
+  std::size_t n = 0;
+  for (const std::string& name : backend_->list()) {
+    Lsn at = 0;
+    if (parse_snapshot_name(name, at)) ++n;
+  }
+  return n;
+}
+
+}  // namespace fastcast::storage
