@@ -98,6 +98,52 @@ std::vector<Intensity> intensities() {
   return out;
 }
 
+/// --lag scenario family: one (non-leader) replica held down for a long
+/// stretch of the window, then recovered far behind the decided frontier.
+/// Repair is enabled, so the campaign asserts catch-up completes within the
+/// cooldown (bounded catch-up) and the prune watermark advances (bounded
+/// acceptor state) on top of the usual safety verdict.
+std::vector<Intensity> lag_intensities() {
+  std::vector<Intensity> out;
+  {
+    Intensity i;
+    i.name = "lag-short";
+    i.faults.crashes = 0;
+    i.faults.drop_bursts = 0;
+    i.faults.partitions = 0;
+    i.faults.lag_episodes = 1;
+    i.faults.lag_min_downtime = milliseconds(150);
+    i.faults.lag_max_downtime = milliseconds(250);
+    out.push_back(i);
+  }
+  {
+    Intensity i;
+    i.name = "lag-long";
+    i.faults.crashes = 0;
+    i.faults.drop_bursts = 0;
+    i.faults.partitions = 0;
+    i.faults.lag_episodes = 1;
+    i.faults.lag_min_downtime = milliseconds(250);
+    i.faults.lag_max_downtime = milliseconds(400);
+    out.push_back(i);
+  }
+  {
+    Intensity i;
+    i.name = "lag-lossy";
+    i.faults.crashes = 0;
+    i.faults.drop_bursts = 1;
+    i.faults.burst_drop_probability = 0.05;
+    i.faults.min_burst = milliseconds(20);
+    i.faults.max_burst = milliseconds(50);
+    i.faults.partitions = 0;
+    i.faults.lag_episodes = 1;
+    i.faults.lag_min_downtime = milliseconds(150);
+    i.faults.lag_max_downtime = milliseconds(300);
+    out.push_back(i);
+  }
+  return out;
+}
+
 ChaosRunConfig base_config(Protocol proto) {
   ChaosRunConfig cfg;
   cfg.experiment.topo.env = Environment::kLan;
@@ -131,6 +177,12 @@ struct CellResult {
   std::uint64_t replayed_records = 0;
   std::uint64_t storage_snapshots = 0;
   std::uint64_t durability_checks = 0;
+
+  // Lag-mode sums (zero when --lag is off).
+  std::uint64_t repair_transfers = 0;
+  std::uint64_t repair_completed = 0;
+  std::uint64_t repair_installed = 0;
+  std::int64_t prune_watermark_max = 0;
 };
 
 }  // namespace
@@ -144,13 +196,19 @@ int main(int argc, char** argv) {
   std::uint64_t seeds = 20;
   std::string json_path;
   bool durable = false;
+  bool lag = false;
   std::string wal_dir;
   storage::FsyncPolicy fsync;
   const auto usage = [argv] {
     std::fprintf(stderr,
-                 "usage: %s [--smoke] [--seeds N] [--json <path>]\n"
+                 "usage: %s [--smoke] [--lag] [--seeds N] [--json <path>]\n"
                  "       [--durable] [--wal-dir <path>] [--fsync-policy <p>]\n"
                  "  --smoke         3 seeds per cell (CI)\n"
+                 "  --lag           lag-recovery scenario family: one replica\n"
+                 "                  down for a long window then recovered;\n"
+                 "                  repair (state transfer + pruning) enabled,\n"
+                 "                  catch-up must complete and the prune\n"
+                 "                  watermark must advance in every cell\n"
                  "  --seeds         seeds per protocol x intensity cell "
                  "(default 20)\n"
                  "  --json          machine-readable campaign results\n"
@@ -166,6 +224,8 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       seeds = 3;
+    } else if (std::strcmp(argv[i], "--lag") == 0) {
+      lag = true;
     } else if (std::strcmp(argv[i], "--seeds") == 0 && i + 1 < argc) {
       seeds = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
@@ -196,8 +256,9 @@ int main(int argc, char** argv) {
   std::vector<CellResult> cells;
   bool all_ok = true;
 
+  const std::vector<Intensity> matrix = lag ? lag_intensities() : intensities();
   for (Protocol proto : protocols) {
-    for (const Intensity& intensity : intensities()) {
+    for (const Intensity& intensity : matrix) {
       CellResult cell;
       cell.protocol = to_string(proto);
       cell.intensity = intensity.name;
@@ -205,6 +266,13 @@ int main(int argc, char** argv) {
         ChaosRunConfig cfg = base_config(proto);
         cfg.faults = intensity.faults;
         cfg.seed = seed;
+        if (lag) {
+          cfg.experiment.repair.enable = true;
+          cfg.experiment.repair.lag_threshold = 32;
+          // Bounded catch-up: the recovered replica must finish its transfer
+          // well inside this settle window (asserted below).
+          cfg.cooldown = milliseconds(900);
+        }
         if (durable) {
           cfg.experiment.durability.durable = true;
           cfg.experiment.durability.fsync = fsync;
@@ -218,14 +286,27 @@ int main(int argc, char** argv) {
         }
         const ChaosRunResult r = run_chaos(cfg);
         ++cell.seeds;
-        if (r.report.ok) {
+        // Lag mode adds a bounded-catch-up assertion on top of safety: by
+        // the end of the settle window no learner may trail its group's
+        // frontier by the transfer-triggering threshold — a recovered
+        // replica must have caught up (via snapshot transfer or tail
+        // learning), not been left permanently behind.
+        const bool still_lagging =
+            lag && r.end_max_lag >= cfg.experiment.repair.lag_threshold;
+        if (r.report.ok && !still_lagging) {
           ++cell.passed;
         } else {
           all_ok = false;
           cell.failed_seeds.push_back(seed);
-          std::fprintf(stderr, "FAIL %s/%s seed %llu\n%s\nschedule:\n%s\n",
+          char lag_note[64] = "";
+          if (still_lagging) {
+            std::snprintf(lag_note, sizeof(lag_note),
+                          " (replica still lagging: end_max_lag=%llu)",
+                          static_cast<unsigned long long>(r.end_max_lag));
+          }
+          std::fprintf(stderr, "FAIL %s/%s seed %llu%s\n%s\nschedule:\n%s\n",
                        cell.protocol, cell.intensity,
-                       static_cast<unsigned long long>(seed),
+                       static_cast<unsigned long long>(seed), lag_note,
                        r.to_string().c_str(), r.schedule.describe().c_str());
         }
         cell.availability_sum += r.availability;
@@ -238,6 +319,23 @@ int main(int argc, char** argv) {
         cell.replayed_records += r.replayed_records;
         cell.storage_snapshots += r.storage_snapshots;
         cell.durability_checks += r.durability_checks;
+        cell.repair_transfers += r.repair_transfers;
+        cell.repair_completed += r.repair_completed;
+        cell.repair_installed += r.repair_entries_installed;
+        cell.prune_watermark_max =
+            std::max(cell.prune_watermark_max, r.prune_watermark);
+      }
+      if (lag && (cell.repair_completed == 0 || cell.prune_watermark_max <= 0)) {
+        // Across every seed of the cell at least one transfer must have
+        // completed and the acceptors' prune watermark must have advanced —
+        // otherwise the subsystem under test never actually engaged.
+        all_ok = false;
+        std::fprintf(stderr,
+                     "FAIL %s/%s: repair never engaged "
+                     "(completed=%llu prune_watermark=%lld)\n",
+                     cell.protocol, cell.intensity,
+                     static_cast<unsigned long long>(cell.repair_completed),
+                     static_cast<long long>(cell.prune_watermark_max));
       }
       cells.push_back(std::move(cell));
     }
@@ -249,7 +347,11 @@ int main(int argc, char** argv) {
   if (durable) {
     headers.insert(headers.end(), {"replayed", "snapshots", "floor checks"});
   }
-  std::string title = "Chaos campaigns (LAN, 2 groups, 4 clients; " +
+  if (lag) {
+    headers.insert(headers.end(), {"transfers", "installed", "prune wm"});
+  }
+  std::string title = std::string(lag ? "Lag-recovery" : "Chaos") +
+                      " campaigns (LAN, 2 groups, 4 clients; " +
                       std::to_string(seeds) + " seeds per cell";
   if (durable) {
     title += "; durable, fsync " + fsync.to_string() +
@@ -276,6 +378,12 @@ int main(int argc, char** argv) {
       row.push_back(std::to_string(c.storage_snapshots));
       row.push_back(std::to_string(c.durability_checks));
     }
+    if (lag) {
+      row.push_back(std::to_string(c.repair_completed) + "/" +
+                    std::to_string(c.repair_transfers));
+      row.push_back(std::to_string(c.repair_installed));
+      row.push_back(std::to_string(c.prune_watermark_max));
+    }
     table.add_row(std::move(row));
   }
   table.print(
@@ -294,6 +402,7 @@ int main(int argc, char** argv) {
     w.kv("bench", "chaos_campaign");
     w.kv("seeds_per_cell", seeds);
     w.kv("durable", durable);
+    w.kv("lag", lag);
     if (durable) {
       w.kv("fsync_policy", fsync.to_string());
       w.kv("backend", wal_dir.empty() ? "mem" : "file");
@@ -316,6 +425,12 @@ int main(int argc, char** argv) {
         w.kv("replayed_records", c.replayed_records);
         w.kv("storage_snapshots", c.storage_snapshots);
         w.kv("durability_checks", c.durability_checks);
+      }
+      if (lag) {
+        w.kv("repair_transfers", c.repair_transfers);
+        w.kv("repair_completed", c.repair_completed);
+        w.kv("repair_installed", c.repair_installed);
+        w.kv("prune_watermark_max", c.prune_watermark_max);
       }
       w.key("failed_seeds").begin_array();
       for (const std::uint64_t s : c.failed_seeds) w.value(s);

@@ -1,5 +1,7 @@
 #include "fastcast/amcast/timestamp_base.hpp"
 
+#include <algorithm>
+
 #include "fastcast/common/assert.hpp"
 #include "fastcast/common/logging.hpp"
 #include "fastcast/obs/observability.hpp"
@@ -32,13 +34,27 @@ TimestampProtocolBase::TimestampProtocolBase(Config config, NodeId self)
   });
 
   buffer_.set_deliver([this](Context& ctx, const MulticastMessage& msg) {
-    deliver(ctx, msg);
+    deliver(ctx, msg);  // appends the kDelivered record before any settle
+    settle_note_delivered(msg.id);
+  });
+
+  cons_.set_settled_provider([this] {
+    // CH upper-bounds every timestamp the settled instances influenced, so
+    // a restart that jumps past them cannot assign a regressed timestamp.
+    return repair::Settled{settled_frontier(), ch_};
   });
 }
 
 void TimestampProtocolBase::restore_durable(const storage::DurableState& durable) {
   const auto it = durable.groups.find(cfg_.consensus.group);
   cons_.restore_durable(it == durable.groups.end() ? nullptr : &it->second);
+  if (it != durable.groups.end()) {
+    // The learner resumes at the durable settled frontier; instances below
+    // it are never replayed, so CH must jump to the recorded clock bound or
+    // a recovered leader could assign regressed hard timestamps.
+    settle_frontier_ = it->second.settled;
+    ch_ = std::max<Ts>(ch_, it->second.settled_clock);
+  }
   rm_.restore(durable);
   buffer_.restore_delivered(durable.delivered);
   for (const auto& [mid, encoded] : durable.bodies) {
@@ -132,7 +148,7 @@ void TimestampProtocolBase::flush(Context& ctx) {
 
 void TimestampProtocolBase::on_decide(Context& ctx, InstanceId inst,
                                       const std::vector<std::byte>& value) {
-  (void)inst;
+  settle_frontier_ = std::max(settle_frontier_, inst + 1);
   if (value.empty()) {
     flush(ctx);  // no-op gap filler from a leader change
     return;
@@ -146,8 +162,29 @@ void TimestampProtocolBase::on_decide(Context& ctx, InstanceId inst,
     ordered_.insert(id);
     unordered_.erase(id);
   }
+  // Every tuple pins this instance until its message is locally delivered —
+  // including tuples skipped above (a post-restart replay has an empty
+  // Ordered set and would re-apply them).
+  for (const Tuple& t : tuples) {
+    if (buffer_.was_delivered(t.mid)) continue;
+    if (settle_pending_[inst].insert(t.mid).second) {
+      settle_waiters_[t.mid].push_back(inst);
+    }
+  }
   buffer_.try_deliver(ctx);
   flush(ctx);  // the decision freed a pipeline slot
+}
+
+void TimestampProtocolBase::settle_note_delivered(MsgId mid) {
+  const auto it = settle_waiters_.find(mid);
+  if (it == settle_waiters_.end()) return;
+  for (InstanceId inst : it->second) {
+    const auto p = settle_pending_.find(inst);
+    if (p == settle_pending_.end()) continue;
+    p->second.erase(mid);
+    if (p->second.empty()) settle_pending_.erase(p);
+  }
+  settle_waiters_.erase(it);
 }
 
 void TimestampProtocolBase::handle_set_hard(Context& ctx, const Tuple& tuple) {

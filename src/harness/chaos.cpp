@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <map>
 #include <sstream>
+#include <utility>
 
+#include "fastcast/amcast/node.hpp"
 #include "fastcast/common/assert.hpp"
+#include "fastcast/paxos/group_consensus.hpp"
 
 namespace fastcast::harness {
 
@@ -74,6 +77,10 @@ std::uint64_t check_durability_floors(Cluster& cluster, const FloorMap& floors,
       continue;
     }
     for (const auto& [inst, ballot] : floor.accepted) {
+      // Watermark pruning legitimately drops accepted entries below the
+      // group's floor: every live learner settled them, so no peer can ever
+      // need them again. Not a durability loss.
+      if (inst < gs->pruned_below) continue;
       const auto ait = gs->accepted.find(inst);
       if (ait == gs->accepted.end() || ait->second.ballot < ballot) {
         std::ostringstream out;
@@ -159,6 +166,39 @@ ChaosRunResult run_chaos(const ChaosRunConfig& config) {
     result.failover_p99_ns = it->second.p99;
   }
 
+  if (cfg.repair.enable) {
+    result.repair_transfers = obs->metrics.counter_value("repair.transfers");
+    result.repair_completed =
+        obs->metrics.counter_value("repair.transfers_completed");
+    result.repair_entries_installed =
+        obs->metrics.counter_value("repair.entries_installed");
+    result.prune_watermark = obs->metrics.gauge_value("repair.prune_watermark");
+
+    // Residual lag after the settle window: how far the slowest learner of
+    // any consensus group trails its fastest peer. Crash episodes all
+    // recover inside the measurement window, so every replica should be
+    // back at (or near) the frontier by now; a large spread means catch-up
+    // — transfer or tail learning — failed to converge.
+    std::map<GroupId, std::pair<InstanceId, InstanceId>> spread;  // min, max
+    for (NodeId node : cluster.deployment().membership.all_replicas()) {
+      if (sim.is_crashed(node)) continue;
+      paxos::GroupConsensus* engine =
+          cluster.replica(node).protocol().consensus_engine();
+      if (engine == nullptr) continue;
+      const InstanceId frontier = engine->learner().next_to_deliver();
+      auto [it, fresh] =
+          spread.try_emplace(engine->config().group, frontier, frontier);
+      if (!fresh) {
+        it->second.first = std::min(it->second.first, frontier);
+        it->second.second = std::max(it->second.second, frontier);
+      }
+    }
+    for (const auto& [group, mm] : spread) {
+      result.end_max_lag = std::max(result.end_max_lag,
+                                    static_cast<std::uint64_t>(mm.second - mm.first));
+    }
+  }
+
   if (durable) {
     result.replayed_records = obs->metrics.counter_value("storage.replayed_records");
     result.storage_snapshots = obs->metrics.counter_value("storage.snapshots");
@@ -185,6 +225,12 @@ std::string ChaosRunResult::to_string() const {
     out << " replayed=" << replayed_records
         << " snapshots=" << storage_snapshots
         << " durability_checks=" << durability_checks;
+  }
+  if (repair_transfers > 0 || prune_watermark > 0) {
+    out << " repair_transfers=" << repair_transfers << "/" << repair_completed
+        << " repair_installed=" << repair_entries_installed
+        << " prune_watermark=" << prune_watermark
+        << " end_max_lag=" << end_max_lag;
   }
   for (const auto& v : report.violations) out << "\n  " << v;
   return out.str();

@@ -145,6 +145,7 @@ std::shared_ptr<AtomicMulticast> Cluster::make_protocol(NodeId node, GroupId gro
     cons.window = config_.consensus_window;
     cons.reliable_links = reliable;
     cons.heartbeats = config_.heartbeats;
+    cons.repair = config_.repair;
 
     MultiPaxosAmcast::Config cfg;
     cfg.consensus = std::move(cons);
@@ -159,6 +160,7 @@ std::shared_ptr<AtomicMulticast> Cluster::make_protocol(NodeId node, GroupId gro
   cfg.consensus.window = config_.consensus_window;
   cfg.consensus.reliable_links = reliable;
   cfg.consensus.heartbeats = config_.heartbeats;
+  cfg.consensus.repair = config_.repair;
   cfg.rmcast.reliable_links = reliable;
   cfg.rmcast.relay = config_.relay;
   cfg.hard_send = config_.hard_send;

@@ -2,6 +2,7 @@
 
 #include <map>
 #include <set>
+#include <unordered_map>
 #include <vector>
 
 #include "fastcast/amcast/atomic_multicast.hpp"
@@ -62,6 +63,15 @@ class TimestampProtocolBase : public AtomicMulticast {
   // Introspection (tests, stats).
   const DeliveryBuffer& buffer() const { return buffer_; }
   Ts hard_clock() const { return ch_; }
+
+  /// Settled frontier for the repair subsystem: every instance below it
+  /// only touches locally delivered messages, so replaying it against the
+  /// durable delivered set is a provable no-op and recovery may skip it.
+  InstanceId settled_frontier() const {
+    return settle_pending_.empty() ? settle_frontier_
+                                   : settle_pending_.begin()->first;
+  }
+
   std::size_t unordered_count() const { return unordered_.size(); }
   paxos::GroupConsensus& consensus() { return cons_; }
 
@@ -121,6 +131,7 @@ class TimestampProtocolBase : public AtomicMulticast {
   void on_decide(Context& ctx, InstanceId inst, const std::vector<std::byte>& value);
   void restage_all(Context& ctx);
   void arm_repropose(Context& ctx);
+  void settle_note_delivered(MsgId mid);
 
   std::set<TupleId> known_;            // ever staged (ToOrder ∪ Ordered)
   std::set<TupleId> ordered_;          // Ordered
@@ -128,6 +139,13 @@ class TimestampProtocolBase : public AtomicMulticast {
   std::vector<TupleId> staged_;        // to include in the next proposal
   /// Decided-but-not-yet-settled own hard timestamps, for leader resend.
   std::map<MsgId, std::pair<Ts, std::vector<GroupId>>> hard_pending_;
+  /// Settled tracking: an instance is settled once every message its
+  /// tuples touch is locally delivered (the delivered-set dedup then makes
+  /// every replayed side effect a no-op; CH advancement is covered by the
+  /// settled-clock record).
+  InstanceId settle_frontier_ = 0;  ///< next instance past contiguous decides
+  std::map<InstanceId, std::set<MsgId>> settle_pending_;
+  std::unordered_map<MsgId, std::vector<InstanceId>> settle_waiters_;
   bool repropose_armed_ = false;
   Context* decide_ctx_ = nullptr;  ///< bound at on_start
 };

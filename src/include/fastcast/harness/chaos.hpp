@@ -60,6 +60,18 @@ struct ChaosRunResult {
   /// re-read durable state. Violations land in report.violations.
   std::uint64_t durability_checks = 0;
 
+  // Repair extras (zero unless experiment.repair.enable).
+  std::uint64_t repair_transfers = 0;          ///< snapshot transfers started
+  std::uint64_t repair_completed = 0;          ///< transfers fully installed
+  std::uint64_t repair_entries_installed = 0;  ///< decided values installed
+  std::int64_t prune_watermark = 0;            ///< highest acceptor prune floor
+  /// Residual lag at end of run: per consensus group, the spread
+  /// (max - min) of the learners' decided frontiers across its replicas,
+  /// maximized over groups. This is the lag campaigns' catch-up signal — a
+  /// single dropped transfer request is benign as long as the replica is
+  /// back near the frontier by the end of the settle window.
+  std::uint64_t end_max_lag = 0;
+
   /// One-line summary for campaign tables / failure messages.
   std::string to_string() const;
 };

@@ -51,6 +51,9 @@ struct ExperimentConfig {
 
   // Protocol knobs.
   std::size_t consensus_window = 32;
+  /// State transfer + watermark pruning (src/repair). Off by default so
+  /// baseline message counts are untouched; lag scenarios switch it on.
+  repair::Options repair;
   TimestampProtocolBase::Config::HardSend hard_send =
       TimestampProtocolBase::Config::HardSend::kLeaderOnly;
   std::size_t payload_size = 64;

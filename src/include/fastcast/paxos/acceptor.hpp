@@ -43,11 +43,23 @@ class Acceptor {
   void on_p2a(Context& ctx, NodeId from, const P2a& msg);
 
   /// Learner catch-up: re-sends P2b votes for accepted instances ≥
-  /// msg.from_instance to the requester (bounded batch per request).
+  /// msg.from_instance to the requester (bounded batch per request). When
+  /// entries remain beyond the batch cap, a P2bMore continuation hint tells
+  /// the requester where to re-poll instead of re-arming blindly.
   void on_p2b_request(Context& ctx, NodeId from, const P2bRequest& msg);
+
+  /// Installs a repair-transferred decided value without broadcasting P2b.
+  /// Keeps any live entry (its ballot is real); logs the accept when the
+  /// context carries storage so the installed value survives a crash.
+  void install(Context& ctx, InstanceId inst, const std::vector<std::byte>& value);
+
+  /// Drops accepted entries below `floor` (group-wide settled watermark)
+  /// and logs the prune so recovery folds it too. Returns entries removed.
+  std::size_t prune_below(Context& ctx, InstanceId floor);
 
   Ballot promised() const { return promised_; }
   std::size_t accepted_count() const { return accepted_.size(); }
+  InstanceId pruned_below() const { return pruned_below_; }
 
   struct AcceptedValue {
     Ballot vballot;
@@ -62,6 +74,7 @@ class Acceptor {
   std::vector<NodeId> learners_;
   Ballot promised_;
   std::map<InstanceId, AcceptedValue> accepted_;
+  InstanceId pruned_below_ = 0;
 };
 
 }  // namespace fastcast::paxos

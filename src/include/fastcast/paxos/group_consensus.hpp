@@ -6,6 +6,7 @@
 #include "fastcast/paxos/leader_elector.hpp"
 #include "fastcast/paxos/learner.hpp"
 #include "fastcast/paxos/proposer.hpp"
+#include "fastcast/repair/repair.hpp"
 
 /// \file group_consensus.hpp
 /// The per-group uniform consensus service of §2.2: an unbounded sequence
@@ -35,6 +36,7 @@ class GroupConsensus {
     bool heartbeats = false;            ///< leader re-election on/off
     Duration heartbeat_interval = milliseconds(20);
     Duration election_timeout = milliseconds(100);
+    repair::Options repair;             ///< state transfer + watermark pruning
   };
 
   GroupConsensus(Config config, NodeId self);
@@ -84,10 +86,25 @@ class GroupConsensus {
   using LeaderChangeFn = std::function<void(Context&, NodeId leader)>;
   void set_on_leader_change(LeaderChangeFn fn) { on_leader_change_ = std::move(fn); }
 
+  /// Protocol-layer settled view for the repair subsystem (frontier whose
+  /// replay is a provable no-op + clock upper bound). Unset, the learner's
+  /// delivery cursor is used with a zero clock — correct for protocols
+  /// that externalize every decision as soon as it drains (MultiPaxos).
+  void set_settled_provider(std::function<repair::Settled()> fn) {
+    settled_provider_ = std::move(fn);
+  }
+
+  /// Installs one repair-transferred decided value: acceptor log (members)
+  /// plus learner force-decide, which re-runs the normal ordered delivery
+  /// path. Returns false when the instance was already decided here.
+  bool install_decided(Context& ctx, InstanceId inst,
+                       const std::vector<std::byte>& value);
+
   Learner& learner() { return learner_; }
   Proposer& proposer() { return proposer_; }
   Acceptor& acceptor() { return acceptor_; }
   LeaderElector& elector() { return elector_; }
+  repair::RepairCoordinator* repair() { return repair_.get(); }
   const Config& config() const { return config_; }
 
  private:
@@ -96,6 +113,10 @@ class GroupConsensus {
   void arm_catch_up(Context& ctx);
   void reestablish_leadership(Context& ctx);
 
+  /// Catch-up polls back off while they make no progress; P2bMore
+  /// continuation hints cover the far-behind case without blind re-polls.
+  static constexpr std::uint32_t kMaxCatchUpBackoff = 8;
+
   Config config_;
   NodeId self_;
   Context* ctx_ = nullptr;  ///< bound at on_start; contexts outlive processes
@@ -103,11 +124,16 @@ class GroupConsensus {
   bool recovered_from_storage_ = false;  ///< fresh instance fed by restore_durable
   bool must_reestablish_ = false;  ///< durable past: Phase 1 before proposing
   std::uint32_t recover_round_ = 2;  ///< first safe round after a restart
+  std::uint32_t catch_up_backoff_ = 1;      ///< retry_interval multiplier
+  InstanceId catch_up_last_frontier_ = 0;   ///< progress marker for backoff
+  InstanceId more_polled_ = ~InstanceId{0}; ///< last P2bMore-triggered poll
   LeaderChangeFn on_leader_change_;
+  std::function<repair::Settled()> settled_provider_;
   Acceptor acceptor_;
   Learner learner_;
   Proposer proposer_;
   LeaderElector elector_;
+  std::unique_ptr<repair::RepairCoordinator> repair_;
 };
 
 }  // namespace fastcast::paxos

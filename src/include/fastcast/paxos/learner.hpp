@@ -31,6 +31,18 @@ class Learner {
 
   void on_p2b(Context& ctx, const P2b& msg);
 
+  /// Jumps the delivery cursor forward to `start` (no-op if not ahead).
+  /// Only safe for instances whose replay is provably redundant — a
+  /// storage-recovered node resuming at its durable settled frontier, where
+  /// every skipped instance is fully reflected in the delivered set.
+  void set_start(InstanceId start);
+
+  /// Installs a value learned out-of-band (repair transfer) as decided,
+  /// bypassing vote counting. The caller guarantees the value is the
+  /// group's decided value for `inst`. Returns false if already decided.
+  bool force_decided(Context& ctx, InstanceId inst,
+                     const std::vector<std::byte>& value);
+
   InstanceId next_to_deliver() const { return next_deliver_; }
   bool is_decided(InstanceId i) const {
     return i < next_deliver_ || decided_.contains(i);

@@ -1,0 +1,154 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "fastcast/common/time.hpp"
+#include "fastcast/runtime/context.hpp"
+#include "fastcast/runtime/message.hpp"
+
+/// \file repair.hpp
+/// State transfer and replica repair for one consensus group.
+///
+/// Every learner of a group periodically gossips a WatermarkAnnounce with
+/// two cursors: its *settled* frontier (every instance below it is fully
+/// reflected in its durable delivered set, so replaying it is a provable
+/// no-op) and its decided *frontier* (next undecided instance). From these
+/// the coordinator derives both halves of the subsystem:
+///
+///  * Lag recovery: a replica whose frontier trails the best peer's by more
+///    than a threshold pulls the decided range [frontier, peer frontier)
+///    as chunked, CRC-guarded RepairSnapshot messages served from the
+///    peer's retained decided log — O(gap / chunk) messages instead of the
+///    O(gap × acceptors) P2b replay of plain catch-up polling. Chunks are
+///    fetched stop-and-wait (one outstanding request), so jittered links
+///    cannot reorder a transfer. Installed entries flow through the normal
+///    learner decide path, so delivery order, dedup, and durability gating
+///    are untouched; a corrupt chunk indicts the server and the transfer
+///    re-fetches from another peer.
+///
+///  * Watermark pruning: the minimum settled frontier over *all* learners
+///    is the group's prune floor — below it no live peer can ever need an
+///    accepted value again, so acceptors drop those entries (and the
+///    decided log trims) instead of growing without bound. A learner that
+///    has not announced blocks pruning entirely, and a down learner
+///    freezes the floor at its last announce: pruning can stall, never
+///    overtake a peer.
+
+namespace fastcast::repair {
+
+/// Protocol-layer settled view: the frontier plus a logical-clock upper
+/// bound covering every timestamp the settled instances influenced (so a
+/// restart that jumps to `frontier` cannot regress its clock).
+struct Settled {
+  InstanceId frontier = 0;
+  std::uint64_t clock = 0;
+};
+
+/// User-facing knobs; disabled by default so baselines are unaffected.
+struct Options {
+  bool enable = false;
+  Duration announce_interval = milliseconds(40);
+  InstanceId lag_threshold = 64;     ///< frontier gap that triggers a transfer
+  std::size_t chunk_entries = 256;   ///< decided entries per RepairSnapshot
+  std::size_t max_chunks_per_request = 16;  ///< chunk budget per transfer
+  Duration transfer_timeout = milliseconds(200);
+  bool prune = true;
+
+  friend bool operator==(const Options&, const Options&) = default;
+};
+
+/// One decided (instance, value) pair shipped inside a RepairSnapshot.
+struct RepairEntry {
+  InstanceId instance = 0;
+  std::vector<std::byte> value;
+
+  friend bool operator==(const RepairEntry&, const RepairEntry&) = default;
+};
+
+void encode_repair_entries(const std::vector<RepairEntry>& entries,
+                           std::vector<std::byte>& out);
+bool decode_repair_entries(std::span<const std::byte> bytes,
+                           std::vector<RepairEntry>& out);
+
+/// Per-(node, group) repair engine, owned by GroupConsensus and driven by
+/// its message routing. Single-threaded like everything a Context owns.
+class RepairCoordinator {
+ public:
+  struct Config {
+    GroupId group = kNoGroup;
+    NodeId self = kInvalidNode;
+    std::vector<NodeId> members;   ///< acceptors — the repair servers
+    std::vector<NodeId> learners;  ///< members + extras — the prune quorum
+    Options options;
+  };
+
+  struct Hooks {
+    std::function<Settled()> settled;      ///< protocol settled view
+    std::function<InstanceId()> frontier;  ///< learner's next undecided
+    /// Installs one decided value (acceptor log + learner force-decide);
+    /// returns false when the instance was already decided locally.
+    std::function<bool(Context&, InstanceId, const std::vector<std::byte>&)>
+        install;
+    /// Applies an advanced prune floor to the acceptor (members only).
+    std::function<void(Context&, InstanceId)> prune;
+    /// Arms normal P2bRequest catch-up for the tail above the transfer.
+    std::function<void(Context&)> kick_tail;
+  };
+
+  RepairCoordinator(Config config, Hooks hooks);
+
+  void on_start(Context& ctx);
+  void on_recover(Context& ctx);
+
+  /// Feeds the retained decided log transfers are served from. Members
+  /// call this for every decided instance (any order).
+  void note_decided(InstanceId inst, const std::vector<std::byte>& value);
+
+  /// Routes WatermarkAnnounce / RepairRequest / RepairSnapshot for this
+  /// group; false if the message is not repair traffic for this group.
+  bool handle(Context& ctx, NodeId from, const Message& msg);
+
+  InstanceId prune_floor() const { return prune_floor_; }
+  bool transfer_active() const { return transfer_active_; }
+  std::size_t decided_log_size() const { return decided_log_.size(); }
+
+ private:
+  struct PeerMark {
+    InstanceId settled = 0;
+    InstanceId frontier = 0;
+  };
+
+  void arm_announce(Context& ctx);
+  void announce(Context& ctx);
+  void maybe_prune(Context& ctx);
+  void maybe_request(Context& ctx);
+  void reject_transfer(Context& ctx, NodeId from);
+  void on_announce(Context& ctx, NodeId from, const WatermarkAnnounce& msg);
+  void on_request(Context& ctx, NodeId from, const RepairRequest& msg);
+  void on_snapshot(Context& ctx, NodeId from, const RepairSnapshot& msg);
+  bool is_member(NodeId n) const;
+
+  Config cfg_;
+  Hooks hooks_;
+  bool announce_armed_ = false;
+
+  std::map<NodeId, PeerMark> marks_;  ///< last announce per learner (and self)
+  InstanceId prune_floor_ = 0;
+  InstanceId logged_settled_ = 0;
+
+  /// Decided values retained for serving transfers; trimmed at the floor.
+  std::map<InstanceId, std::vector<std::byte>> decided_log_;
+
+  bool transfer_active_ = false;
+  NodeId transfer_server_ = kInvalidNode;
+  NodeId last_failed_server_ = kInvalidNode;
+  InstanceId expect_next_ = 0;
+  std::size_t chunks_fetched_ = 0;  ///< chunks pulled in the active transfer
+  Time transfer_started_ = 0;
+  Time last_chunk_at_ = 0;
+};
+
+}  // namespace fastcast::repair

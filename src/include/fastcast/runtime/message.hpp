@@ -209,8 +209,55 @@ struct FdHeartbeat {
   std::uint64_t epoch = 0;
 };
 
+// ---------------------------------------------------------------------------
+// State transfer & replica repair (src/repair/).
+// ---------------------------------------------------------------------------
+
+/// Periodic gossip of a replica's delivery progress within its consensus
+/// group. `settled` is the settled frontier — every instance below it is
+/// fully reflected in the announcer's durable delivered set, so it is the
+/// announcer's vote for the group-wide pruning floor. `frontier` is the
+/// announcer's next undecided instance, used by peers to detect lag.
+struct WatermarkAnnounce {
+  GroupId group = kNoGroup;
+  NodeId from = kInvalidNode;
+  InstanceId settled = 0;
+  InstanceId frontier = 0;
+};
+
+/// A lagging replica asks an up-to-date peer to ship the decided range
+/// [from_instance, peer frontier) as RepairSnapshot chunks.
+struct RepairRequest {
+  GroupId group = kNoGroup;
+  InstanceId from_instance = 0;
+};
+
+/// One chunk of a repair transfer: decided values for a contiguous run of
+/// instances starting at from_instance, CRC-guarded as an opaque payload
+/// (see repair.hpp for the entry codec). `watermark` is the server's
+/// decided frontier at serve time; `last` marks the final chunk, after
+/// which the requester covers any remaining tail via normal P2bRequest.
+struct RepairSnapshot {
+  GroupId group = kNoGroup;
+  InstanceId from_instance = 0;
+  InstanceId watermark = 0;
+  bool last = false;
+  std::uint32_t payload_crc = 0;
+  std::vector<std::byte> payload;
+};
+
+/// Acceptor continuation hint: a capped P2bRequest reply batch stopped
+/// before the acceptor ran out of entries; the learner should re-poll from
+/// next_instance immediately instead of waiting out its retry timer.
+struct P2bMore {
+  GroupId group = kNoGroup;
+  InstanceId next_instance = 0;
+};
+
 using Payload = std::variant<RmData, RmAck, P1a, P1b, P2a, P2b, PaxosNack,
-                             P2bRequest, MpSubmit, AmAck, FdHeartbeat>;
+                             P2bRequest, MpSubmit, AmAck, FdHeartbeat,
+                             WatermarkAnnounce, RepairRequest, RepairSnapshot,
+                             P2bMore>;
 
 struct Message {
   Payload payload;

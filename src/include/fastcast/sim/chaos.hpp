@@ -66,6 +66,14 @@ struct ChaosConfig {
   std::size_t partitions = 1;
   Duration min_partition = 0;
   Duration max_partition = 0;
+
+  /// Lag episodes: one non-leader member is held down for a long stretch of
+  /// the window and then recovered, so the group keeps deciding at full
+  /// speed while the victim accumulates a large frontier gap — the
+  /// state-transfer scenario. Zero by default; --lag campaigns turn it on.
+  std::size_t lag_episodes = 0;
+  Duration lag_min_downtime = 0;
+  Duration lag_max_downtime = 0;
 };
 
 class ChaosSchedule {

@@ -35,6 +35,17 @@ struct DurableState {
   struct GroupState {
     Ballot promised;                ///< highest promise ever made
     std::map<InstanceId, Accepted> accepted;
+    /// Settled delivery frontier: every instance below it is fully
+    /// reflected in `delivered`, so replaying it after recovery is a
+    /// provable no-op and peers may prune it (see repair.hpp).
+    InstanceId settled = 0;
+    /// Protocol logical clock at the time `settled` was logged — an upper
+    /// bound on every timestamp influenced by the skipped instances, so a
+    /// restart that jumps to `settled` never assigns a regressed timestamp.
+    std::uint64_t settled_clock = 0;
+    /// Accepted entries below this floor were pruned under a group-wide
+    /// watermark; durability checks must not expect them in `accepted`.
+    InstanceId pruned_below = 0;
     friend bool operator==(const GroupState&, const GroupState&) = default;
   };
 

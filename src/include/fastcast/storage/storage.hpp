@@ -103,6 +103,9 @@ class NodeStorage {
   Lsn log_rm_progress(NodeId origin, std::uint64_t next_expected);
   Lsn log_delivered(MsgId mid);
   Lsn log_body(MsgId mid, std::span<const std::byte> encoded);
+  Lsn log_settled(GroupId group, InstanceId frontier, std::uint64_t clock);
+  Lsn log_prune_accepted(GroupId group, InstanceId floor);
+  Lsn log_repair_install(GroupId group, InstanceId from, InstanceId through);
 
   // --- durability gate ----------------------------------------------------
   /// Runs `fn` once every record up to `lsn` is committed — immediately if

@@ -47,6 +47,9 @@ enum class WalRecordType : std::uint8_t {
   kRmProgress = 6,  ///< rmcast receiver next_expected for origin `node` = `seq`
   kDelivered = 7,   ///< message `seq` (a MsgId) externalized as a-delivered
   kBody = 8,        ///< undelivered message body (seq = MsgId, value = encoded batch)
+  kSettled = 9,        ///< `group`'s settled frontier reached `instance`; `seq` = protocol clock
+  kPruneAccepted = 10, ///< `group`'s accepted entries below `instance` pruned
+  kRepairInstall = 11, ///< repair installed `group`'s decided range [seq, instance)
 };
 
 /// One typed WAL record. All fields are always encoded (unused ones at
@@ -70,6 +73,9 @@ struct WalRecord {
   static WalRecord rm_progress(NodeId origin, std::uint64_t next_expected);
   static WalRecord delivered(MsgId mid);
   static WalRecord body(MsgId mid, std::span<const std::byte> encoded);
+  static WalRecord settled(GroupId g, InstanceId frontier, std::uint64_t clock);
+  static WalRecord prune_accepted(GroupId g, InstanceId floor);
+  static WalRecord repair_install(GroupId g, InstanceId from, InstanceId through);
 
   friend bool operator==(const WalRecord&, const WalRecord&) = default;
 };

@@ -1,5 +1,7 @@
 #include "fastcast/paxos/acceptor.hpp"
 
+#include <iterator>
+
 #include "fastcast/common/logging.hpp"
 #include "fastcast/storage/storage.hpp"
 
@@ -10,6 +12,7 @@ void Acceptor::restore(const storage::DurableState::GroupState& durable) {
   for (const auto& [inst, acc] : durable.accepted) {
     accepted_[inst] = AcceptedValue{acc.ballot, acc.value};
   }
+  if (durable.pruned_below > pruned_below_) pruned_below_ = durable.pruned_below;
 }
 
 void Acceptor::on_p1a(Context& ctx, NodeId from, const P1a& msg) {
@@ -82,8 +85,8 @@ void Acceptor::on_p2b_request(Context& ctx, NodeId from, const P2bRequest& msg) 
 
   constexpr std::size_t kMaxReplies = 128;
   std::size_t sent = 0;
-  for (auto it = accepted_.lower_bound(msg.from_instance);
-       it != accepted_.end() && sent < kMaxReplies; ++it, ++sent) {
+  auto it = accepted_.lower_bound(msg.from_instance);
+  for (; it != accepted_.end() && sent < kMaxReplies; ++it, ++sent) {
     P2b vote;
     vote.group = group_;
     vote.ballot = it->second.vballot;
@@ -92,6 +95,43 @@ void Acceptor::on_p2b_request(Context& ctx, NodeId from, const P2bRequest& msg) 
     vote.value = it->second.value;
     ctx.send(from, Message{vote});
   }
+  // A far-behind learner would otherwise wait out its full retry interval
+  // per 128-instance batch; tell it where this batch stopped so it can
+  // re-poll immediately.
+  if (it != accepted_.end()) {
+    ctx.send(from, Message{P2bMore{group_, it->first}});
+  }
+}
+
+void Acceptor::install(Context& ctx, InstanceId inst,
+                       const std::vector<std::byte>& value) {
+  if (inst < pruned_below_) return;
+  auto [it, fresh] = accepted_.try_emplace(inst);
+  if (!fresh) return;  // the live entry carries a real ballot; keep it
+  // Ballot (0,0) marks "learned via repair": any later real accept or P1b
+  // adoption supersedes it, and since only decided values are installed the
+  // value can never differ from what a quorum converges on.
+  it->second = AcceptedValue{Ballot{}, value};
+  if (storage::NodeStorage* st = ctx.storage()) {
+    st->log_accept(group_, inst, Ballot{}, value);
+    st->commit();
+  }
+}
+
+std::size_t Acceptor::prune_below(Context& ctx, InstanceId floor) {
+  if (floor <= pruned_below_) return 0;
+  pruned_below_ = floor;
+  const auto end = accepted_.lower_bound(floor);
+  const auto n =
+      static_cast<std::size_t>(std::distance(accepted_.begin(), end));
+  accepted_.erase(accepted_.begin(), end);
+  if (storage::NodeStorage* st = ctx.storage()) {
+    // Losing this record to a crash only resurrects already-pruned entries
+    // on recovery — wasteful, never unsafe — so the erase need not gate.
+    st->log_prune_accepted(group_, floor);
+    st->commit();
+  }
+  return n;
 }
 
 }  // namespace fastcast::paxos

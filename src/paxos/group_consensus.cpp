@@ -52,9 +52,38 @@ GroupConsensus::GroupConsensus(Config config, NodeId self)
             o->metrics.counter("paxos.decisions").inc();
           }
           proposer_.on_decided(*ctx_, inst, value);
+          // Members retain decided values so they can serve repair
+          // transfers; the log trims at the group's prune floor.
+          if (repair_) repair_->note_decided(inst, value);
         });
     proposer_.set_first_undecided_provider(
         [this] { return learner_.next_to_deliver(); });
+  }
+
+  if (config_.repair.enable) {
+    repair::RepairCoordinator::Config rc;
+    rc.group = config_.group;
+    rc.self = self_;
+    rc.members = config_.members;
+    rc.learners = all_learners(config_);
+    rc.options = config_.repair;
+    repair::RepairCoordinator::Hooks hooks;
+    hooks.settled = [this] {
+      return settled_provider_
+                 ? settled_provider_()
+                 : repair::Settled{learner_.next_to_deliver(), 0};
+    };
+    hooks.frontier = [this] { return learner_.next_to_deliver(); };
+    hooks.install = [this](Context& ctx, InstanceId inst,
+                           const std::vector<std::byte>& value) {
+      return install_decided(ctx, inst, value);
+    };
+    hooks.prune = [this](Context& ctx, InstanceId floor) {
+      if (is_member(self_)) acceptor_.prune_below(ctx, floor);
+    };
+    hooks.kick_tail = [this](Context& ctx) { arm_catch_up(ctx); };
+    repair_ = std::make_unique<repair::RepairCoordinator>(std::move(rc),
+                                                          std::move(hooks));
   }
 
   elector_.set_on_change([this](Context& ctx, NodeId new_leader, std::uint64_t epoch) {
@@ -78,6 +107,12 @@ void GroupConsensus::restore_durable(
   recovered_from_storage_ = true;
   if (durable == nullptr) return;  // cold start: stable-leader fast path holds
   acceptor_.restore(*durable);
+  // Resume learning at the durable settled frontier: every skipped
+  // instance is fully reflected in the durable delivered set (that is what
+  // "settled" means), and below the group's prune floor — which the
+  // announced settled frontier bounds from above — no peer retains the
+  // entries to relearn anyway.
+  learner_.set_start(durable->settled);
   must_reestablish_ = true;
   // Every ballot the dead incarnation externalized is covered by a durable
   // promise record (acceptor replies and proposer P1a sends are both gated
@@ -94,6 +129,7 @@ void GroupConsensus::on_start(Context& ctx) {
   ctx_ = &ctx;
   elector_.on_start(ctx);
   if (is_member(self_)) proposer_.on_start(ctx);
+  if (repair_) repair_->on_start(ctx);
   // Over lossy links a learner can permanently miss a quorum of P2b votes
   // (the proposer stops retrying once *it* has learned); poll acceptors
   // for anything at or beyond our next undecided instance. A storage-
@@ -107,6 +143,7 @@ void GroupConsensus::on_recover(Context& ctx) {
   ctx_ = &ctx;
   elector_.on_recover(ctx);
   if (is_member(self_)) proposer_.on_recover(ctx);
+  if (repair_) repair_->on_recover(ctx);
   catch_up_armed_ = false;
   if (!config_.reliable_links || recovered_from_storage_) arm_catch_up(ctx);
   reestablish_leadership(ctx);
@@ -133,14 +170,34 @@ void GroupConsensus::reestablish_leadership(Context& ctx) {
 void GroupConsensus::arm_catch_up(Context& ctx) {
   if (catch_up_armed_) return;  // one chain even if on_start runs twice
   catch_up_armed_ = true;
-  ctx.set_timer(config_.retry_interval, [this, &ctx] {
+  // Polls that make no progress back off exponentially (a far-behind
+  // learner is driven by P2bMore continuation hints instead, and an idle
+  // group has nothing new to poll for); any progress snaps back to the
+  // base interval.
+  ctx.set_timer(config_.retry_interval * catch_up_backoff_, [this, &ctx] {
     catch_up_armed_ = false;
-    const P2bRequest req{config_.group, learner_.next_to_deliver()};
+    const InstanceId next = learner_.next_to_deliver();
+    if (next > catch_up_last_frontier_) {
+      catch_up_backoff_ = 1;
+    } else if (catch_up_backoff_ < kMaxCatchUpBackoff) {
+      catch_up_backoff_ *= 2;
+    }
+    catch_up_last_frontier_ = next;
+    const P2bRequest req{config_.group, next};
     for (NodeId member : config_.members) {
       if (member != self_) ctx.send(member, Message{req});
     }
     arm_catch_up(ctx);
   });
+}
+
+bool GroupConsensus::install_decided(Context& ctx, InstanceId inst,
+                                     const std::vector<std::byte>& value) {
+  if (learner_.is_decided(inst)) return false;
+  // Members also adopt the entry into their acceptor (logged when durable)
+  // so the repaired node can in turn serve catch-up and later repairs.
+  if (is_member(self_)) acceptor_.install(ctx, inst, value);
+  return learner_.force_decided(ctx, inst, value);
 }
 
 void GroupConsensus::propose(Context& ctx, std::vector<std::byte> value) {
@@ -185,6 +242,32 @@ bool GroupConsensus::handle(Context& ctx, NodeId from, const Message& msg) {
   if (const auto* hb = std::get_if<FdHeartbeat>(&msg.payload)) {
     if (hb->group != config_.group) return false;
     return elector_.handle(ctx, from, msg);
+  }
+  if (const auto* more = std::get_if<P2bMore>(&msg.payload)) {
+    if (more->group != config_.group) return false;
+    // Continuation hint: the acceptor's reply batch was capped. Re-poll it
+    // immediately — but at most once per frontier value, so a gap that no
+    // reply can fill falls back to the backed-off timer instead of
+    // ping-ponging at network speed.
+    const InstanceId next = learner_.next_to_deliver();
+    if (next != more_polled_) {
+      more_polled_ = next;
+      ctx.send(from, Message{P2bRequest{config_.group, next}});
+    }
+    return true;
+  }
+  const auto* ann = std::get_if<WatermarkAnnounce>(&msg.payload);
+  const auto* rreq = std::get_if<RepairRequest>(&msg.payload);
+  const auto* rsnap = std::get_if<RepairSnapshot>(&msg.payload);
+  if (ann != nullptr || rreq != nullptr || rsnap != nullptr) {
+    const GroupId g = ann != nullptr    ? ann->group
+                      : rreq != nullptr ? rreq->group
+                                        : rsnap->group;
+    if (g != config_.group) return false;
+    // With repair disabled the traffic is still ours — consume it so it
+    // does not surface as unroutable.
+    if (repair_ != nullptr) repair_->handle(ctx, from, msg);
+    return true;
   }
   return false;
 }

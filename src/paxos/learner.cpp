@@ -28,6 +28,23 @@ void Learner::on_p2b(Context& ctx, const P2b& msg) {
   drain(ctx);
 }
 
+void Learner::set_start(InstanceId start) {
+  if (start <= next_deliver_) return;
+  next_deliver_ = start;
+  votes_.erase(votes_.begin(), votes_.lower_bound(start));
+  decided_.erase(decided_.begin(), decided_.lower_bound(start));
+}
+
+bool Learner::force_decided(Context& ctx, InstanceId inst,
+                            const std::vector<std::byte>& value) {
+  if (is_decided(inst)) return false;
+  votes_.erase(inst);
+  if (observer_) observer_(inst, value);
+  decided_.emplace(inst, value);
+  drain(ctx);
+  return true;
+}
+
 void Learner::drain(Context&) {
   while (true) {
     auto it = decided_.find(next_deliver_);

@@ -1,0 +1,317 @@
+#include "fastcast/repair/repair.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "fastcast/common/assert.hpp"
+#include "fastcast/common/logging.hpp"
+#include "fastcast/obs/observability.hpp"
+#include "fastcast/storage/storage.hpp"
+
+namespace fastcast::repair {
+
+namespace {
+
+void count(Context& ctx, const char* name, std::uint64_t n = 1) {
+  if (auto* o = ctx.obs()) o->metrics.counter(name).inc(n);
+}
+
+}  // namespace
+
+void encode_repair_entries(const std::vector<RepairEntry>& entries,
+                           std::vector<std::byte>& out) {
+  out.clear();
+  Writer w(std::move(out));
+  w.varint(entries.size());
+  for (const RepairEntry& e : entries) {
+    w.varint(e.instance);
+    w.bytes(e.value);
+  }
+  out = w.take();
+}
+
+bool decode_repair_entries(std::span<const std::byte> bytes,
+                           std::vector<RepairEntry>& out) {
+  Reader r(bytes);
+  const std::uint64_t n = r.varint();
+  if (!r.ok() || n > bytes.size()) return false;
+  out.clear();
+  out.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    RepairEntry e;
+    e.instance = r.varint();
+    e.value = r.bytes();
+    if (!r.ok()) return false;
+    out.push_back(std::move(e));
+  }
+  return r.at_end();
+}
+
+RepairCoordinator::RepairCoordinator(Config config, Hooks hooks)
+    : cfg_(std::move(config)), hooks_(std::move(hooks)) {
+  FC_ASSERT_MSG(hooks_.frontier != nullptr, "repair needs a frontier hook");
+  FC_ASSERT_MSG(hooks_.install != nullptr, "repair needs an install hook");
+}
+
+bool RepairCoordinator::is_member(NodeId n) const {
+  return std::find(cfg_.members.begin(), cfg_.members.end(), n) !=
+         cfg_.members.end();
+}
+
+void RepairCoordinator::on_start(Context& ctx) { arm_announce(ctx); }
+
+void RepairCoordinator::on_recover(Context& ctx) {
+  // Timers died with the old incarnation; an in-flight transfer is simply
+  // abandoned (already-installed entries stay — they went through the
+  // normal decide path) and lag detection starts it over if still needed.
+  announce_armed_ = false;
+  transfer_active_ = false;
+  transfer_server_ = kInvalidNode;
+  arm_announce(ctx);
+}
+
+void RepairCoordinator::note_decided(InstanceId inst,
+                                     const std::vector<std::byte>& value) {
+  if (inst < prune_floor_) return;
+  decided_log_.try_emplace(inst, value);
+}
+
+void RepairCoordinator::arm_announce(Context& ctx) {
+  if (announce_armed_) return;
+  announce_armed_ = true;
+  ctx.set_timer(cfg_.options.announce_interval, [this, &ctx] {
+    announce_armed_ = false;
+    announce(ctx);
+    arm_announce(ctx);
+  });
+}
+
+void RepairCoordinator::announce(Context& ctx) {
+  Settled s = hooks_.settled ? hooks_.settled() : Settled{};
+  const InstanceId frontier = hooks_.frontier();
+  if (s.frontier > frontier) s.frontier = frontier;
+
+  // The settled record trails the kDelivered records it summarizes in LSN
+  // order, so any surviving log prefix containing it contains them too.
+  if (s.frontier > logged_settled_) {
+    logged_settled_ = s.frontier;
+    if (storage::NodeStorage* st = ctx.storage()) {
+      st->log_settled(cfg_.group, s.frontier, s.clock);
+      st->commit();
+    }
+  }
+
+  marks_[cfg_.self] = PeerMark{s.frontier, frontier};
+  const WatermarkAnnounce ann{cfg_.group, cfg_.self, s.frontier, frontier};
+  for (NodeId peer : cfg_.learners) {
+    if (peer != cfg_.self) ctx.send(peer, Message{ann});
+  }
+
+  // A stalled transfer (server crashed, chunk corrupted away) would
+  // otherwise pin transfer_active_ forever; time it out on the announce
+  // tick and let lag detection pick a different server.
+  if (transfer_active_ &&
+      ctx.now() - last_chunk_at_ > cfg_.options.transfer_timeout) {
+    count(ctx, "repair.transfer_timeouts");
+    last_failed_server_ = transfer_server_;
+    transfer_active_ = false;
+  }
+
+  maybe_prune(ctx);
+  maybe_request(ctx);
+}
+
+void RepairCoordinator::maybe_prune(Context& ctx) {
+  if (!cfg_.options.prune) return;
+  // Every configured learner must have announced at least once: a silent
+  // peer may still need instance 0, so its silence blocks pruning rather
+  // than being ignored.
+  InstanceId floor = std::numeric_limits<InstanceId>::max();
+  for (NodeId learner : cfg_.learners) {
+    auto it = marks_.find(learner);
+    if (it == marks_.end()) return;
+    floor = std::min(floor, it->second.settled);
+  }
+  if (floor <= prune_floor_) return;
+  prune_floor_ = floor;
+  decided_log_.erase(decided_log_.begin(), decided_log_.lower_bound(floor));
+  if (hooks_.prune) hooks_.prune(ctx, floor);
+  count(ctx, "repair.prunes");
+  if (auto* o = ctx.obs()) {
+    o->metrics.gauge("repair.prune_watermark").record_max(floor);
+  }
+}
+
+void RepairCoordinator::maybe_request(Context& ctx) {
+  if (transfer_active_) return;
+  const InstanceId mine = hooks_.frontier();
+  NodeId best = kInvalidNode;
+  NodeId fallback = kInvalidNode;
+  InstanceId best_frontier = mine;
+  for (NodeId member : cfg_.members) {
+    if (member == cfg_.self) continue;
+    auto it = marks_.find(member);
+    if (it == marks_.end() || it->second.frontier <= best_frontier) continue;
+    if (member == last_failed_server_) {
+      fallback = member;
+      continue;
+    }
+    best = member;
+    best_frontier = it->second.frontier;
+  }
+  if (best == kInvalidNode) best = fallback;  // only the failed peer is ahead
+  if (best == kInvalidNode) return;
+  const auto gap = marks_[best].frontier - mine;
+  if (gap < cfg_.options.lag_threshold) return;
+
+  transfer_active_ = true;
+  transfer_server_ = best;
+  expect_next_ = mine;
+  chunks_fetched_ = 0;
+  transfer_started_ = ctx.now();
+  last_chunk_at_ = ctx.now();
+  count(ctx, "repair.transfers");
+  FC_DEBUG("repair: node %u requests group %u instances >= %llu from %u (gap %llu)",
+           cfg_.self, cfg_.group, static_cast<unsigned long long>(mine), best,
+           static_cast<unsigned long long>(gap));
+  ctx.send(best, Message{RepairRequest{cfg_.group, mine}});
+}
+
+void RepairCoordinator::on_request(Context& ctx, NodeId from,
+                                   const RepairRequest& msg) {
+  if (!is_member(cfg_.self)) return;  // only acceptors retain a decided log
+  const InstanceId frontier = hooks_.frontier();
+  if (msg.from_instance >= frontier) return;
+  // Serve ONE chunk of the contiguous decided run starting exactly at the
+  // requested instance (the requester pulls the next chunk after installing
+  // this one — stop-and-wait, so jittered links can never reorder a
+  // transfer). A hole at the start (recently-restarted server still
+  // relearning) means we cannot prove contiguity, so we serve nothing and
+  // let the requester time out toward another peer.
+  auto it = decided_log_.find(msg.from_instance);
+  if (it == decided_log_.end()) return;
+
+  std::vector<RepairEntry> run;
+  InstanceId next = msg.from_instance;
+  while (it != decided_log_.end() && it->first == next && next < frontier &&
+         run.size() < cfg_.options.chunk_entries) {
+    run.push_back(RepairEntry{it->first, it->second});
+    ++next;
+    ++it;
+  }
+  if (run.empty()) return;
+  // Last chunk when the run reaches our frontier or hits a hole we cannot
+  // bridge; the requester's tail goes through normal quorum learning.
+  const bool more = next < frontier && it != decided_log_.end() &&
+                    it->first == next;
+
+  RepairSnapshot snap;
+  snap.group = cfg_.group;
+  snap.from_instance = run.front().instance;
+  snap.watermark = next;
+  snap.last = !more;
+  encode_repair_entries(run, snap.payload);
+  snap.payload_crc = storage::crc32(snap.payload);
+  count(ctx, "repair.snapshots_served");
+  count(ctx, "repair.bytes_shipped", snap.payload.size());
+  ctx.send(from, Message{std::move(snap)});
+}
+
+void RepairCoordinator::reject_transfer(Context& ctx, NodeId from) {
+  count(ctx, "repair.snapshots_rejected");
+  FC_WARN("repair: node %u rejects snapshot chunk from %u (group %u)",
+          cfg_.self, from, cfg_.group);
+  last_failed_server_ = from;
+  transfer_active_ = false;
+  // Retry immediately, preferring a different peer over the failed one.
+  maybe_request(ctx);
+}
+
+void RepairCoordinator::on_snapshot(Context& ctx, NodeId from,
+                                    const RepairSnapshot& msg) {
+  if (!transfer_active_ || from != transfer_server_) return;  // stale chunk
+
+  // Corruption (bad CRC, undecodable or non-contiguous payload) indicts the
+  // server: blacklist it and re-fetch elsewhere.
+  std::vector<RepairEntry> entries;
+  if (storage::crc32(msg.payload) != msg.payload_crc ||
+      !decode_repair_entries(msg.payload, entries) || entries.empty()) {
+    reject_transfer(ctx, from);
+    return;
+  }
+  for (std::size_t i = 1; i < entries.size(); ++i) {
+    if (entries[i].instance != entries[i - 1].instance + 1) {
+      reject_transfer(ctx, from);
+      return;
+    }
+  }
+  // A chunk that doesn't start at the expected instance is stale (a
+  // duplicate, or left over from an abandoned transfer), not evidence of a
+  // bad server: ignore it and let the timeout re-drive if needed.
+  if (entries.front().instance != expect_next_) return;
+  last_chunk_at_ = ctx.now();
+
+  std::uint64_t installed = 0;
+  for (const RepairEntry& e : entries) {
+    if (hooks_.install(ctx, e.instance, e.value)) ++installed;
+  }
+  const InstanceId chunk_first = entries.front().instance;
+  expect_next_ = entries.back().instance + 1;
+  count(ctx, "repair.entries_installed", installed);
+  if (storage::NodeStorage* st = ctx.storage()) {
+    // Boundary marker: per-entry accepts and deliveries carry the durable
+    // state; the marker makes a crash mid-transfer visible in replay.
+    st->log_repair_install(cfg_.group, chunk_first, expect_next_);
+    st->commit();
+  }
+
+  ++chunks_fetched_;
+  if (!msg.last && chunks_fetched_ < cfg_.options.max_chunks_per_request) {
+    // Pull the next chunk; one outstanding request at a time keeps the
+    // transfer immune to link-level reordering.
+    ctx.send(transfer_server_, Message{RepairRequest{cfg_.group, expect_next_}});
+    return;
+  }
+  transfer_active_ = false;
+  last_failed_server_ = kInvalidNode;
+  count(ctx, "repair.transfers_completed");
+  if (auto* o = ctx.obs()) {
+    o->metrics.histogram("repair.catchup_latency_ns")
+        .observe(static_cast<std::uint64_t>(ctx.now() - transfer_started_));
+  }
+  // The tail above the shipped watermark (and anything decided while the
+  // transfer ran, or beyond the per-transfer chunk budget) goes through
+  // normal quorum learning; lag detection restarts a transfer if the
+  // residual gap is still above threshold.
+  if (hooks_.kick_tail) hooks_.kick_tail(ctx);
+}
+
+void RepairCoordinator::on_announce(Context& ctx, NodeId from,
+                                    const WatermarkAnnounce& msg) {
+  auto& mark = marks_[from];
+  mark.settled = std::max(mark.settled, msg.settled);
+  mark.frontier = std::max(mark.frontier, msg.frontier);
+  maybe_prune(ctx);
+  maybe_request(ctx);
+}
+
+bool RepairCoordinator::handle(Context& ctx, NodeId from, const Message& msg) {
+  if (const auto* ann = std::get_if<WatermarkAnnounce>(&msg.payload)) {
+    if (ann->group != cfg_.group) return false;
+    on_announce(ctx, from, *ann);
+    return true;
+  }
+  if (const auto* req = std::get_if<RepairRequest>(&msg.payload)) {
+    if (req->group != cfg_.group) return false;
+    on_request(ctx, from, *req);
+    return true;
+  }
+  if (const auto* snap = std::get_if<RepairSnapshot>(&msg.payload)) {
+    if (snap->group != cfg_.group) return false;
+    on_snapshot(ctx, from, *snap);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace fastcast::repair

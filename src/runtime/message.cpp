@@ -19,6 +19,10 @@ enum class WireTag : std::uint8_t {
   kAmAck = 9,
   kFdHeartbeat = 10,
   kP2bRequest = 11,
+  kWatermarkAnnounce = 12,
+  kRepairRequest = 13,
+  kRepairSnapshot = 14,
+  kP2bMore = 15,
 };
 
 enum class AmTag : std::uint8_t { kStart = 1, kSendSoft = 2, kSendHard = 3 };
@@ -130,6 +134,10 @@ const char* message_kind(const Message& m) {
     const char* operator()(const MpSubmit&) const { return "MpSubmit"; }
     const char* operator()(const AmAck&) const { return "AmAck"; }
     const char* operator()(const FdHeartbeat&) const { return "FdHeartbeat"; }
+    const char* operator()(const WatermarkAnnounce&) const { return "WatermarkAnnounce"; }
+    const char* operator()(const RepairRequest&) const { return "RepairRequest"; }
+    const char* operator()(const RepairSnapshot&) const { return "RepairSnapshot"; }
+    const char* operator()(const P2bMore&) const { return "P2bMore"; }
   };
   return std::visit(Visitor{}, m.payload);
 }
@@ -309,6 +317,32 @@ void encode(Writer& w, const Message& m) {
       w.u32(h.from);
       w.u64(h.epoch);
     }
+    void operator()(const WatermarkAnnounce& a) const {
+      w.u8(static_cast<std::uint8_t>(WireTag::kWatermarkAnnounce));
+      w.varint(a.group);
+      w.u32(a.from);
+      w.u64(a.settled);
+      w.u64(a.frontier);
+    }
+    void operator()(const RepairRequest& q) const {
+      w.u8(static_cast<std::uint8_t>(WireTag::kRepairRequest));
+      w.varint(q.group);
+      w.u64(q.from_instance);
+    }
+    void operator()(const RepairSnapshot& s) const {
+      w.u8(static_cast<std::uint8_t>(WireTag::kRepairSnapshot));
+      w.varint(s.group);
+      w.u64(s.from_instance);
+      w.u64(s.watermark);
+      w.u8(s.last ? 1 : 0);
+      w.u32(s.payload_crc);
+      encode_value(w, s.payload);
+    }
+    void operator()(const P2bMore& m2) const {
+      w.u8(static_cast<std::uint8_t>(WireTag::kP2bMore));
+      w.varint(m2.group);
+      w.u64(m2.next_instance);
+    }
   };
   std::visit(Visitor{w}, m.payload);
 }
@@ -419,6 +453,42 @@ bool decode(Reader& r, Message& out) {
       h.from = r.u32();
       h.epoch = r.u64();
       out.payload = h;
+      return r.ok();
+    }
+    case WireTag::kWatermarkAnnounce: {
+      WatermarkAnnounce a;
+      a.group = static_cast<GroupId>(r.varint());
+      a.from = r.u32();
+      a.settled = r.u64();
+      a.frontier = r.u64();
+      out.payload = a;
+      return r.ok();
+    }
+    case WireTag::kRepairRequest: {
+      RepairRequest q;
+      q.group = static_cast<GroupId>(r.varint());
+      q.from_instance = r.u64();
+      out.payload = q;
+      return r.ok();
+    }
+    case WireTag::kRepairSnapshot: {
+      RepairSnapshot s;
+      s.group = static_cast<GroupId>(r.varint());
+      s.from_instance = r.u64();
+      s.watermark = r.u64();
+      const std::uint8_t last = r.u8();
+      if (!r.ok() || last > 1) return false;
+      s.last = last != 0;
+      s.payload_crc = r.u32();
+      if (!decode_value(r, s.payload)) return false;
+      out.payload = std::move(s);
+      return r.ok();
+    }
+    case WireTag::kP2bMore: {
+      P2bMore m2;
+      m2.group = static_cast<GroupId>(r.varint());
+      m2.next_instance = r.u64();
+      out.payload = m2;
       return r.ok();
     }
   }

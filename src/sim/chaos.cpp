@@ -67,6 +67,30 @@ ChaosSchedule ChaosSchedule::generate(const Membership& membership,
     group_free[g] = at + down + down / 2 + 1;
   }
 
+  // Lag episodes: a long crash→recover against a non-leader member (the
+  // leader keeps deciding, so the victim returns far behind the frontier
+  // and must catch up via state transfer). Shares group_free with the
+  // short-crash episodes: never two concurrent holes in one group.
+  for (std::size_t i = 0; i < config.lag_episodes && span > 0; ++i) {
+    const auto g = static_cast<GroupId>(rng.uniform(membership.group_count()));
+    const auto& members = membership.members(g);
+    const NodeId victim = members.size() > 1
+                              ? members[1 + rng.uniform(members.size() - 1)]
+                              : members.front();
+    const Duration down = sample_duration(rng, config.lag_min_downtime,
+                                          config.lag_max_downtime);
+    if (down <= 0) continue;
+    // Start in the first quarter of the window so recovery + catch-up fit.
+    Time at = config.start + static_cast<Time>(rng.uniform(
+                                 static_cast<std::uint64_t>(span / 4 + 1)));
+    at = std::max(at, group_free[g]);
+    if (at + down > config.end) continue;
+    schedule.events_.push_back({ChaosEvent::Kind::kCrash, at, victim, 0.0});
+    schedule.events_.push_back(
+        {ChaosEvent::Kind::kRecover, at + down, victim, 0.0});
+    group_free[g] = at + down + down / 2 + 1;
+  }
+
   // Transient loss bursts.
   for (std::size_t i = 0; i < config.drop_bursts && span > 0; ++i) {
     const Time at = config.start + static_cast<Time>(rng.uniform(

@@ -52,6 +52,24 @@ void DurableState::apply(const WalRecord& rec) {
     case WalRecordType::kBody:
       if (!delivered.contains(rec.seq)) bodies[rec.seq] = rec.value;
       break;
+    case WalRecordType::kSettled: {
+      auto& g = groups[rec.group];
+      if (rec.instance > g.settled) g.settled = rec.instance;
+      if (rec.seq > g.settled_clock) g.settled_clock = rec.seq;
+      break;
+    }
+    case WalRecordType::kPruneAccepted: {
+      auto& g = groups[rec.group];
+      if (rec.instance > g.pruned_below) g.pruned_below = rec.instance;
+      g.accepted.erase(g.accepted.begin(),
+                       g.accepted.lower_bound(rec.instance));
+      break;
+    }
+    case WalRecordType::kRepairInstall:
+      // Transfer-boundary marker: the installed entries and deliveries are
+      // carried by their own kAccept/kDelivered/kSettled records, so the
+      // marker folds to nothing — it exists for replay visibility.
+      break;
   }
 }
 
@@ -59,7 +77,7 @@ namespace {
 
 /// Snapshot body version; bumped on any layout change so stale snapshots
 /// are rejected instead of misdecoded.
-constexpr std::uint8_t kSnapshotVersion = 1;
+constexpr std::uint8_t kSnapshotVersion = 2;
 
 }  // namespace
 
@@ -70,6 +88,9 @@ void encode_state(Writer& w, const DurableState& state) {
     w.u32(gid);
     w.u32(g.promised.round);
     w.u32(g.promised.node);
+    w.varint(g.settled);
+    w.varint(g.settled_clock);
+    w.varint(g.pruned_below);
     w.varint(g.accepted.size());
     for (const auto& [inst, acc] : g.accepted) {
       w.varint(inst);
@@ -112,6 +133,9 @@ bool decode_state(Reader& r, DurableState& state) {
     auto& g = state.groups[gid];
     g.promised.round = r.u32();
     g.promised.node = r.u32();
+    g.settled = r.varint();
+    g.settled_clock = r.varint();
+    g.pruned_below = r.varint();
     const std::uint64_t n_acc = r.varint();
     for (std::uint64_t j = 0; r.ok() && j < n_acc; ++j) {
       const InstanceId inst = r.varint();

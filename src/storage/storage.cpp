@@ -122,6 +122,20 @@ Lsn NodeStorage::log_body(MsgId mid, std::span<const std::byte> encoded) {
   return append(WalRecord::body(mid, encoded));
 }
 
+Lsn NodeStorage::log_settled(GroupId group, InstanceId frontier,
+                             std::uint64_t clock) {
+  return append(WalRecord::settled(group, frontier, clock));
+}
+
+Lsn NodeStorage::log_prune_accepted(GroupId group, InstanceId floor) {
+  return append(WalRecord::prune_accepted(group, floor));
+}
+
+Lsn NodeStorage::log_repair_install(GroupId group, InstanceId from,
+                                    InstanceId through) {
+  return append(WalRecord::repair_install(group, from, through));
+}
+
 void NodeStorage::when_durable(Lsn lsn, std::function<void()> fn) {
   if (lsn <= wal_.durable_lsn()) {
     fn();

@@ -119,6 +119,32 @@ WalRecord WalRecord::body(MsgId mid, std::span<const std::byte> encoded) {
   return rec;
 }
 
+WalRecord WalRecord::settled(GroupId g, InstanceId frontier, std::uint64_t clock) {
+  WalRecord rec;
+  rec.type = WalRecordType::kSettled;
+  rec.group = g;
+  rec.instance = frontier;
+  rec.seq = clock;
+  return rec;
+}
+
+WalRecord WalRecord::prune_accepted(GroupId g, InstanceId floor) {
+  WalRecord rec;
+  rec.type = WalRecordType::kPruneAccepted;
+  rec.group = g;
+  rec.instance = floor;
+  return rec;
+}
+
+WalRecord WalRecord::repair_install(GroupId g, InstanceId from, InstanceId through) {
+  WalRecord rec;
+  rec.type = WalRecordType::kRepairInstall;
+  rec.group = g;
+  rec.seq = from;
+  rec.instance = through;
+  return rec;
+}
+
 void encode_record(Writer& w, const WalRecord& rec) {
   w.u8(static_cast<std::uint8_t>(rec.type));
   w.u32(rec.group);
@@ -132,7 +158,7 @@ void encode_record(Writer& w, const WalRecord& rec) {
 
 bool decode_record(Reader& r, WalRecord& rec) {
   const std::uint8_t type = r.u8();
-  if (type < 1 || type > 8) return false;
+  if (type < 1 || type > 11) return false;
   rec.type = static_cast<WalRecordType>(type);
   rec.group = r.u32();
   rec.ballot.round = r.u32();

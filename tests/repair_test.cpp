@@ -1,0 +1,650 @@
+// State-transfer & replica-repair subsystem tests: wire codec for the
+// repair messages, RepairCoordinator behaviour (corrupt-chunk rejection and
+// re-fetch, watermark pruning safety), acceptor continuation hints and
+// pruning, WAL torn-crash invariants for the settled/install records, and
+// the end-to-end lag-recovery property — a replica recovered after missing
+// N decided instances catches up via O(gap/chunk) snapshot chunks rather
+// than O(N) P2b replays, while pruning keeps acceptor state bounded.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "fastcast/harness/experiment.hpp"
+#include "fastcast/paxos/acceptor.hpp"
+#include "fastcast/repair/repair.hpp"
+#include "fastcast/storage/storage.hpp"
+
+namespace fastcast {
+namespace {
+
+using repair::RepairCoordinator;
+using repair::RepairEntry;
+using repair::decode_repair_entries;
+using repair::encode_repair_entries;
+
+// ---------------------------------------------------------------------------
+// Wire codec
+
+template <typename T>
+Message round_trip(const T& payload) {
+  const auto bytes = encode_message(Message{payload});
+  Message out;
+  EXPECT_TRUE(decode_message(bytes, out));
+  return out;
+}
+
+TEST(RepairCodec, WatermarkAnnounceRoundTrip) {
+  const WatermarkAnnounce in{7, 3, 1000, 1234};
+  const Message m = round_trip(in);
+  const auto* out = std::get_if<WatermarkAnnounce>(&m.payload);
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->group, in.group);
+  EXPECT_EQ(out->from, in.from);
+  EXPECT_EQ(out->settled, in.settled);
+  EXPECT_EQ(out->frontier, in.frontier);
+}
+
+TEST(RepairCodec, RepairRequestRoundTrip) {
+  const RepairRequest in{2, 555};
+  const Message m = round_trip(in);
+  const auto* out = std::get_if<RepairRequest>(&m.payload);
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->group, in.group);
+  EXPECT_EQ(out->from_instance, in.from_instance);
+}
+
+TEST(RepairCodec, P2bMoreRoundTrip) {
+  const P2bMore in{4, 129};
+  const Message m = round_trip(in);
+  const auto* out = std::get_if<P2bMore>(&m.payload);
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->group, in.group);
+  EXPECT_EQ(out->next_instance, in.next_instance);
+}
+
+std::vector<std::byte> bytes_of(const char* s) {
+  std::vector<std::byte> out;
+  while (*s != '\0') out.push_back(static_cast<std::byte>(*s++));
+  return out;
+}
+
+TEST(RepairCodec, RepairSnapshotRoundTrip) {
+  RepairSnapshot in;
+  in.group = 1;
+  in.from_instance = 64;
+  in.watermark = 96;
+  in.last = true;
+  encode_repair_entries({{64, bytes_of("a")}, {65, bytes_of("bb")}}, in.payload);
+  in.payload_crc = storage::crc32(in.payload);
+
+  const Message m = round_trip(in);
+  const auto* out = std::get_if<RepairSnapshot>(&m.payload);
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->group, in.group);
+  EXPECT_EQ(out->from_instance, in.from_instance);
+  EXPECT_EQ(out->watermark, in.watermark);
+  EXPECT_EQ(out->last, in.last);
+  EXPECT_EQ(out->payload_crc, in.payload_crc);
+  EXPECT_EQ(out->payload, in.payload);
+
+  std::vector<RepairEntry> entries;
+  ASSERT_TRUE(decode_repair_entries(out->payload, entries));
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].instance, 64u);
+  EXPECT_EQ(entries[1].value, bytes_of("bb"));
+}
+
+TEST(RepairCodec, DecodeRejectsTruncation) {
+  RepairSnapshot snap;
+  snap.group = 1;
+  snap.from_instance = 0;
+  snap.watermark = 1;
+  snap.last = false;
+  encode_repair_entries({{0, bytes_of("xyz")}}, snap.payload);
+  snap.payload_crc = storage::crc32(snap.payload);
+  const auto bytes = encode_message(Message{snap});
+  for (std::size_t cut = 1; cut < bytes.size(); ++cut) {
+    Message out;
+    EXPECT_FALSE(decode_message(std::span(bytes.data(), cut), out))
+        << "cut at " << cut;
+  }
+}
+
+TEST(RepairCodec, EntriesDecodeRejectsGarbage) {
+  std::vector<std::byte> payload;
+  encode_repair_entries({{3, bytes_of("v")}}, payload);
+  std::vector<RepairEntry> entries;
+  ASSERT_TRUE(decode_repair_entries(payload, entries));
+  payload.push_back(std::byte{0x41});  // trailing garbage
+  EXPECT_FALSE(decode_repair_entries(payload, entries));
+  EXPECT_FALSE(decode_repair_entries(std::span(payload.data(), 0), entries));
+}
+
+// ---------------------------------------------------------------------------
+// RepairCoordinator unit tests (fake context: recorded sends, manual timers)
+
+class FakeContext final : public Context {
+ public:
+  FakeContext() { membership_.add_group(3, {0, 0, 0}); }  // nodes 0,1,2
+
+  NodeId self() const override { return 0; }
+  Time now() const override { return now_; }
+  void send(NodeId to, const Message& msg) override {
+    sent.push_back({to, msg});
+  }
+  TimerId set_timer(Duration delay, std::function<void()> cb) override {
+    timers_.emplace(now_ + delay, std::move(cb));
+    return ++next_timer_;
+  }
+  void cancel_timer(TimerId) override {}
+  Rng& rng() override { return rng_; }
+  const Membership& membership() const override { return membership_; }
+
+  /// Fires every timer due at or before `t` in order (timers may re-arm).
+  void run_until(Time t) {
+    while (!timers_.empty() && timers_.begin()->first <= t) {
+      auto it = timers_.begin();
+      now_ = it->first;
+      auto cb = std::move(it->second);
+      timers_.erase(it);
+      cb();
+    }
+    now_ = t;
+  }
+
+  std::vector<std::pair<NodeId, Message>> sent;
+
+ private:
+  Time now_ = 0;
+  TimerId next_timer_ = 0;
+  std::multimap<Time, std::function<void()>> timers_;
+  Rng rng_;
+  Membership membership_;
+};
+
+struct CoordinatorFixture : ::testing::Test {
+  CoordinatorFixture() {
+    RepairCoordinator::Config cfg;
+    cfg.group = 1;
+    cfg.self = 0;
+    cfg.members = {0, 1, 2};
+    cfg.learners = {0, 1, 2};
+    cfg.options.enable = true;
+    cfg.options.announce_interval = milliseconds(10);
+    cfg.options.lag_threshold = 4;
+    cfg.options.chunk_entries = 8;
+    options = cfg.options;
+
+    RepairCoordinator::Hooks hooks;
+    hooks.settled = [this] { return repair::Settled{settled, clock}; };
+    hooks.frontier = [this] { return frontier; };
+    hooks.install = [this](Context&, InstanceId inst,
+                           const std::vector<std::byte>& value) {
+      installed.emplace_back(inst, value);
+      frontier = std::max(frontier, inst + 1);
+      return true;
+    };
+    hooks.prune = [this](Context&, InstanceId floor) { pruned_to = floor; };
+    hooks.kick_tail = [this](Context&) { ++kicks; };
+    coord = std::make_unique<RepairCoordinator>(cfg, std::move(hooks));
+  }
+
+  void announce_from(NodeId from, InstanceId settled_mark,
+                     InstanceId frontier_mark) {
+    coord->handle(ctx, from,
+                  Message{WatermarkAnnounce{1, from, settled_mark, frontier_mark}});
+  }
+
+  /// Messages of payload type T sent to `to` (drains nothing).
+  template <typename T>
+  std::vector<T> sent_to(NodeId to) const {
+    std::vector<T> out;
+    for (const auto& [dst, msg] : ctx.sent) {
+      if (dst != to) continue;
+      if (const auto* p = std::get_if<T>(&msg.payload)) out.push_back(*p);
+    }
+    return out;
+  }
+
+  RepairSnapshot make_chunk(InstanceId from, std::size_t n, bool last) {
+    std::vector<RepairEntry> entries;
+    for (std::size_t i = 0; i < n; ++i) {
+      entries.push_back({from + i, bytes_of("v")});
+    }
+    RepairSnapshot snap;
+    snap.group = 1;
+    snap.from_instance = from;
+    snap.watermark = from + n;
+    snap.last = last;
+    encode_repair_entries(entries, snap.payload);
+    snap.payload_crc = storage::crc32(snap.payload);
+    return snap;
+  }
+
+  FakeContext ctx;
+  repair::Options options;
+  InstanceId settled = 0;
+  std::uint64_t clock = 0;
+  InstanceId frontier = 0;
+  InstanceId pruned_to = 0;
+  int kicks = 0;
+  std::vector<std::pair<InstanceId, std::vector<std::byte>>> installed;
+  std::unique_ptr<RepairCoordinator> coord;
+};
+
+TEST_F(CoordinatorFixture, LagTriggersRequestToFurthestPeer) {
+  coord->on_start(ctx);
+  announce_from(1, 50, 60);
+  announce_from(2, 40, 50);
+  const auto reqs = sent_to<RepairRequest>(1);
+  ASSERT_EQ(reqs.size(), 1u);
+  EXPECT_EQ(reqs[0].from_instance, 0u);
+  EXPECT_TRUE(coord->transfer_active());
+  EXPECT_TRUE(sent_to<RepairRequest>(2).empty());
+}
+
+TEST_F(CoordinatorFixture, SmallGapDoesNotTransfer) {
+  coord->on_start(ctx);
+  announce_from(1, 2, 3);  // below lag_threshold = 4
+  EXPECT_FALSE(coord->transfer_active());
+  EXPECT_TRUE(sent_to<RepairRequest>(1).empty());
+}
+
+TEST_F(CoordinatorFixture, CorruptChunkIsRejectedAndRefetchedElsewhere) {
+  coord->on_start(ctx);
+  announce_from(1, 50, 60);
+  announce_from(2, 45, 55);
+  ASSERT_EQ(sent_to<RepairRequest>(1).size(), 1u);  // furthest peer first
+
+  RepairSnapshot bad = make_chunk(0, 8, false);
+  bad.payload_crc ^= 0xdeadbeef;  // corrupt on the wire
+  coord->handle(ctx, 1, Message{bad});
+
+  EXPECT_TRUE(installed.empty());  // nothing from the corrupt chunk
+  // Re-fetched from the other up-to-date peer, not the failed server.
+  ASSERT_EQ(sent_to<RepairRequest>(2).size(), 1u);
+  EXPECT_TRUE(coord->transfer_active());
+
+  // The failed server's stale chunks are ignored from now on.
+  coord->handle(ctx, 1, Message{make_chunk(0, 8, true)});
+  EXPECT_TRUE(installed.empty());
+
+  // The good peer completes the transfer; installs resume delivery order.
+  coord->handle(ctx, 2, Message{make_chunk(0, 8, false)});
+  coord->handle(ctx, 2, Message{make_chunk(8, 8, true)});
+  ASSERT_EQ(installed.size(), 16u);
+  EXPECT_EQ(installed.front().first, 0u);
+  EXPECT_EQ(installed.back().first, 15u);
+  EXPECT_FALSE(coord->transfer_active());
+  EXPECT_EQ(kicks, 1);  // tail above the watermark goes to normal catch-up
+}
+
+TEST_F(CoordinatorFixture, MisalignedChunkIsIgnoredNotFatal) {
+  coord->on_start(ctx);
+  announce_from(1, 50, 60);
+  ASSERT_TRUE(coord->transfer_active());
+  // A well-formed chunk at the wrong offset is stale (duplicate or from an
+  // abandoned transfer), not server corruption: ignored, transfer stays up.
+  coord->handle(ctx, 1, Message{make_chunk(3, 8, true)});  // expected 0
+  EXPECT_TRUE(installed.empty());
+  EXPECT_TRUE(coord->transfer_active());
+  EXPECT_TRUE(sent_to<RepairRequest>(2).empty());  // no blacklist re-fetch
+}
+
+TEST_F(CoordinatorFixture, ServesOneChunkPerRequestUntilFrontier) {
+  frontier = 20;
+  for (InstanceId i = 0; i < 20; ++i) coord->note_decided(i, bytes_of("d"));
+  coord->handle(ctx, 2, Message{RepairRequest{1, 4}});
+  auto chunks = sent_to<RepairSnapshot>(2);
+  ASSERT_EQ(chunks.size(), 1u);  // stop-and-wait: one chunk per request
+  EXPECT_EQ(chunks[0].from_instance, 4u);
+  EXPECT_EQ(chunks[0].watermark, 12u);  // chunk_entries = 8
+  EXPECT_FALSE(chunks[0].last);
+  EXPECT_EQ(chunks[0].payload_crc, storage::crc32(chunks[0].payload));
+
+  // The requester pulls the rest; the final chunk is marked last.
+  coord->handle(ctx, 2, Message{RepairRequest{1, 12}});
+  chunks = sent_to<RepairSnapshot>(2);
+  ASSERT_EQ(chunks.size(), 2u);
+  EXPECT_EQ(chunks[1].from_instance, 12u);
+  EXPECT_EQ(chunks[1].watermark, 20u);
+  EXPECT_TRUE(chunks[1].last);
+}
+
+TEST_F(CoordinatorFixture, ServerWithHoleServesNothing) {
+  frontier = 20;
+  for (InstanceId i = 10; i < 20; ++i) coord->note_decided(i, bytes_of("d"));
+  coord->handle(ctx, 2, Message{RepairRequest{1, 4}});  // below our log start
+  EXPECT_TRUE(sent_to<RepairSnapshot>(2).empty());
+}
+
+TEST_F(CoordinatorFixture, PruneWaitsForEveryLearner) {
+  settled = 30;
+  frontier = 30;
+  coord->on_start(ctx);
+  ctx.run_until(milliseconds(15));  // fire one announce (marks self)
+  announce_from(1, 20, 30);
+  // Learner 2 has never announced: its silence must block pruning.
+  EXPECT_EQ(coord->prune_floor(), 0u);
+  EXPECT_EQ(pruned_to, 0u);
+
+  announce_from(2, 10, 30);
+  EXPECT_EQ(coord->prune_floor(), 10u);
+  EXPECT_EQ(pruned_to, 10u);
+}
+
+TEST_F(CoordinatorFixture, PruneNeverPassesSlowestWatermark) {
+  settled = 100;
+  frontier = 100;
+  for (InstanceId i = 0; i < 100; ++i) coord->note_decided(i, bytes_of("d"));
+  coord->on_start(ctx);
+  ctx.run_until(milliseconds(15));
+  announce_from(1, 80, 100);
+  announce_from(2, 25, 100);
+  EXPECT_EQ(coord->prune_floor(), 25u);
+  // The decided log keeps everything a live peer may still fetch.
+  EXPECT_EQ(coord->decided_log_size(), 75u);
+
+  // Peer 2 goes quiet and everyone else races ahead: the floor FREEZES at
+  // its last announce — pruning may stall, never overtake a live peer.
+  settled = 500;
+  frontier = 500;
+  announce_from(1, 400, 500);
+  ctx.run_until(milliseconds(40));
+  EXPECT_EQ(coord->prune_floor(), 25u);
+}
+
+TEST_F(CoordinatorFixture, StalledTransferTimesOutTowardAnotherPeer) {
+  coord->on_start(ctx);
+  announce_from(1, 50, 60);
+  announce_from(2, 45, 55);
+  ASSERT_TRUE(coord->transfer_active());
+  ASSERT_EQ(sent_to<RepairRequest>(1).size(), 1u);
+  // No chunk ever arrives; announce ticks past transfer_timeout re-target.
+  ctx.run_until(options.transfer_timeout + milliseconds(50));
+  EXPECT_GE(sent_to<RepairRequest>(2).size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Acceptor: P2bMore continuation, install, prune
+
+struct AcceptorFixture : ::testing::Test {
+  AcceptorFixture() : acceptor(1, {0, 1, 2}) {}
+
+  FakeContext ctx;
+  paxos::Acceptor acceptor;
+};
+
+TEST_F(AcceptorFixture, CappedReplayEmitsContinuationHint) {
+  for (InstanceId i = 0; i < 300; ++i) {
+    acceptor.install(ctx, i, bytes_of("v"));
+  }
+  acceptor.on_p2b_request(ctx, 2, P2bRequest{1, 0});
+
+  std::uint64_t p2bs = 0;
+  InstanceId last_instance = 0;
+  std::vector<P2bMore> more;
+  for (const auto& [to, msg] : ctx.sent) {
+    ASSERT_EQ(to, 2u);
+    if (const auto* p = std::get_if<P2b>(&msg.payload)) {
+      ++p2bs;
+      last_instance = p->instance;
+    } else if (const auto* m = std::get_if<P2bMore>(&msg.payload)) {
+      more.push_back(*m);
+    }
+  }
+  EXPECT_EQ(p2bs, 128u);  // the documented batch cap
+  ASSERT_EQ(more.size(), 1u);
+  EXPECT_EQ(more[0].next_instance, last_instance + 1);
+
+  // The final batch has no remainder, so no hint.
+  ctx.sent.clear();
+  acceptor.on_p2b_request(ctx, 2, P2bRequest{1, 256});
+  std::uint64_t tail_p2bs = 0;
+  std::uint64_t tail_more = 0;
+  for (const auto& [to, msg] : ctx.sent) {
+    (void)to;
+    tail_p2bs += std::get_if<P2b>(&msg.payload) != nullptr ? 1 : 0;
+    tail_more += std::get_if<P2bMore>(&msg.payload) != nullptr ? 1 : 0;
+  }
+  EXPECT_EQ(tail_p2bs, 44u);  // 256..299
+  EXPECT_EQ(tail_more, 0u);
+}
+
+TEST_F(AcceptorFixture, PruneDropsEntriesBelowFloorOnly) {
+  for (InstanceId i = 0; i < 100; ++i) {
+    acceptor.install(ctx, i, bytes_of("v"));
+  }
+  EXPECT_EQ(acceptor.prune_below(ctx, 40), 40u);
+  EXPECT_EQ(acceptor.accepted_count(), 60u);
+  EXPECT_EQ(acceptor.accepted().begin()->first, 40u);
+  EXPECT_EQ(acceptor.pruned_below(), 40u);
+
+  // Regressing the floor is a no-op; installs below it are refused.
+  EXPECT_EQ(acceptor.prune_below(ctx, 10), 0u);
+  acceptor.install(ctx, 5, bytes_of("v"));
+  EXPECT_EQ(acceptor.accepted().begin()->first, 40u);
+}
+
+// ---------------------------------------------------------------------------
+// WAL torn-crash invariants
+
+Ballot ballot(std::uint32_t round, NodeId node) { return Ballot{round, node}; }
+
+TEST(RepairDurability, SettledNeverOutrunsDeliveredAcrossTornCrashes) {
+  // The settled record is appended AFTER the deliveries it summarizes, so
+  // any surviving log prefix that contains it contains them too — checked
+  // against the emulated kill -9 (torn tail of unsynced bytes) across
+  // seeds and crash points.
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    Rng torn(seed);
+    storage::NodeStorage::Config cfg;
+    cfg.fsync.mode = storage::FsyncPolicy::Mode::kBatch;
+    cfg.fsync.batch_records = 7;
+    storage::NodeStorage st(std::make_unique<storage::MemBackend>(), cfg);
+
+    const GroupId g = 1;
+    const auto value = bytes_of("v");
+    const InstanceId total = 30;
+    for (InstanceId i = 0; i < total; ++i) {
+      st.log_accept(g, i, ballot(1, 0), value);
+      st.log_delivered(1000 + i);  // the delivery instance i caused
+      st.commit();
+      if ((i + 1) % 5 == 0) {
+        st.log_settled(g, i + 1, /*clock=*/i + 1);
+        st.commit();
+      }
+    }
+    st.on_crash(&torn);
+
+    const storage::DurableState& durable = st.reset_and_recover();
+    const auto it = durable.groups.find(g);
+    const InstanceId settled = it == durable.groups.end() ? 0 : it->second.settled;
+    for (InstanceId i = 0; i < settled; ++i) {
+      EXPECT_TRUE(durable.delivered.contains(1000 + i))
+          << "seed " << seed << ": settled=" << settled
+          << " but delivery of instance " << i << " lost";
+    }
+    if (it != durable.groups.end() && settled > 0) {
+      // The clock bound covers every settled instance.
+      EXPECT_GE(it->second.settled_clock, settled);
+    }
+  }
+}
+
+TEST(RepairDurability, CrashMidInstallRecoversPrefixNeverTorn) {
+  // A transfer installs entries in instance order with a boundary marker
+  // per chunk; a torn crash must leave a contiguous PREFIX of the installed
+  // run (pre-install, post-install, or a clean cut between — never a hole).
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    Rng torn(seed ^ 0x5eedULL);
+    storage::NodeStorage::Config cfg;
+    cfg.fsync.mode = storage::FsyncPolicy::Mode::kBatch;
+    cfg.fsync.batch_records = 9;
+    storage::NodeStorage st(std::make_unique<storage::MemBackend>(), cfg);
+
+    const GroupId g = 2;
+    const InstanceId from = 10;
+    const InstanceId through = 42;
+    const auto value = bytes_of("installed");
+    for (InstanceId i = from; i < through; i += 8) {
+      const InstanceId chunk_end = std::min<InstanceId>(i + 8, through);
+      for (InstanceId j = i; j < chunk_end; ++j) {
+        st.log_accept(g, j, Ballot{}, value);
+      }
+      st.log_repair_install(g, i, chunk_end);
+      st.commit();
+    }
+    st.on_crash(&torn);
+
+    const storage::DurableState& durable = st.reset_and_recover();
+    const auto it = durable.groups.find(g);
+    std::set<InstanceId> recovered;
+    if (it != durable.groups.end()) {
+      for (const auto& [inst, acc] : it->second.accepted) recovered.insert(inst);
+    }
+    // Contiguity: whatever survived starts at `from` with no holes.
+    InstanceId expect = from;
+    for (const InstanceId inst : recovered) {
+      EXPECT_EQ(inst, expect) << "seed " << seed << ": torn install";
+      ++expect;
+    }
+    EXPECT_LE(expect, through);
+  }
+}
+
+TEST(RepairDurability, PruneRecordSurvivesRecovery) {
+  storage::NodeStorage::Config cfg;
+  storage::NodeStorage st(std::make_unique<storage::MemBackend>(), cfg);
+  const GroupId g = 1;
+  for (InstanceId i = 0; i < 20; ++i) {
+    st.log_accept(g, i, ballot(1, 0), bytes_of("v"));
+  }
+  st.log_prune_accepted(g, 12);
+  st.flush();
+
+  const storage::DurableState& durable = st.reset_and_recover();
+  const auto it = durable.groups.find(g);
+  ASSERT_NE(it, durable.groups.end());
+  EXPECT_EQ(it->second.pruned_below, 12u);
+  ASSERT_FALSE(it->second.accepted.empty());
+  EXPECT_EQ(it->second.accepted.begin()->first, 12u);
+  EXPECT_EQ(it->second.accepted.size(), 8u);
+}
+
+// ---------------------------------------------------------------------------
+// End to end: lag recovery in O(gap/chunk) messages, bounded acceptor state
+
+struct LagOutcome {
+  std::uint64_t replay_p2bs = 0;      ///< P2bs to the victim below the gap end
+  std::uint64_t snapshot_chunks = 0;  ///< RepairSnapshot chunks to the victim
+  InstanceId gap_end = 0;             ///< leader frontier at recovery time
+  InstanceId victim_frontier = 0;     ///< victim frontier at run end
+  InstanceId victim_pruned_below = 0;
+  std::size_t victim_accepted = 0;
+  std::uint64_t completions = 0;
+};
+
+LagOutcome run_lag_scenario(bool repair_on) {
+  harness::ExperimentConfig cfg;
+  cfg.topo.env = harness::Environment::kLan;
+  cfg.topo.groups = 2;
+  cfg.topo.clients = 4;
+  cfg.topo.protocol = harness::Protocol::kFastCast;
+  cfg.seed = 7;
+  cfg.dst_factory = harness::same_dst_for_all(harness::random_subset(2, 2));
+  cfg.drop_probability = 0.01;  // arms catch-up polling + repropose
+  cfg.run_checker = true;
+  cfg.check_level = Checker::Level::kFull;
+  if (repair_on) {
+    cfg.repair.enable = true;
+    cfg.repair.lag_threshold = 8;
+    cfg.repair.chunk_entries = 32;
+    cfg.repair.announce_interval = milliseconds(20);
+  }
+
+  harness::Cluster cluster(cfg);
+  auto& sim = cluster.simulator();
+  const NodeId victim = cluster.deployment().membership.members(0)[1];
+  const NodeId leader = cluster.deployment().membership.members(0)[0];
+
+  const Time crash_at = milliseconds(100);
+  const Time recover_at = milliseconds(500);
+  LagOutcome out;
+  sim.set_send_observer([&](NodeId, NodeId to, const Message& msg) {
+    if (to != victim || sim.now() < recover_at) return;
+    if (const auto* p2b = std::get_if<P2b>(&msg.payload)) {
+      if (p2b->group == 0 && p2b->instance < out.gap_end) ++out.replay_p2bs;
+    } else if (std::get_if<RepairSnapshot>(&msg.payload) != nullptr) {
+      ++out.snapshot_chunks;
+    }
+  });
+  sim.schedule_crash(victim, crash_at);
+  sim.schedule_recover(victim, recover_at);
+  auto* leader_engine =
+      cluster.replica(leader).protocol().consensus_engine();
+  sim.schedule_at(recover_at, [&out, leader_engine] {
+    out.gap_end = leader_engine->learner().next_to_deliver();
+  });
+
+  cluster.start();
+  sim.run_until(milliseconds(1100));
+  cluster.stop_clients(sim.now());
+  sim.run_for(milliseconds(400));
+
+  auto* victim_engine = cluster.replica(victim).protocol().consensus_engine();
+  out.victim_frontier = victim_engine->learner().next_to_deliver();
+  out.victim_pruned_below = victim_engine->acceptor().pruned_below();
+  out.victim_accepted = victim_engine->acceptor().accepted_count();
+  out.completions = cluster.metrics().completions_total();
+
+  // Safety holds with or without repair (non-quiesced: traffic in flight).
+  const auto report = cluster.checker().check(false, cfg.check_level);
+  std::string violations;
+  for (const auto& v : report.violations) violations += v + "\n";
+  EXPECT_TRUE(report.ok) << (repair_on ? "repair" : "control") << " run:\n"
+                         << violations;
+  return out;
+}
+
+TEST(LagRecovery, SnapshotTransferBeatsP2bReplayOnTheGap) {
+  const LagOutcome control = run_lag_scenario(false);
+  const LagOutcome repaired = run_lag_scenario(true);
+
+  // The scenario produced a real gap, and both runs got past it.
+  ASSERT_GT(control.gap_end, 16u);
+  EXPECT_GE(control.victim_frontier, control.gap_end);
+  EXPECT_GE(repaired.victim_frontier, repaired.gap_end);
+  EXPECT_GT(control.completions, 0u);
+  EXPECT_GT(repaired.completions, 0u);
+
+  // Control relearns the gap as per-instance P2b replays (O(N) messages);
+  // repair ships it as O(gap / chunk_entries) snapshot chunks and at most a
+  // short tail of P2bs.
+  EXPECT_GT(control.replay_p2bs, control.gap_end / 2);
+  EXPECT_GT(repaired.snapshot_chunks, 0u);
+  EXPECT_LT(repaired.replay_p2bs * 4, control.replay_p2bs)
+      << "repair run replayed " << repaired.replay_p2bs << " P2bs vs control "
+      << control.replay_p2bs << " (gap " << repaired.gap_end << ")";
+}
+
+TEST(LagRecovery, PruningBoundsAcceptorState) {
+  const LagOutcome repaired = run_lag_scenario(true);
+  // The watermark advanced and the acceptor dropped everything below it:
+  // retained state is the (frontier - floor) live window, not the full
+  // decided history.
+  EXPECT_GT(repaired.victim_pruned_below, 0u);
+  EXPECT_LT(repaired.victim_accepted,
+            static_cast<std::size_t>(repaired.victim_frontier));
+  EXPECT_LE(repaired.victim_accepted,
+            static_cast<std::size_t>(repaired.victim_frontier -
+                                     repaired.victim_pruned_below) +
+                1);
+}
+
+}  // namespace
+}  // namespace fastcast

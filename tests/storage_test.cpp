@@ -142,7 +142,7 @@ TEST(WalWireFormat, DecodeRejectsBadTypeAndTrailingBytes) {
   encode_record(w, WalRecord::promise(1, Ballot{1, 1}));
   {
     auto bad = w.data();
-    bad[0] = std::byte{0x09};  // type out of range
+    bad[0] = std::byte{0x0c};  // type out of range (valid: 1..11)
     Reader r(bad);
     WalRecord out;
     EXPECT_FALSE(decode_record(r, out));
