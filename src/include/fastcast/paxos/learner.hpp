@@ -11,7 +11,10 @@
 /// Paxos learner: counts P2b votes per (instance, ballot) and emits decided
 /// values strictly in instance order. Because all P2b votes for one ballot
 /// carry the same value (Paxos invariant), counting distinct acceptors per
-/// ballot suffices; the value is taken from the first vote seen.
+/// ballot suffices; the value is taken from the first vote seen. One
+/// exception: a vote at the reserved round-0 sentinel ballot reports a
+/// repair-installed value, which is decided by construction and decides
+/// immediately without a quorum (see Acceptor::install).
 
 namespace fastcast::paxos {
 

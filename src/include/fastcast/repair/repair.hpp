@@ -35,7 +35,11 @@
 ///    decided log trims) instead of growing without bound. A learner that
 ///    has not announced blocks pruning entirely, and a down learner
 ///    freezes the floor at its last announce: pruning can stall, never
-///    overtake a peer.
+///    overtake a peer. With storage attached, the announced settled value
+///    is additionally gated on WAL durability (it advances only once the
+///    backing kSettled record — and transitively the kDelivered records it
+///    summarizes — is flushed), so a crash can never leave the node below
+///    a floor its own announce let peers prune to.
 
 namespace fastcast::repair {
 
@@ -103,8 +107,14 @@ class RepairCoordinator {
   void on_start(Context& ctx);
   void on_recover(Context& ctx);
 
+  /// Seeds the durable settled watermark from a WAL-recovered settled
+  /// frontier, so a storage-recovered node announces it without waiting to
+  /// re-log and re-flush a record that is already durable.
+  void restore_durable_settled(InstanceId settled);
+
   /// Feeds the retained decided log transfers are served from. Members
-  /// call this for every decided instance (any order).
+  /// call this for every decided instance (any order); non-members never
+  /// serve transfers, so for them it is a no-op.
   void note_decided(InstanceId inst, const std::vector<std::byte>& value);
 
   /// Routes WatermarkAnnounce / RepairRequest / RepairSnapshot for this
@@ -112,6 +122,7 @@ class RepairCoordinator {
   bool handle(Context& ctx, NodeId from, const Message& msg);
 
   InstanceId prune_floor() const { return prune_floor_; }
+  InstanceId durable_settled() const { return durable_settled_; }
   bool transfer_active() const { return transfer_active_; }
   std::size_t decided_log_size() const { return decided_log_.size(); }
 
@@ -137,7 +148,10 @@ class RepairCoordinator {
 
   std::map<NodeId, PeerMark> marks_;  ///< last announce per learner (and self)
   InstanceId prune_floor_ = 0;
-  InstanceId logged_settled_ = 0;
+  InstanceId logged_settled_ = 0;   ///< highest settled frontier WAL-logged
+  /// Highest settled frontier whose kSettled record is known durable — the
+  /// only value announce() may ship, since peers prune to it.
+  InstanceId durable_settled_ = 0;
 
   /// Decided values retained for serving transfers; trimmed at the floor.
   std::map<InstanceId, std::vector<std::byte>> decided_log_;

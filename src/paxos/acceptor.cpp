@@ -110,7 +110,9 @@ void Acceptor::install(Context& ctx, InstanceId inst,
   if (!fresh) return;  // the live entry carries a real ballot; keep it
   // Ballot (0,0) marks "learned via repair": any later real accept or P1b
   // adoption supersedes it, and since only decided values are installed the
-  // value can never differ from what a quorum converges on.
+  // value can never differ from what a quorum converges on. Learners treat
+  // a replayed round-0 vote as decided outright (no quorum), so catch-up
+  // cannot stall on votes split between the sentinel and the real ballot.
   it->second = AcceptedValue{Ballot{}, value};
   if (storage::NodeStorage* st = ctx.storage()) {
     st->log_accept(group_, inst, Ballot{}, value);

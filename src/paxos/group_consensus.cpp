@@ -113,6 +113,7 @@ void GroupConsensus::restore_durable(
   // announced settled frontier bounds from above — no peer retains the
   // entries to relearn anyway.
   learner_.set_start(durable->settled);
+  if (repair_) repair_->restore_durable_settled(durable->settled);
   must_reestablish_ = true;
   // Every ballot the dead incarnation externalized is covered by a durable
   // promise record (acceptor replies and proposer P1a sends are both gated

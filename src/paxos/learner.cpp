@@ -7,6 +7,16 @@ namespace fastcast::paxos {
 void Learner::on_p2b(Context& ctx, const P2b& msg) {
   if (is_decided(msg.instance)) return;
 
+  // Round 0 is reserved for "never voted": no proposer ever runs Phase 2 at
+  // it, so a round-0 vote can only be an acceptor replaying a value it
+  // installed from a repair transfer — decided by construction, one report
+  // suffices. Counting it as an ordinary vote would split the quorum
+  // between the sentinel and the real accept ballot and stall small gaps.
+  if (msg.ballot.round == 0) {
+    force_decided(ctx, msg.instance, msg.value);
+    return;
+  }
+
   auto& state = votes_[msg.instance];
   if (state.voters.empty() || msg.ballot > state.ballot) {
     // First vote, or votes at a higher ballot supersede lower-ballot ones.

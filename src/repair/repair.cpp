@@ -67,11 +67,22 @@ void RepairCoordinator::on_recover(Context& ctx) {
   announce_armed_ = false;
   transfer_active_ = false;
   transfer_server_ = kInvalidNode;
+  // Settled records logged but never flushed died with the crash (their
+  // when_durable closures were dropped); fall back to the durable watermark
+  // so the next announce re-logs anything above it.
+  logged_settled_ = durable_settled_;
   arm_announce(ctx);
+}
+
+void RepairCoordinator::restore_durable_settled(InstanceId settled) {
+  // WAL-recovered, so durable by definition; no need to re-log it.
+  durable_settled_ = std::max(durable_settled_, settled);
+  logged_settled_ = std::max(logged_settled_, settled);
 }
 
 void RepairCoordinator::note_decided(InstanceId inst,
                                      const std::vector<std::byte>& value) {
+  if (!is_member(cfg_.self)) return;  // non-members never serve transfers
   if (inst < prune_floor_) return;
   decided_log_.try_emplace(inst, value);
 }
@@ -93,16 +104,29 @@ void RepairCoordinator::announce(Context& ctx) {
 
   // The settled record trails the kDelivered records it summarizes in LSN
   // order, so any surviving log prefix containing it contains them too.
-  if (s.frontier > logged_settled_) {
-    logged_settled_ = s.frontier;
-    if (storage::NodeStorage* st = ctx.storage()) {
-      st->log_settled(cfg_.group, s.frontier, s.clock);
+  if (storage::NodeStorage* st = ctx.storage()) {
+    if (s.frontier > logged_settled_) {
+      logged_settled_ = s.frontier;
+      const storage::Lsn lsn = st->log_settled(cfg_.group, s.frontier, s.clock);
+      // Peers prune to whatever settled value we announce, so the announced
+      // cursor must never outrun what a crash here would preserve — a node
+      // recovering below the group prune floor finds the gap unlearnable
+      // from anyone. Latch the announceable watermark only once the record
+      // is durable: fsync=always flushes in the commit() below, so the
+      // latch runs before this announce is built; batch trails by at most
+      // one flush. A closure dropped by a crash leaves the latch at the
+      // older durable value, which is exactly what recovery resumes from.
+      st->when_durable(lsn, [this, v = s.frontier] {
+        if (v > durable_settled_) durable_settled_ = v;
+      });
       st->commit();
     }
+  } else if (s.frontier > durable_settled_) {
+    durable_settled_ = s.frontier;  // no storage: a restart keeps everything
   }
 
-  marks_[cfg_.self] = PeerMark{s.frontier, frontier};
-  const WatermarkAnnounce ann{cfg_.group, cfg_.self, s.frontier, frontier};
+  marks_[cfg_.self] = PeerMark{durable_settled_, frontier};
+  const WatermarkAnnounce ann{cfg_.group, cfg_.self, durable_settled_, frontier};
   for (NodeId peer : cfg_.learners) {
     if (peer != cfg_.self) ctx.send(peer, Message{ann});
   }

@@ -182,7 +182,7 @@ TEST(GroupConsensus, LeaderCrashTriggersElectionAndRecovery) {
   // Crash the initial leader shortly after it starts proposing; node 1
   // must take over (epoch 1) and new proposals must succeed.
   f.sim->schedule_crash(0, milliseconds(30));
-  std::shared_ptr<ConsensusNode> n1 = f.nodes[1];
+  ConsensusNode* n1 = f.nodes[1].get();
   f.nodes[1]->start_hook = [n1](Context& ctx) {
     ctx.set_timer(milliseconds(200), [n1, &ctx] {
       n1->cons.propose(ctx, value_of(100));
@@ -208,7 +208,7 @@ TEST(GroupConsensus, CompetingProposerSafety) {
   f.nodes[0]->start_hook = [&f](Context& ctx) {
     for (int i = 0; i < 20; ++i) f.nodes[0]->cons.propose(ctx, value_of(i));
   };
-  std::shared_ptr<ConsensusNode> n1 = f.nodes[1];
+  ConsensusNode* n1 = f.nodes[1].get();
   f.nodes[1]->start_hook = [n1](Context& ctx) {
     ctx.set_timer(microseconds(1500), [n1, &ctx] {
       n1->cons.proposer().start_leadership(ctx, 5,
@@ -290,14 +290,15 @@ TEST(Learner, IgnoresStaleBallotVotesAndDuplicates) {
       });
       const auto v = value_of(1);
       // Duplicate votes from one acceptor must not count twice.
-      learner.on_p2b(ctx, P2b{0, Ballot{1, 0}, 0, /*acceptor=*/1, v});
-      learner.on_p2b(ctx, P2b{0, Ballot{1, 0}, 0, 1, v});
+      learner.on_p2b(ctx, P2b{0, Ballot{2, 0}, 0, /*acceptor=*/1, v});
+      learner.on_p2b(ctx, P2b{0, Ballot{2, 0}, 0, 1, v});
       EXPECT_TRUE(decided.empty());
-      // A stale lower-ballot vote must not count either.
-      learner.on_p2b(ctx, P2b{0, Ballot{0, 0}, 0, 2, v});
+      // A stale lower-ballot vote must not count either. (Round 1, not 0:
+      // round 0 is the repair sentinel, which decides outright.)
+      learner.on_p2b(ctx, P2b{0, Ballot{1, 0}, 0, 2, v});
       EXPECT_TRUE(decided.empty());
       // Second distinct acceptor at the right ballot decides.
-      learner.on_p2b(ctx, P2b{0, Ballot{1, 0}, 0, 2, v});
+      learner.on_p2b(ctx, P2b{0, Ballot{2, 0}, 0, 2, v});
       EXPECT_EQ(decided.size(), 1u);
     }
     void on_message(Context&, NodeId, const Message&) override {}
@@ -307,6 +308,40 @@ TEST(Learner, IgnoresStaleBallotVotesAndDuplicates) {
   sim.start();
   sim.run_to_idle();
   EXPECT_EQ(script->decided.size(), 1u);
+}
+
+TEST(Learner, RepairSentinelVoteDecidesWithoutQuorum) {
+  Membership m;
+  m.add_group(1, {0});
+  Simulator sim(m, std::make_unique<ConstantLatency>(1), {});
+  class Script : public Process {
+   public:
+    Learner learner{2};
+    std::vector<int> decided_values;
+    void on_start(Context& ctx) override {
+      learner.set_decide([this](InstanceId, const std::vector<std::byte>& v) {
+        decided_values.push_back(value_to_int(v));
+      });
+      // One real-ballot vote (quorum = 2, not enough on its own) ...
+      learner.on_p2b(ctx, P2b{0, Ballot{3, 1}, 0, 1, value_of(7)});
+      EXPECT_TRUE(decided_values.empty());
+      // ... then a catch-up replay of the same instance from an acceptor
+      // that learned it via repair (sentinel ballot). Were it counted as a
+      // vote it would split the quorum across ballots and stall; instead
+      // the value is decided by construction and decides immediately.
+      learner.on_p2b(ctx, P2b{0, Ballot{}, 0, 2, value_of(7)});
+      EXPECT_EQ(decided_values, (std::vector<int>{7}));
+      // Later real votes for the now-decided instance are no-ops.
+      learner.on_p2b(ctx, P2b{0, Ballot{3, 1}, 0, 0, value_of(7)});
+      EXPECT_EQ(decided_values.size(), 1u);
+    }
+    void on_message(Context&, NodeId, const Message&) override {}
+  };
+  auto script = std::make_shared<Script>();
+  sim.add_process(0, script);
+  sim.start();
+  sim.run_to_idle();
+  EXPECT_EQ(script->decided_values, (std::vector<int>{7}));
 }
 
 TEST(Learner, HigherBallotVotesSupersedeLower) {
@@ -446,7 +481,8 @@ TEST(GroupConsensus, CrashedFollowerRecoversAndCatchesUp) {
   SimConfig sim_cfg;
   sim_cfg.drop_probability = 0.05;  // lossy: retry + catch-up machinery on
   Fixture f(sim_cfg);
-  std::shared_ptr<ConsensusNode> n0 = f.nodes[0];
+  ConsensusNode* n0 = f.nodes[0].get();  // raw: a shared_ptr capture in the
+  // node's own start_hook would be a refcount cycle (the fixture owns it)
   f.nodes[0]->start_hook = [n0](Context& ctx) {
     for (int i = 0; i < 10; ++i) n0->cons.propose(ctx, value_of(i));
     // Second batch lands after node 2 recovers.
@@ -467,8 +503,8 @@ TEST(GroupConsensus, RecoveredLeaderRejoinsAsFollower) {
   SimConfig sim_cfg;
   sim_cfg.drop_probability = 0.05;
   Fixture f(sim_cfg, /*heartbeats=*/true);
-  std::shared_ptr<ConsensusNode> n0 = f.nodes[0];
-  std::shared_ptr<ConsensusNode> n1 = f.nodes[1];
+  ConsensusNode* n0 = f.nodes[0].get();
+  ConsensusNode* n1 = f.nodes[1].get();
   f.nodes[0]->start_hook = [n0](Context& ctx) {
     for (int i = 0; i < 5; ++i) n0->cons.propose(ctx, value_of(i));
   };

@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
 #include <set>
 #include <vector>
 
@@ -356,6 +357,110 @@ TEST_F(CoordinatorFixture, PruneNeverPassesSlowestWatermark) {
   announce_from(1, 400, 500);
   ctx.run_until(milliseconds(40));
   EXPECT_EQ(coord->prune_floor(), 25u);
+}
+
+TEST_F(CoordinatorFixture, AnnouncedSettledWaitsForWalDurability) {
+  storage::NodeStorage::Config scfg;
+  scfg.fsync.mode = storage::FsyncPolicy::Mode::kBatch;
+  scfg.fsync.batch_records = 1000;  // commit() alone never flushes here
+  storage::NodeStorage st(std::make_unique<storage::MemBackend>(), scfg);
+  ctx.set_storage(&st);
+
+  settled = 30;
+  frontier = 30;
+  coord->on_start(ctx);
+  ctx.run_until(milliseconds(15));  // first announce tick
+  auto anns = sent_to<WatermarkAnnounce>(1);
+  ASSERT_FALSE(anns.empty());
+  // The kSettled record is logged but not flushed: announcing 30 now would
+  // let peers prune to a value a crash here could still lose, wedging this
+  // node below the group prune floor on recovery.
+  EXPECT_EQ(anns.back().settled, 0u);
+  EXPECT_EQ(anns.back().frontier, 30u);
+  EXPECT_EQ(coord->durable_settled(), 0u);
+
+  // Peers are fully settled; our own non-durable watermark must gate the
+  // prune floor all the same.
+  announce_from(1, 30, 30);
+  announce_from(2, 30, 30);
+  EXPECT_EQ(coord->prune_floor(), 0u);
+
+  st.flush();  // the batch interval timer fires in the real runtime
+  EXPECT_EQ(coord->durable_settled(), 30u);
+  ctx.run_until(milliseconds(25));  // next tick ships the latched value
+  anns = sent_to<WatermarkAnnounce>(1);
+  EXPECT_EQ(anns.back().settled, 30u);
+  EXPECT_EQ(coord->prune_floor(), 30u);
+  EXPECT_EQ(pruned_to, 30u);
+}
+
+TEST_F(CoordinatorFixture, AnnouncedSettledImmediateUnderFsyncAlways) {
+  storage::NodeStorage::Config scfg;  // default policy: always
+  storage::NodeStorage st(std::make_unique<storage::MemBackend>(), scfg);
+  ctx.set_storage(&st);
+
+  settled = 12;
+  frontier = 12;
+  coord->on_start(ctx);
+  ctx.run_until(milliseconds(15));
+  const auto anns = sent_to<WatermarkAnnounce>(1);
+  ASSERT_FALSE(anns.empty());
+  // log_settled's commit() flushes before the announce is built, so the
+  // durability gate degenerates to the ungated behavior.
+  EXPECT_EQ(anns.back().settled, 12u);
+  EXPECT_EQ(coord->durable_settled(), 12u);
+}
+
+TEST_F(CoordinatorFixture, RecoveryRelogsSettledTheCrashDropped) {
+  storage::NodeStorage::Config scfg;
+  scfg.fsync.mode = storage::FsyncPolicy::Mode::kBatch;
+  scfg.fsync.batch_records = 1000;
+  storage::NodeStorage st(std::make_unique<storage::MemBackend>(), scfg);
+  ctx.set_storage(&st);
+
+  settled = 30;
+  frontier = 30;
+  coord->on_start(ctx);
+  ctx.run_until(milliseconds(15));  // logs settled=30, never flushed
+  st.drop_pending();  // crash analogue: the gated latch closure never runs
+  coord->on_recover(ctx);
+  EXPECT_EQ(coord->durable_settled(), 0u);
+
+  // The recovered incarnation re-logs the settled record instead of
+  // assuming the dead one's unflushed append survived.
+  ctx.run_until(milliseconds(40));
+  st.flush();
+  EXPECT_EQ(coord->durable_settled(), 30u);
+
+  // A WAL-recovered settled frontier is durable by definition and seeds
+  // the latch directly.
+  coord->restore_durable_settled(50);
+  EXPECT_EQ(coord->durable_settled(), 50u);
+}
+
+TEST(RepairCoordinatorNonMember, KeepsNoDecidedLogAndServesNothing) {
+  RepairCoordinator::Config cfg;
+  cfg.group = 1;
+  cfg.self = 3;  // pure learner, not an acceptor
+  cfg.members = {0, 1, 2};
+  cfg.learners = {0, 1, 2, 3};
+  cfg.options.enable = true;
+  RepairCoordinator::Hooks hooks;
+  hooks.settled = [] { return repair::Settled{}; };
+  hooks.frontier = [] { return InstanceId{50}; };
+  hooks.install = [](Context&, InstanceId, const std::vector<std::byte>&) {
+    return true;
+  };
+  RepairCoordinator coord(cfg, std::move(hooks));
+
+  // Only members serve transfers, so retaining decided values on a pure
+  // learner would just duplicate the whole history for nothing.
+  for (InstanceId i = 0; i < 50; ++i) coord.note_decided(i, bytes_of("d"));
+  EXPECT_EQ(coord.decided_log_size(), 0u);
+
+  FakeContext ctx;
+  coord.handle(ctx, 1, Message{RepairRequest{1, 0}});
+  EXPECT_TRUE(ctx.sent.empty());
 }
 
 TEST_F(CoordinatorFixture, StalledTransferTimesOutTowardAnotherPeer) {
