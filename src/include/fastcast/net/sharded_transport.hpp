@@ -1,0 +1,125 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "fastcast/net/spsc_ring.hpp"
+#include "fastcast/net/tcp_transport.hpp"
+
+/// \file sharded_transport.hpp
+/// Thread-per-core transport runtime: N shards, each owning a disjoint set
+/// of peer connections (shard = peer % N), its own TcpTransport (and thus
+/// its own event backend, FrameParser arenas and buffer pool), and a
+/// thread pinned to one CPU. The protocol thread talks to shards only
+/// through SPSC rings:
+///
+///   protocol ── tx ring ──▶ shard   (send(to, msg); eventfd wake)
+///   protocol ◀── rx ring ── shard   (poll_deliveries drains)
+///
+/// Inbound connections all arrive at shard 0's listen socket; once the
+/// hello frame names the peer, the fd is handed to the owning shard over
+/// an adopt ring (TcpTransport::set_hello_router +
+/// TcpTransport::adopt_inbound), so steady-state traffic never crosses
+/// shard boundaries.
+///
+/// Threading contract: one protocol thread calls send()/poll_deliveries()
+/// (the rings are single-producer/single-consumer by construction). Ring
+/// overflow applies backpressure (the pushing side yields until space),
+/// never drops.
+
+namespace fastcast::net {
+
+struct ShardedOptions {
+  int shards = 1;
+  /// Event engine per shard; kAuto picks io_uring when the kernel has it.
+  BackendKind backend = BackendKind::kAuto;
+  /// Pin shard i to CPU (i mod allowed-set). Best-effort.
+  bool pin_threads = true;
+  /// Per-ring entry capacity (rounded up to a power of two).
+  std::size_t ring_capacity = 1 << 14;
+  /// Shard poll timeout: bounds wake-miss latency (see sleeping flag).
+  int poll_timeout_ms = 1;
+};
+
+class ShardedTransport {
+ public:
+  using ReceiveFn = TcpTransport::ReceiveFn;
+
+  ShardedTransport(NodeId self, AddressBook addresses,
+                   ShardedOptions options = {});
+  ~ShardedTransport();
+
+  ShardedTransport(const ShardedTransport&) = delete;
+  ShardedTransport& operator=(const ShardedTransport&) = delete;
+
+  /// Binds shard 0's listener, then spawns one pinned thread per shard.
+  void start();
+
+  /// Stops and joins every shard thread; shard transports close on their
+  /// own threads.
+  void stop();
+
+  /// Queues msg for the shard owning `to` (backpressures when the ring is
+  /// full). Protocol-thread only.
+  void send(NodeId to, const Message& msg);
+
+  /// Drains every shard's delivery ring, invoking fn per message on the
+  /// calling (protocol) thread. Returns messages delivered.
+  std::size_t poll_deliveries(const ReceiveFn& fn);
+
+  int shard_count() const { return static_cast<int>(shards_.size()); }
+  int shard_of(NodeId peer) const {
+    return static_cast<int>(peer % shards_.size());
+  }
+
+  /// Resolved event engine (all shards share one kind).
+  const char* backend_name() const;
+
+  /// Total frames received across shards (atomic; readable any time).
+  std::uint64_t frames_received() const;
+
+ private:
+  struct TxItem {
+    NodeId to = kInvalidNode;
+    Message msg;
+  };
+  struct RxItem {
+    NodeId from = kInvalidNode;
+    Message msg;
+  };
+  struct Adopted {
+    int fd = -1;
+    NodeId peer = kInvalidNode;
+  };
+
+  struct Shard {
+    explicit Shard(std::size_t ring_capacity)
+        : tx(ring_capacity), rx(ring_capacity), adopt(64) {}
+
+    std::unique_ptr<TcpTransport> transport;
+    SpscRing<TxItem> tx;      ///< protocol → shard
+    SpscRing<RxItem> rx;      ///< shard → protocol
+    SpscRing<Adopted> adopt;  ///< shard 0 (acceptor) → shard
+    int wake_fd = -1;         ///< eventfd; poked when a ring gains work
+    /// True while the shard is (about to be) blocked in poll; producers
+    /// skip the eventfd syscall when the shard is provably awake.
+    std::atomic<bool> sleeping{false};
+    std::atomic<std::uint64_t> received{0};
+    std::thread thread;
+  };
+
+  void run_shard(int index);
+  void wake(Shard& shard);
+  void drain_control(Shard& shard);  ///< adopt + tx rings, on shard thread
+
+  NodeId self_;
+  AddressBook addresses_;
+  ShardedOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<bool> running_{false};
+};
+
+}  // namespace fastcast::net

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+/// \file spsc_ring.hpp
+/// Bounded single-producer/single-consumer ring used for cross-shard
+/// handoff in the sharded transport: exactly one thread pushes and exactly
+/// one thread pops, so the only synchronization needed is an
+/// acquire/release pair on the head and tail indices — no locks, no CAS.
+///
+/// Cache behaviour: head_ and tail_ live on separate cache lines so the
+/// producer's stores never invalidate the consumer's hot line (false
+/// sharing is the classic SPSC throughput killer). Each side additionally
+/// caches the opposite index and refreshes it only when the ring *looks*
+/// full/empty, so the steady-state fast path touches one shared line, not
+/// two.
+
+namespace fastcast::net {
+
+template <typename T>
+class SpscRing {
+ public:
+  /// Capacity is rounded up to a power of two (masking beats modulo).
+  explicit SpscRing(std::size_t capacity) {
+    std::size_t cap = 1;
+    while (cap < capacity) cap <<= 1;
+    mask_ = cap - 1;
+    slots_.resize(cap);
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer side. Returns false when full (caller decides: retry, shed,
+  /// or backpressure).
+  bool push(T&& value) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - cached_head_ > mask_) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail - cached_head_ > mask_) return false;
+    }
+    slots_[tail & mask_] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns false when empty.
+  bool pop(T& out) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == cached_tail_) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head == cached_tail_) return false;
+    }
+    out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer-side emptiness probe (racy for the producer, exact for the
+  /// consumer — same contract as pop returning false).
+  bool empty() const {
+    return head_.load(std::memory_order_relaxed) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+
+  alignas(64) std::atomic<std::size_t> head_{0};  ///< next pop index
+  alignas(64) std::size_t cached_tail_ = 0;       ///< consumer's view of tail_
+  alignas(64) std::atomic<std::size_t> tail_{0};  ///< next push index
+  alignas(64) std::size_t cached_head_ = 0;       ///< producer's view of head_
+};
+
+}  // namespace fastcast::net

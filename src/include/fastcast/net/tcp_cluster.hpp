@@ -34,6 +34,9 @@ class TcpCluster {
     Membership membership;
     std::uint16_t base_port = 17400;
     int poll_interval_ms = 2;
+    /// Event engine for every node's transport (kAuto = io_uring when the
+    /// kernel supports it, else poll).
+    BackendKind backend = BackendKind::kPoll;
     /// Optional run-wide metrics/tracing bundle shared by all node threads
     /// (instruments are thread-safe). Must outlive the cluster.
     obs::Observability* observability = nullptr;

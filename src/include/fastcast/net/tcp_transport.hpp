@@ -4,15 +4,15 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "fastcast/common/codec.hpp"
 #include "fastcast/common/rng.hpp"
 #include "fastcast/net/frame.hpp"
+#include "fastcast/net/transport_backend.hpp"
 #include "fastcast/runtime/ids.hpp"
-
-struct pollfd;  // <poll.h>
 
 namespace fastcast::obs {
 class Observability;
@@ -31,10 +31,14 @@ class Counter;
 ///     pooled buffers; flush() drains a whole queue with one gather-write
 ///     syscall (sendmsg with an iovec per frame — writev-style coalescing
 ///     plus MSG_NOSIGNAL), so N frames cost one syscall, not N.
-///   * poll_once() reuses a cached pollfd array that is rebuilt only when
-///     the connection set changes (accept/drop), not on every call.
+///   * The event engine is pluggable (TransportOptions::backend): the
+///     poll(2) backend keeps its cached pollfd array, rebuilt only when
+///     the connection set changes (accept/drop); the io_uring backend
+///     batches every armed receive and readiness re-arm into one
+///     io_uring_enter per wait cycle.
 ///   * Inbound reads land directly in each peer's FrameParser arena
-///     (recv_buffer/commit) — no intermediate stack buffer copy.
+///     (recv_buffer/commit, armed through the backend) — no intermediate
+///     stack buffer copy.
 /// Writes still block on localhost-scale deployments.
 ///
 /// Failure handling: frames for an unreachable peer stay queued, and the
@@ -69,11 +73,20 @@ struct RetryPolicy {
   int max_attempts = 0;
 };
 
+/// Construction-time knobs orthogonal to retry behaviour.
+struct TransportOptions {
+  /// Event-engine selection; kAuto resolves to io_uring when the kernel
+  /// supports it and falls back to poll(2) otherwise. kPoll is the default
+  /// so existing single-threaded deployments are bit-for-bit unchanged.
+  BackendKind backend = BackendKind::kPoll;
+};
+
 class TcpTransport {
  public:
   using ReceiveFn = std::function<void(NodeId from, const Message& msg)>;
 
-  TcpTransport(NodeId self, AddressBook addresses);
+  TcpTransport(NodeId self, AddressBook addresses,
+               TransportOptions options = {});
   ~TcpTransport();
 
   TcpTransport(const TcpTransport&) = delete;
@@ -113,6 +126,30 @@ class TcpTransport {
 
   NodeId self() const { return self_; }
 
+  /// The event engine actually in use ("poll" or "uring") — kAuto and
+  /// unsupported-kernel fallback both resolve at construction.
+  const char* backend_name() const;
+
+  /// Adopts an already-accepted, hello-complete inbound connection (the
+  /// sharded runtime's acceptor hands fds to the owning shard this way).
+  /// The transport takes ownership of fd and attributes its frames to
+  /// `peer`.
+  void adopt_inbound(int fd, NodeId peer);
+
+  /// Registers an auxiliary fd (eventfd, listen socket owned by a router):
+  /// `cb` runs from poll_once whenever it turns readable. The caller keeps
+  /// ownership of the fd and must unwatch before closing it.
+  void watch_fd(int fd, std::function<void()> cb);
+  void unwatch_fd(int fd);
+
+  /// Consulted once per inbound connection, right after its hello frame
+  /// identifies the peer. Returning true transfers ownership of fd to the
+  /// router (the transport forgets it without closing); returning false
+  /// keeps the connection here. The sharded runtime uses this to move
+  /// accepted connections to the shard that owns the peer.
+  using HelloRouter = std::function<bool(int fd, NodeId peer)>;
+  void set_hello_router(HelloRouter fn) { hello_router_ = std::move(fn); }
+
   /// Degradation counters (also exported through set_observability).
   struct Stats {
     std::uint64_t reconnects = 0;        ///< successful connects after a loss
@@ -138,6 +175,11 @@ class TcpTransport {
   struct Outbound {
     int fd = -1;
     bool connected = false;
+    /// True once this peer has ever been connected. With attempts, gates
+    /// the reconnects counter per peer: a clean first-try connect is never
+    /// a reconnect (it used to count as one whenever any *other* peer had
+    /// disconnected before).
+    bool ever_connected = false;
     std::deque<std::vector<std::byte>> frames;
     std::size_t head_offset = 0;
     std::size_t queued_bytes = 0;
@@ -151,17 +193,22 @@ class TcpTransport {
   std::chrono::milliseconds backoff_for(int attempts);
   void shed_queue(Outbound& ob);              ///< discard + count all frames
   void drop(int fd);
-  std::size_t handle_readable(Peer& peer);
+  void accept_one();
+  void handle_hello(Peer& peer);
+  std::size_t handle_recv(Peer& peer, ssize_t n);
+  void arm_peer_recv(Peer& peer);
   bool write_pending(Outbound& ob);           ///< false = connection died
   void advance_written(Outbound& ob, std::size_t n);
-  void rebuild_pollfds();
 
   NodeId self_;
   AddressBook addresses_;
   RetryPolicy retry_;
+  std::unique_ptr<TransportBackend> backend_;
   int listen_fd_ = -1;
   std::map<NodeId, Outbound> outbound_;  // node → connection + queue
   std::map<int, Peer> inbound_;          // fd → peer state
+  std::map<int, std::function<void()>> watched_;  // aux fds (watch_fd)
+  HelloRouter hello_router_;
   ReceiveFn receive_;
   BufferPool pool_;  ///< recycles frame buffers across sends
   Rng rng_;          ///< backoff jitter
@@ -171,8 +218,7 @@ class TcpTransport {
   obs::Counter* c_disconnects_ = nullptr;
   obs::Counter* c_tx_dropped_ = nullptr;
 
-  std::vector<struct pollfd> pollfds_;  ///< cached; [0] is the listen fd
-  bool pollfds_dirty_ = true;
+  std::vector<TransportBackend::Event> events_;  ///< reused per poll_once
 };
 
 }  // namespace fastcast::net

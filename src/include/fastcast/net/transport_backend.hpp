@@ -1,0 +1,116 @@
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+struct iovec;  // <sys/uio.h>
+
+/// \file transport_backend.hpp
+/// The event-engine seam of the TCP runtime. A TransportBackend owns the
+/// "wait for I/O, hand me bytes" half of a transport: readiness watches for
+/// control fds (listen sockets, eventfds, half-shaken connections), armed
+/// single-shot receives that land directly in a caller-owned buffer (the
+/// FrameParser arena — zero intermediate copies), and synchronous gather
+/// writes. Everything above it — framing, per-peer queues, reconnect
+/// backoff, shedding — is backend-agnostic and lives in TcpTransport.
+///
+/// Two implementations ship today:
+///   * poll(2)   — the portable baseline. One poll per wait; armed receives
+///                 are satisfied with one recv(2) per readable fd. Keeps the
+///                 cached-pollfd-array optimization: the array is rebuilt
+///                 only when the fd set changes, not per wait.
+///   * io_uring  — completion-based. Receives and readiness watches are
+///                 submitted as SQEs; one io_uring_enter(2) per wait both
+///                 flushes the submission queue and reaps every completion,
+///                 so a wait cycle costs one syscall regardless of how many
+///                 connections had traffic. Implemented against the raw
+///                 kernel ABI (no liburing dependency); built when the
+///                 kernel headers are present (FASTCAST_URING) and selected
+///                 at runtime only if io_uring_setup(2) actually works —
+///                 kAuto degrades to poll on kernels/sandboxes without it.
+///
+/// The same interface boundary is what a future RDMA/DPDK-style backend
+/// would implement.
+///
+/// Threading: a backend instance belongs to exactly one thread, like the
+/// transport that owns it.
+
+namespace fastcast::net {
+
+/// Runtime-selectable backend. kAuto resolves to kUring when the kernel
+/// supports it (see uring_available), else kPoll.
+enum class BackendKind { kPoll, kUring, kAuto };
+
+const char* to_string(BackendKind kind);
+
+/// Parses "poll" / "uring" / "auto" (CLI flag values).
+std::optional<BackendKind> parse_backend_kind(std::string_view name);
+
+/// True when this build carries the io_uring backend and the running kernel
+/// accepts io_uring_setup(2) with the features it needs (EXT_ARG wait
+/// timeouts). Probed once, then cached.
+bool uring_available();
+
+class TransportBackend {
+ public:
+  struct Event {
+    enum class Kind : std::uint8_t {
+      kReadable,  ///< a watched fd is readable (no buffer was armed)
+      kRecv,      ///< an armed receive finished; n has recv(2) semantics
+    };
+    Kind kind;
+    int fd;
+    ssize_t n;  ///< kRecv: >0 bytes received, 0 EOF, <0 error. kReadable: 0.
+  };
+
+  virtual ~TransportBackend() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Registers persistent read-readiness interest in fd (listen sockets,
+  /// eventfds, connections still in their hello handshake). Events surface
+  /// as kReadable; the caller does its own read.
+  virtual void watch_readable(int fd) = 0;
+
+  /// Arms a single-shot receive into [buf, buf+len). At most one receive is
+  /// outstanding per fd; re-arming while armed is a no-op (the io_uring SQE
+  /// is already in flight). Arming supersedes any readiness watch on fd
+  /// (the hello-phase watch ends when the data phase arms its first
+  /// receive). The buffer must stay valid and untouched until the fd's
+  /// kRecv event is delivered or remove(fd) is called.
+  virtual void arm_recv(int fd, std::byte* buf, std::size_t len) = 0;
+
+  /// Drops all interest in fd: readiness watch and any armed receive. Must
+  /// be called before closing an fd so a recycled fd number cannot inherit
+  /// stale completions.
+  virtual void remove(int fd) = 0;
+
+  /// Synchronous gather write: sendmsg(2) over iov with MSG_NOSIGNAL.
+  /// Returns bytes written or -1 with errno set (EINTR included).
+  virtual ssize_t send_gather(int fd, const struct iovec* iov, int iovcnt) = 0;
+
+  /// Waits up to timeout_ms (0 = non-blocking probe) and appends every
+  /// ready event to out. Returns the number of events appended.
+  virtual std::size_t wait(int timeout_ms, std::vector<Event>& out) = 0;
+};
+
+/// Creates a poll(2) backend.
+std::unique_ptr<TransportBackend> make_poll_backend();
+
+/// Creates an io_uring backend; null when unsupported (build or kernel).
+std::unique_ptr<TransportBackend> make_uring_backend();
+
+/// Resolves kAuto per uring_available(); kUring on an unsupported host also
+/// falls back to kPoll (callers that need hard failure check
+/// uring_available() themselves).
+BackendKind resolve_backend(BackendKind kind);
+
+/// Factory: resolves `kind`, then builds the backend.
+std::unique_ptr<TransportBackend> make_backend(BackendKind kind);
+
+}  // namespace fastcast::net

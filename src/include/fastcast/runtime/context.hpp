@@ -47,6 +47,15 @@ class Context {
   /// handlers cannot re-enter).
   virtual void send(NodeId to, const Message& msg) = 0;
 
+  /// Move-in overload for temporaries — `ctx.send(to, Message{frame})` is
+  /// the dominant idiom on the protocol hot paths, and a Message carries
+  /// several vectors/strings, so contexts that buffer (the simulator) take
+  /// ownership instead of deep-copying. Default forwards to the copying
+  /// send for contexts that serialize immediately.
+  virtual void send(NodeId to, Message&& msg) {
+    send(to, static_cast<const Message&>(msg));
+  }
+
   /// Schedules `cb` to run after `delay`. Returns an id for cancel_timer.
   virtual TimerId set_timer(Duration delay, std::function<void()> cb) = 0;
   virtual void cancel_timer(TimerId id) = 0;

@@ -1,0 +1,414 @@
+#include "fastcast/net/transport_backend.hpp"
+
+/// io_uring TransportBackend, written against the raw kernel ABI
+/// (<linux/io_uring.h> + syscall(2)) so the build needs no liburing. The
+/// whole file degrades to a two-line stub when the kernel headers are
+/// absent (FASTCAST_HAS_URING off): uring_available() is false and the
+/// factory returns null, so every caller falls back to the poll backend.
+///
+/// Mechanics (mirrors what liburing does under the hood):
+///   * io_uring_setup(2) creates the ring; the SQ/CQ rings and the SQE
+///     array are mmap(2)ed into this process. IORING_FEAT_SINGLE_MMAP
+///     (5.4+) lets both rings share one mapping.
+///   * Receives are IORING_OP_RECV SQEs pointing straight at the caller's
+///     buffer (the FrameParser arena); readiness watches are one-shot
+///     IORING_OP_POLL_ADD SQEs re-armed lazily at the next wait.
+///   * wait() is one io_uring_enter(2): it flushes every queued SQE and
+///     reaps every available CQE in the same syscall. Timed waits use
+///     IORING_ENTER_EXT_ARG (IORING_FEAT_EXT_ARG, 5.11+ — part of the
+///     availability probe) so no timeout SQEs are needed.
+///   * remove(fd) submits IORING_OP_ASYNC_CANCEL for the fd's in-flight
+///     ops (pending ops hold a file reference, so closing the fd alone
+///     would strand them) and bumps a per-registration generation baked
+///     into every user_data; stale completions for a recycled fd number
+///     fail the generation check and are dropped.
+
+#if defined(FASTCAST_HAS_URING)
+
+#include <linux/io_uring.h>
+#include <poll.h>
+#include <sys/mman.h>
+#include <sys/socket.h>
+#include <sys/syscall.h>
+#include <sys/uio.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <unordered_map>
+
+namespace fastcast::net {
+
+namespace {
+
+int sys_io_uring_setup(unsigned entries, io_uring_params* p) {
+  return static_cast<int>(::syscall(__NR_io_uring_setup, entries, p));
+}
+
+int sys_io_uring_enter(int fd, unsigned to_submit, unsigned min_complete,
+                       unsigned flags, const void* arg, std::size_t argsz) {
+  return static_cast<int>(::syscall(__NR_io_uring_enter, fd, to_submit,
+                                    min_complete, flags, arg, argsz));
+}
+
+constexpr unsigned kRingEntries = 256;
+
+/// user_data layout: [ gen:32 | kind:2 | fd:30 ]. fd numbers are small
+/// non-negative ints; 30 bits is far beyond any fd table here.
+enum class OpKind : std::uint64_t { kWatch = 1, kRecv = 2, kCancel = 3 };
+
+std::uint64_t make_tag(int fd, OpKind kind, std::uint32_t gen) {
+  return (static_cast<std::uint64_t>(gen) << 32) |
+         (static_cast<std::uint64_t>(kind) << 30) |
+         static_cast<std::uint64_t>(fd);
+}
+int tag_fd(std::uint64_t tag) { return static_cast<int>(tag & 0x3fffffffu); }
+OpKind tag_kind(std::uint64_t tag) {
+  return static_cast<OpKind>((tag >> 30) & 0x3u);
+}
+std::uint32_t tag_gen(std::uint64_t tag) {
+  return static_cast<std::uint32_t>(tag >> 32);
+}
+
+class UringBackend final : public TransportBackend {
+ public:
+  /// Two-phase init: construct, then init() — false means "fall back".
+  bool init() {
+    io_uring_params p{};
+    ring_fd_ = sys_io_uring_setup(kRingEntries, &p);
+    if (ring_fd_ < 0) return false;
+    if ((p.features & IORING_FEAT_EXT_ARG) == 0) {
+      ::close(ring_fd_);
+      ring_fd_ = -1;
+      return false;
+    }
+    single_mmap_ = (p.features & IORING_FEAT_SINGLE_MMAP) != 0;
+
+    sq_ring_bytes_ = p.sq_off.array + p.sq_entries * sizeof(std::uint32_t);
+    cq_ring_bytes_ = p.cq_off.cqes + p.cq_entries * sizeof(io_uring_cqe);
+    if (single_mmap_) {
+      sq_ring_bytes_ = cq_ring_bytes_ = std::max(sq_ring_bytes_, cq_ring_bytes_);
+    }
+    sq_ring_ = ::mmap(nullptr, sq_ring_bytes_, PROT_READ | PROT_WRITE,
+                      MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQ_RING);
+    if (sq_ring_ == MAP_FAILED) return fail();
+    cq_ring_ = single_mmap_
+                   ? sq_ring_
+                   : ::mmap(nullptr, cq_ring_bytes_, PROT_READ | PROT_WRITE,
+                            MAP_SHARED | MAP_POPULATE, ring_fd_,
+                            IORING_OFF_CQ_RING);
+    if (cq_ring_ == MAP_FAILED) return fail();
+    sqes_bytes_ = p.sq_entries * sizeof(io_uring_sqe);
+    sqes_ = static_cast<io_uring_sqe*>(
+        ::mmap(nullptr, sqes_bytes_, PROT_READ | PROT_WRITE,
+               MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQES));
+    if (sqes_ == MAP_FAILED) return fail();
+
+    auto* sq = static_cast<std::uint8_t*>(sq_ring_);
+    sq_head_ = reinterpret_cast<std::atomic<std::uint32_t>*>(sq + p.sq_off.head);
+    sq_tail_ = reinterpret_cast<std::atomic<std::uint32_t>*>(sq + p.sq_off.tail);
+    sq_mask_ = *reinterpret_cast<std::uint32_t*>(sq + p.sq_off.ring_mask);
+    sq_array_ = reinterpret_cast<std::uint32_t*>(sq + p.sq_off.array);
+    sq_entries_ = p.sq_entries;
+
+    auto* cq = static_cast<std::uint8_t*>(cq_ring_);
+    cq_head_ = reinterpret_cast<std::atomic<std::uint32_t>*>(cq + p.cq_off.head);
+    cq_tail_ = reinterpret_cast<std::atomic<std::uint32_t>*>(cq + p.cq_off.tail);
+    cq_mask_ = *reinterpret_cast<std::uint32_t*>(cq + p.cq_off.ring_mask);
+    cqes_ = reinterpret_cast<io_uring_cqe*>(cq + p.cq_off.cqes);
+    return true;
+  }
+
+  ~UringBackend() override {
+    drain_inflight();
+    if (sqes_ != nullptr && sqes_ != MAP_FAILED) ::munmap(sqes_, sqes_bytes_);
+    if (!single_mmap_ && cq_ring_ != nullptr && cq_ring_ != MAP_FAILED) {
+      ::munmap(cq_ring_, cq_ring_bytes_);
+    }
+    if (sq_ring_ != nullptr && sq_ring_ != MAP_FAILED) {
+      ::munmap(sq_ring_, sq_ring_bytes_);
+    }
+    if (ring_fd_ >= 0) ::close(ring_fd_);
+  }
+
+  const char* name() const override { return "uring"; }
+
+  void watch_readable(int fd) override {
+    Entry& e = entry_for(fd);
+    e.watched = true;
+    // The POLL_ADD SQE is pushed lazily at the top of the next wait() so a
+    // watch+remove pair between waits costs no submissions.
+  }
+
+  void arm_recv(int fd, std::byte* buf, std::size_t len) override {
+    Entry& e = entry_for(fd);
+    if (e.watched) {
+      // Arming supersedes the readiness watch (hello → data transition).
+      e.watched = false;
+      if (e.watch_inflight) push_cancel(make_tag(fd, OpKind::kWatch, e.gen));
+    }
+    if (e.recv_inflight) return;
+    io_uring_sqe* sqe = get_sqe();
+    std::memset(sqe, 0, sizeof(*sqe));
+    sqe->opcode = IORING_OP_RECV;
+    sqe->fd = fd;
+    sqe->addr = reinterpret_cast<std::uint64_t>(buf);
+    sqe->len = static_cast<std::uint32_t>(len);
+    sqe->user_data = make_tag(fd, OpKind::kRecv, e.gen);
+    e.recv_inflight = true;
+  }
+
+  void remove(int fd) override {
+    const auto it = entries_.find(fd);
+    if (it == entries_.end()) return;
+    Entry& e = it->second;
+    // Pending ops pin the file; cancel them explicitly. Their -ECANCELED
+    // completions (and the cancel ops' own) are dropped by the gen check.
+    if (e.recv_inflight) push_cancel(make_tag(fd, OpKind::kRecv, e.gen));
+    if (e.watch_inflight) push_cancel(make_tag(fd, OpKind::kWatch, e.gen));
+    entries_.erase(it);
+  }
+
+  ssize_t send_gather(int fd, const struct iovec* iov, int iovcnt) override {
+    msghdr mh{};
+    mh.msg_iov = const_cast<struct iovec*>(iov);
+    mh.msg_iovlen = static_cast<std::size_t>(iovcnt);
+    return ::sendmsg(fd, &mh, MSG_NOSIGNAL);
+  }
+
+  std::size_t wait(int timeout_ms, std::vector<Event>& out) override {
+    // Re-arm readiness watches whose one-shot poll fired (or were just
+    // registered). Done here so each wait cycle batches every re-arm plus
+    // every armed receive into the single enter below.
+    for (auto& [fd, e] : entries_) {
+      if (e.watched && !e.watch_inflight) {
+        io_uring_sqe* sqe = get_sqe();
+        std::memset(sqe, 0, sizeof(*sqe));
+        sqe->opcode = IORING_OP_POLL_ADD;
+        sqe->fd = fd;
+        sqe->poll32_events = POLLIN;
+        sqe->user_data = make_tag(fd, OpKind::kWatch, e.gen);
+        e.watch_inflight = true;
+      }
+    }
+
+    std::size_t emitted = drain_cq(out);
+    submit_pending();
+    if (emitted > 0 || timeout_ms == 0) {
+      // Events already pending (or a pure probe): no sleeping, just take
+      // whatever else the submit flushed out.
+      return emitted + drain_cq(out);
+    }
+
+    wait_for_cqe(timeout_ms);
+    return emitted + drain_cq(out);
+  }
+
+ private:
+  struct Entry {
+    std::uint32_t gen = 0;
+    bool watched = false;
+    bool watch_inflight = false;
+    bool recv_inflight = false;
+  };
+
+  bool fail() {
+    // init() failure path; the destructor unmaps whatever succeeded.
+    return false;
+  }
+
+  /// Synchronously cancels and reaps every in-flight op before the ring
+  /// goes away. Without this, close(ring_fd_) tears the ring down on a
+  /// deferred kernel worker while pending POLL_ADD/RECV ops still pin
+  /// their files — so a listen socket can outlive the process for a few
+  /// milliseconds and the next bind() of the same port sees EADDRINUSE
+  /// (SO_REUSEADDR cannot override a socket that is still in LISTEN).
+  /// Caught by back-to-back tcp_cluster runs; pinned by the
+  /// RebindAfterDestroy conformance test.
+  void drain_inflight() {
+    if (ring_fd_ < 0) return;
+    for (auto& [fd, e] : entries_) {
+      if (e.recv_inflight) push_cancel(make_tag(fd, OpKind::kRecv, e.gen));
+      if (e.watch_inflight) push_cancel(make_tag(fd, OpKind::kWatch, e.gen));
+    }
+    std::vector<Event> discard;
+    // Every SQE yields exactly one CQE (no multishot ops here), so
+    // inflight_ hitting zero means nothing pins a file any more. Bounded:
+    // cancellations complete in microseconds; the cap only guards against
+    // a wedged kernel so the destructor cannot hang.
+    int spins = 0;
+    for (int spin = 0; inflight_ > 0 && spin < 100; ++spin) {
+      submit_pending();
+      drain_cq(discard);
+      if (inflight_ == 0) break;
+      wait_for_cqe(/*timeout_ms=*/10);
+      ++spins;
+    }
+    if (const char* dbg = ::getenv("FASTCAST_URING_DEBUG"); dbg != nullptr) {
+      ::fprintf(stderr, "[uring drain] inflight=%u unsubmitted=%u spins=%d\n",
+                inflight_, unsubmitted_, spins);
+    }
+  }
+
+  Entry& entry_for(int fd) {
+    const auto it = entries_.find(fd);
+    if (it != entries_.end()) return it->second;
+    Entry e;
+    e.gen = next_gen_++;
+    return entries_.emplace(fd, e).first->second;
+  }
+
+  io_uring_sqe* get_sqe() {
+    std::uint32_t tail = sq_tail_->load(std::memory_order_relaxed);
+    while (tail - sq_head_->load(std::memory_order_acquire) >= sq_entries_) {
+      // SQ full: flush what we have so the kernel drains the ring.
+      submit_pending();
+    }
+    const std::uint32_t idx = tail & sq_mask_;
+    sq_array_[idx] = idx;
+    io_uring_sqe* sqe = &sqes_[idx];
+    sq_tail_->store(tail + 1, std::memory_order_release);
+    ++unsubmitted_;
+    ++inflight_;  // every SQE produces exactly one CQE (reaped in drain_cq)
+    return sqe;
+  }
+
+  void push_cancel(std::uint64_t target_tag) {
+    io_uring_sqe* sqe = get_sqe();
+    std::memset(sqe, 0, sizeof(*sqe));
+    sqe->opcode = IORING_OP_ASYNC_CANCEL;
+    sqe->fd = -1;
+    sqe->addr = target_tag;
+    sqe->user_data = make_tag(0, OpKind::kCancel, 0);
+  }
+
+  /// Flushes every queued SQE to the kernel (no waiting). Kept separate
+  /// from the timed wait because io_uring_enter's -ETIME return is
+  /// ambiguous about whether the submissions it carried were consumed.
+  void submit_pending() {
+    while (unsubmitted_ > 0) {
+      const int n =
+          sys_io_uring_enter(ring_fd_, unsubmitted_, 0, 0, nullptr, 0);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        // EBUSY/EAGAIN: CQ backpressure — the caller drains completions
+        // and the SQEs stay queued for the next flush.
+        return;
+      }
+      unsubmitted_ -= std::min<unsigned>(unsubmitted_, static_cast<unsigned>(n));
+    }
+  }
+
+  /// Sleeps for up to timeout_ms or until one CQE is available (EXT_ARG).
+  void wait_for_cqe(int timeout_ms) {
+    io_uring_getevents_arg ext{};
+    __kernel_timespec ts{};
+    ts.tv_sec = timeout_ms / 1000;
+    ts.tv_nsec = static_cast<long long>(timeout_ms % 1000) * 1'000'000;
+    ext.ts = reinterpret_cast<std::uint64_t>(&ts);
+    for (;;) {
+      const int n = sys_io_uring_enter(
+          ring_fd_, 0, 1, IORING_ENTER_GETEVENTS | IORING_ENTER_EXT_ARG, &ext,
+          sizeof(ext));
+      if (n < 0 && errno == EINTR) continue;
+      return;  // success, -ETIME, or an error the caller can't act on
+    }
+  }
+
+  std::size_t drain_cq(std::vector<Event>& out) {
+    std::size_t emitted = 0;
+    std::uint32_t head = cq_head_->load(std::memory_order_relaxed);
+    const std::uint32_t tail = cq_tail_->load(std::memory_order_acquire);
+    while (head != tail) {
+      const io_uring_cqe& cqe = cqes_[head & cq_mask_];
+      ++head;
+      if (inflight_ > 0) --inflight_;
+      const std::uint64_t tag = cqe.user_data;
+      const OpKind kind = tag_kind(tag);
+      if (kind == OpKind::kCancel) continue;
+      const auto it = entries_.find(tag_fd(tag));
+      if (it == entries_.end() || it->second.gen != tag_gen(tag)) {
+        continue;  // stale: fd was removed (and possibly recycled)
+      }
+      Entry& e = it->second;
+      if (kind == OpKind::kRecv) {
+        e.recv_inflight = false;
+        if (cqe.res == -ECANCELED) continue;
+        out.push_back(Event{Event::Kind::kRecv, it->first,
+                            cqe.res >= 0 ? static_cast<ssize_t>(cqe.res)
+                                         : static_cast<ssize_t>(-1)});
+        ++emitted;
+      } else if (kind == OpKind::kWatch) {
+        e.watch_inflight = false;  // one-shot; re-armed next wait
+        if (cqe.res < 0) continue;
+        out.push_back(Event{Event::Kind::kReadable, it->first, 0});
+        ++emitted;
+      }
+    }
+    cq_head_->store(head, std::memory_order_release);
+    return emitted;
+  }
+
+  int ring_fd_ = -1;
+  bool single_mmap_ = false;
+  void* sq_ring_ = nullptr;
+  void* cq_ring_ = nullptr;
+  io_uring_sqe* sqes_ = nullptr;
+  std::size_t sq_ring_bytes_ = 0;
+  std::size_t cq_ring_bytes_ = 0;
+  std::size_t sqes_bytes_ = 0;
+
+  std::atomic<std::uint32_t>* sq_head_ = nullptr;
+  std::atomic<std::uint32_t>* sq_tail_ = nullptr;
+  std::uint32_t sq_mask_ = 0;
+  std::uint32_t* sq_array_ = nullptr;
+  std::uint32_t sq_entries_ = 0;
+  unsigned unsubmitted_ = 0;
+  unsigned inflight_ = 0;  // SQEs submitted or queued whose CQE is unreaped
+
+  std::atomic<std::uint32_t>* cq_head_ = nullptr;
+  std::atomic<std::uint32_t>* cq_tail_ = nullptr;
+  std::uint32_t cq_mask_ = 0;
+  io_uring_cqe* cqes_ = nullptr;
+
+  std::unordered_map<int, Entry> entries_;
+  std::uint32_t next_gen_ = 1;
+};
+
+}  // namespace
+
+bool uring_available() {
+  static const bool available = [] {
+    io_uring_params p{};
+    const int fd = sys_io_uring_setup(4, &p);
+    if (fd < 0) return false;  // ENOSYS / seccomp / disabled sysctl
+    ::close(fd);
+    return (p.features & IORING_FEAT_EXT_ARG) != 0;
+  }();
+  return available;
+}
+
+std::unique_ptr<TransportBackend> make_uring_backend() {
+  if (!uring_available()) return nullptr;
+  auto b = std::make_unique<UringBackend>();
+  if (!b->init()) return nullptr;
+  return b;
+}
+
+}  // namespace fastcast::net
+
+#else  // !FASTCAST_HAS_URING
+
+namespace fastcast::net {
+
+bool uring_available() { return false; }
+
+std::unique_ptr<TransportBackend> make_uring_backend() { return nullptr; }
+
+}  // namespace fastcast::net
+
+#endif

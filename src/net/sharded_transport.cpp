@@ -1,0 +1,166 @@
+#include "fastcast/net/sharded_transport.hpp"
+
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "fastcast/common/logging.hpp"
+#include "fastcast/net/cpu_affinity.hpp"
+
+namespace fastcast::net {
+
+ShardedTransport::ShardedTransport(NodeId self, AddressBook addresses,
+                                   ShardedOptions options)
+    : self_(self), addresses_(addresses), options_(options) {
+  if (options_.shards < 1) options_.shards = 1;
+  shards_.reserve(static_cast<std::size_t>(options_.shards));
+  for (int i = 0; i < options_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(options_.ring_capacity));
+  }
+}
+
+ShardedTransport::~ShardedTransport() { stop(); }
+
+const char* ShardedTransport::backend_name() const {
+  return shards_.front()->transport
+             ? shards_.front()->transport->backend_name()
+             : to_string(resolve_backend(options_.backend));
+}
+
+std::uint64_t ShardedTransport::frames_received() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->received.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void ShardedTransport::start() {
+  if (running_.exchange(true)) return;
+  TransportOptions topt;
+  topt.backend = options_.backend;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    Shard& shard = *shards_[i];
+    shard.wake_fd = ::eventfd(0, EFD_NONBLOCK);
+    if (shard.wake_fd < 0) throw std::runtime_error("eventfd() failed");
+    shard.transport =
+        std::make_unique<TcpTransport>(self_, addresses_, topt);
+    shard.transport->set_receive([&shard](NodeId from, const Message& msg) {
+      // Shard thread → protocol thread. Backpressure, never drop: the
+      // protocol side drains with poll_deliveries.
+      RxItem item{from, msg};
+      while (!shard.rx.push(std::move(item))) std::this_thread::yield();
+      shard.received.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  // Shard 0 is the acceptor: every inbound connection lands here, and its
+  // hello routes the fd onward to the owning shard.
+  shards_[0]->transport->listen();
+  shards_[0]->transport->set_hello_router([this](int fd, NodeId peer) {
+    const int target = shard_of(peer);
+    if (target == 0) return false;  // shard 0 keeps its own peers
+    Shard& dst = *shards_[static_cast<std::size_t>(target)];
+    Adopted handoff{fd, peer};
+    while (!dst.adopt.push(std::move(handoff))) std::this_thread::yield();
+    wake(dst);
+    return true;
+  });
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    shards_[i]->thread =
+        std::thread([this, i] { run_shard(static_cast<int>(i)); });
+  }
+}
+
+void ShardedTransport::stop() {
+  if (!running_.exchange(false)) return;
+  for (auto& shard : shards_) {
+    if (shard->thread.joinable()) {
+      wake(*shard);
+      shard->thread.join();
+    }
+  }
+  for (auto& shard : shards_) {
+    if (shard->wake_fd >= 0) {
+      ::close(shard->wake_fd);
+      shard->wake_fd = -1;
+    }
+    shard->transport.reset();
+  }
+}
+
+void ShardedTransport::wake(Shard& shard) {
+  // Skip the syscall when the shard is provably awake: it re-drains its
+  // rings after raising `sleeping`, so a push that observes
+  // sleeping == false is picked up without a wake, and one that observes
+  // true fires the eventfd. Worst case (flag flips mid-push) costs one
+  // poll timeout of latency, never a lost item.
+  if (!shard.sleeping.load(std::memory_order_acquire)) return;
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n =
+      ::write(shard.wake_fd, &one, sizeof one);
+}
+
+void ShardedTransport::send(NodeId to, const Message& msg) {
+  Shard& shard = *shards_[static_cast<std::size_t>(shard_of(to))];
+  TxItem item{to, msg};
+  while (!shard.tx.push(std::move(item))) std::this_thread::yield();
+  wake(shard);
+}
+
+std::size_t ShardedTransport::poll_deliveries(const ReceiveFn& fn) {
+  std::size_t delivered = 0;
+  RxItem item;
+  for (auto& shard : shards_) {
+    while (shard->rx.pop(item)) {
+      ++delivered;
+      fn(item.from, item.msg);
+    }
+  }
+  return delivered;
+}
+
+void ShardedTransport::drain_control(Shard& shard) {
+  Adopted handoff;
+  while (shard.adopt.pop(handoff)) {
+    shard.transport->adopt_inbound(handoff.fd, handoff.peer);
+  }
+  TxItem item;
+  while (shard.tx.pop(item)) {
+    shard.transport->send(item.to, item.msg);
+  }
+}
+
+void ShardedTransport::run_shard(int index) {
+  Shard& shard = *shards_[static_cast<std::size_t>(index)];
+  if (options_.pin_threads && !pin_current_thread(index)) {
+    FC_WARN("node %u: shard %d could not pin to a CPU (running unpinned)",
+            self_, index);
+  }
+  // The eventfd is level-ish: drain the counter whenever it fires so the
+  // next wake can register again.
+  shard.transport->watch_fd(shard.wake_fd, [&shard] {
+    std::uint64_t count = 0;
+    [[maybe_unused]] const ssize_t n =
+        ::read(shard.wake_fd, &count, sizeof count);
+  });
+
+  while (running_.load(std::memory_order_acquire)) {
+    drain_control(shard);
+    // Announce intent to sleep, then re-drain: a producer that pushed
+    // before seeing sleeping==true is caught here; one that pushed after
+    // will fire the eventfd and cut the poll short.
+    shard.sleeping.store(true, std::memory_order_release);
+    drain_control(shard);
+    shard.transport->poll_once(options_.poll_timeout_ms);
+    shard.sleeping.store(false, std::memory_order_release);
+  }
+
+  shard.transport->unwatch_fd(shard.wake_fd);
+  drain_control(shard);  // flush stragglers queued during shutdown
+  shard.transport->flush();
+  shard.transport->close_all();
+}
+
+}  // namespace fastcast::net

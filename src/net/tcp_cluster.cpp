@@ -23,7 +23,11 @@ class TcpCluster::NodeRuntime final : public Context {
  public:
   NodeRuntime(TcpCluster* cluster, NodeId self, const AddressBook& addresses,
               std::uint64_t seed)
-      : cluster_(cluster), self_(self), transport_(self, addresses), rng_(seed) {
+      : cluster_(cluster),
+        self_(self),
+        transport_(self, addresses,
+                   TransportOptions{cluster->config_.backend}),
+        rng_(seed) {
     transport_.set_receive([this](NodeId from, const Message& msg) {
       if (c_received_) c_received_->inc();
       process_->on_message(*this, from, msg);

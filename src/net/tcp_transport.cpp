@@ -3,15 +3,16 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
-#include <poll.h>
 #include <sys/socket.h>
 #include <sys/uio.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
+#include <thread>
 
 #include "fastcast/common/logging.hpp"
 #include "fastcast/obs/observability.hpp"
@@ -28,7 +29,7 @@ constexpr std::size_t kFlushThresholdBytes = 256 * 1024;
 /// UIO_MAXIOV is 1024; 64 already amortizes the syscall to noise.
 constexpr int kMaxIov = 64;
 
-/// recv() chunk reserved in the parser arena per readable event.
+/// recv chunk reserved in the parser arena per armed receive.
 constexpr std::size_t kReadChunkBytes = 64 * 1024;
 
 /// Writes the whole buffer, retrying on partial writes/EINTR.
@@ -52,8 +53,12 @@ void set_nodelay(int fd) {
 
 }  // namespace
 
-TcpTransport::TcpTransport(NodeId self, AddressBook addresses)
-    : self_(self), addresses_(addresses), rng_(0xbacc0ffULL + self) {}
+TcpTransport::TcpTransport(NodeId self, AddressBook addresses,
+                           TransportOptions options)
+    : self_(self),
+      addresses_(addresses),
+      backend_(make_backend(options.backend)),
+      rng_(0xbacc0ffULL + self) {}
 
 void TcpTransport::set_observability(obs::Observability* o) {
   c_reconnects_ = o ? &o->metrics.counter("net.reconnects") : nullptr;
@@ -63,6 +68,8 @@ void TcpTransport::set_observability(obs::Observability* o) {
 }
 
 TcpTransport::~TcpTransport() { close_all(); }
+
+const char* TcpTransport::backend_name() const { return backend_->name(); }
 
 void TcpTransport::listen() {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -74,12 +81,28 @@ void TcpTransport::listen() {
   addr.sin_family = AF_INET;
   addr.sin_port = htons(addresses_.port_of(self_));
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
-    throw std::runtime_error("bind() failed for node " + std::to_string(self_) +
-                             " port " + std::to_string(addresses_.port_of(self_)));
+  // Bind with a short bounded retry. SO_REUSEADDR covers TIME_WAIT, but a
+  // just-exited process can hold the port a few milliseconds longer than
+  // that: accepted sockets draining through LAST_ACK, and — with io_uring —
+  // the kernel's deferred ring-exit work, which drops the ring's last file
+  // references ~5ms after close(ring) and which userspace cannot flush
+  // synchronously. Retrying makes back-to-back restarts on a fixed port
+  // reliable (observed: repeated tcp_cluster runs on the uring backend).
+  const auto bind_deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(500);
+  while (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+         0) {
+    if (errno != EADDRINUSE ||
+        std::chrono::steady_clock::now() >= bind_deadline) {
+      throw std::runtime_error(
+          "bind() failed for node " + std::to_string(self_) + " port " +
+          std::to_string(addresses_.port_of(self_)) + ": " +
+          std::strerror(errno));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
   }
   if (::listen(listen_fd_, 64) != 0) throw std::runtime_error("listen() failed");
-  pollfds_dirty_ = true;
+  backend_->watch_readable(listen_fd_);
 }
 
 int TcpTransport::connect_to(NodeId to) {
@@ -138,10 +161,15 @@ bool TcpTransport::try_connect(NodeId to, Outbound& ob) {
   }
   ob.fd = fd;
   ob.connected = true;
-  if (ob.attempts > 0 || stats_.disconnects > 0) {
+  // A reconnect is a successful connect to *this* peer after it failed or
+  // dropped. The old condition also consulted the global disconnect count,
+  // so a clean first-try connect to peer B was miscounted as a reconnect
+  // whenever any other peer had ever disconnected.
+  if (ob.attempts > 0 || ob.ever_connected) {
     ++stats_.reconnects;
     if (c_reconnects_) c_reconnects_->inc();
   }
+  ob.ever_connected = true;
   ob.attempts = 0;
   return true;
 }
@@ -217,12 +245,9 @@ bool TcpTransport::write_pending(Outbound& ob) {
       ++iovcnt;
       offset = 0;
     }
-    // sendmsg == writev with MSG_NOSIGNAL (plain writev raises SIGPIPE on
-    // a dead peer): the whole queue leaves in one syscall per kMaxIov.
-    msghdr mh{};
-    mh.msg_iov = iov;
-    mh.msg_iovlen = static_cast<std::size_t>(iovcnt);
-    const ssize_t n = ::sendmsg(ob.fd, &mh, MSG_NOSIGNAL);
+    // One gather syscall per kMaxIov frames (sendmsg == writev with
+    // MSG_NOSIGNAL — plain writev raises SIGPIPE on a dead peer).
+    const ssize_t n = backend_->send_gather(ob.fd, iov, iovcnt);
     if (n < 0) {
       if (errno == EINTR) continue;
       return false;
@@ -249,32 +274,80 @@ void TcpTransport::advance_written(Outbound& ob, std::size_t n) {
 }
 
 void TcpTransport::drop(int fd) {
+  backend_->remove(fd);
   ::close(fd);
   inbound_.erase(fd);
-  pollfds_dirty_ = true;
 }
 
-std::size_t TcpTransport::handle_readable(Peer& peer) {
-  if (peer.id == kInvalidNode) {
-    // First bytes of an inbound connection carry the peer's node id; keep
-    // reading until the 4-byte hello is complete (it may fragment).
-    const ssize_t n = ::recv(peer.fd, peer.hello + peer.hello_got,
-                             sizeof peer.hello - peer.hello_got, 0);
-    if (n <= 0) {
-      drop(peer.fd);
-      return 0;
-    }
-    peer.hello_got += static_cast<std::size_t>(n);
-    if (peer.hello_got == sizeof peer.hello) {
-      std::uint32_t id = 0;
-      std::memcpy(&id, peer.hello, sizeof id);
-      peer.id = id;
-    }
-    return 0;
-  }
+void TcpTransport::accept_one() {
+  const int fd = ::accept(listen_fd_, nullptr, nullptr);
+  if (fd < 0) return;
+  set_nodelay(fd);
+  Peer peer;
+  peer.fd = fd;
+  inbound_.emplace(fd, std::move(peer));
+  // Hello phase: plain readiness watch; the 4 id bytes are read
+  // synchronously when they arrive (they may fragment).
+  backend_->watch_readable(fd);
+}
 
+void TcpTransport::adopt_inbound(int fd, NodeId peer_id) {
+  set_nodelay(fd);
+  Peer peer;
+  peer.fd = fd;
+  peer.id = peer_id;
+  auto [it, inserted] = inbound_.emplace(fd, std::move(peer));
+  if (!inserted) {
+    FC_ERROR("node %u: adopt_inbound fd %d collides with a live peer", self_,
+             fd);
+    return;
+  }
+  arm_peer_recv(it->second);
+}
+
+void TcpTransport::watch_fd(int fd, std::function<void()> cb) {
+  watched_[fd] = std::move(cb);
+  backend_->watch_readable(fd);
+}
+
+void TcpTransport::unwatch_fd(int fd) {
+  if (watched_.erase(fd) > 0) backend_->remove(fd);
+}
+
+void TcpTransport::handle_hello(Peer& peer) {
+  if (peer.id != kInvalidNode) return;  // stale readiness after arming
+  const ssize_t n = ::recv(peer.fd, peer.hello + peer.hello_got,
+                           sizeof peer.hello - peer.hello_got, 0);
+  if (n <= 0) {
+    if (n < 0 && errno == EINTR) return;
+    drop(peer.fd);
+    return;
+  }
+  peer.hello_got += static_cast<std::size_t>(n);
+  if (peer.hello_got == sizeof peer.hello) {
+    std::uint32_t id = 0;
+    std::memcpy(&id, peer.hello, sizeof id);
+    if (hello_router_ && hello_router_(peer.fd, id)) {
+      // The router took the connection (e.g. it belongs to another shard):
+      // forget the fd without closing it.
+      const int fd = peer.fd;
+      backend_->remove(fd);
+      inbound_.erase(fd);
+      return;
+    }
+    peer.id = id;
+    // Data phase: receives now land in the parser arena via the backend
+    // (arming supersedes the hello watch).
+    arm_peer_recv(peer);
+  }
+}
+
+void TcpTransport::arm_peer_recv(Peer& peer) {
   const std::span<std::byte> dst = peer.parser.recv_buffer(kReadChunkBytes);
-  const ssize_t n = ::recv(peer.fd, dst.data(), dst.size(), 0);
+  backend_->arm_recv(peer.fd, dst.data(), dst.size());
+}
+
+std::size_t TcpTransport::handle_recv(Peer& peer, ssize_t n) {
   if (n <= 0) {
     drop(peer.fd);
     return 0;
@@ -288,43 +361,38 @@ std::size_t TcpTransport::handle_readable(Peer& peer) {
   if (peer.parser.corrupted()) {
     FC_ERROR("node %u: corrupted stream from %u", self_, peer.id);
     drop(peer.fd);
+    return dispatched;
   }
+  // Re-arm only after the parser drained: recv_buffer may compact or grow
+  // the arena, which is safe exactly because no receive is in flight.
+  arm_peer_recv(peer);
   return dispatched;
-}
-
-void TcpTransport::rebuild_pollfds() {
-  pollfds_.clear();
-  pollfds_.push_back(pollfd{listen_fd_, POLLIN, 0});
-  for (const auto& [fd, peer] : inbound_) {
-    pollfds_.push_back(pollfd{fd, POLLIN, 0});
-  }
-  pollfds_dirty_ = false;
 }
 
 std::size_t TcpTransport::poll_once(int timeout_ms) {
   flush();
-  if (pollfds_dirty_) rebuild_pollfds();
-  for (pollfd& p : pollfds_) p.revents = 0;
-
-  const int ready = ::poll(pollfds_.data(), pollfds_.size(), timeout_ms);
-  if (ready <= 0) return 0;
+  events_.clear();
+  backend_->wait(timeout_ms, events_);
 
   std::size_t dispatched = 0;
-  if ((pollfds_[0].revents & POLLIN) != 0) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd >= 0) {
-      set_nodelay(fd);
-      Peer peer;
-      peer.fd = fd;
-      inbound_.emplace(fd, std::move(peer));
-      pollfds_dirty_ = true;
+  for (const TransportBackend::Event& ev : events_) {
+    if (ev.kind == TransportBackend::Event::Kind::kReadable) {
+      if (ev.fd == listen_fd_) {
+        accept_one();
+        continue;
+      }
+      if (const auto wit = watched_.find(ev.fd); wit != watched_.end()) {
+        wit->second();
+        continue;
+      }
+      const auto it = inbound_.find(ev.fd);
+      if (it == inbound_.end()) continue;  // dropped earlier this round
+      handle_hello(it->second);
+    } else {
+      const auto it = inbound_.find(ev.fd);
+      if (it == inbound_.end()) continue;  // dropped earlier this round
+      dispatched += handle_recv(it->second, ev.n);
     }
-  }
-  for (std::size_t i = 1; i < pollfds_.size(); ++i) {
-    if ((pollfds_[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
-    auto it = inbound_.find(pollfds_[i].fd);
-    if (it == inbound_.end()) continue;  // dropped earlier this round
-    dispatched += handle_readable(it->second);
   }
   return dispatched;
 }
@@ -332,6 +400,7 @@ std::size_t TcpTransport::poll_once(int timeout_ms) {
 void TcpTransport::close_all() {
   flush();  // best-effort: don't strand queued frames on shutdown
   if (listen_fd_ >= 0) {
+    backend_->remove(listen_fd_);
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
@@ -339,10 +408,11 @@ void TcpTransport::close_all() {
     if (ob.fd >= 0) ::close(ob.fd);
   }
   outbound_.clear();
-  for (auto& [fd, peer] : inbound_) ::close(fd);
+  for (auto& [fd, peer] : inbound_) {
+    backend_->remove(fd);
+    ::close(fd);
+  }
   inbound_.clear();
-  pollfds_.clear();
-  pollfds_dirty_ = true;
 }
 
 }  // namespace fastcast::net

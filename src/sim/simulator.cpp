@@ -22,6 +22,7 @@ class Simulator::NodeContext final : public Context {
   const Membership& membership() const override { return sim_->membership_; }
 
   void send(NodeId to, const Message& msg) override;
+  void send(NodeId to, Message&& msg) override;
   TimerId set_timer(Duration delay, std::function<void()> cb) override;
   void cancel_timer(TimerId id) override;
 
@@ -67,6 +68,20 @@ void Simulator::NodeContext::send(NodeId to, const Message& msg) {
     shared = std::make_shared<const Message>(msg);
   }
   pending_.push_back({to, std::move(shared)});
+}
+
+void Simulator::NodeContext::send(NodeId to, Message&& msg) {
+  if (sim_->config_.serialize_messages) {
+    // The serialize mode round-trips through the codec anyway; ownership
+    // of the original buys nothing there.
+    send(to, static_cast<const Message&>(msg));
+    return;
+  }
+  FC_ASSERT(to < sim_->membership_.node_count());
+  // Hot path: protocols overwhelmingly send freshly-built temporaries, and
+  // a Message's payload carries vectors/strings — adopting it skips the
+  // deep copy the const& path pays.
+  pending_.push_back({to, std::make_shared<const Message>(std::move(msg))});
 }
 
 TimerId Simulator::NodeContext::set_timer(Duration delay, std::function<void()> cb) {

@@ -129,6 +129,64 @@ TEST(Codec, VarintBoundaries) {
   }
 }
 
+/// Pins the exact LEB128 byte sequences. The writer/reader fast paths
+/// (1-byte and 2-byte early exits, the unrolled >=10-bytes-remaining
+/// decoder) must stay byte-identical to the canonical encoding — any
+/// deviation is a wire-format break, not a perf tweak.
+TEST(Codec, VarintGoldenBytes) {
+  struct Golden {
+    std::uint64_t value;
+    std::vector<std::uint8_t> wire;
+  };
+  const std::vector<Golden> goldens = {
+      {0, {0x00}},
+      {1, {0x01}},
+      {127, {0x7f}},                          // 1-byte fast-path boundary
+      {128, {0x80, 0x01}},                    // first 2-byte value
+      {300, {0xac, 0x02}},
+      {16383, {0xff, 0x7f}},                  // 2-byte fast-path boundary
+      {16384, {0x80, 0x80, 0x01}},            // first scratch-buffer value
+      {0xffffffffULL, {0xff, 0xff, 0xff, 0xff, 0x0f}},
+      {1ULL << 63, {0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80,
+                    0x01}},
+      {~0ULL, {0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
+               0x01}},                        // max length: 10 bytes
+  };
+  for (const auto& g : goldens) {
+    Writer w;
+    w.varint(g.value);
+    ASSERT_EQ(w.size(), g.wire.size()) << "value " << g.value;
+    for (std::size_t i = 0; i < g.wire.size(); ++i) {
+      EXPECT_EQ(static_cast<std::uint8_t>(w.data()[i]), g.wire[i])
+          << "value " << g.value << " byte " << i;
+    }
+    // Decode via the unrolled path (pad so >=10 bytes remain)...
+    std::vector<std::byte> padded(w.data().begin(), w.data().end());
+    padded.resize(padded.size() + 10);
+    Reader fast(padded);
+    EXPECT_EQ(fast.varint(), g.value);
+    EXPECT_TRUE(fast.ok());
+    // ...and via the tail path (exact-size buffer, per-byte checks).
+    Reader slow(w.data());
+    EXPECT_EQ(slow.varint(), g.value);
+    EXPECT_TRUE(slow.ok());
+  }
+}
+
+TEST(Codec, VarintRejectsOverlongOnBothDecodePaths) {
+  // 11 continuation-flagged bytes: invalid however many bytes remain.
+  std::vector<std::byte> overlong(11, std::byte{0xff});
+  overlong.push_back(std::byte{0x00});
+  Reader fast(overlong);  // >= 10 remaining: unrolled path
+  fast.varint();
+  EXPECT_FALSE(fast.ok());
+
+  std::vector<std::byte> truncated(3, std::byte{0x80});
+  Reader tail(truncated);  // < 10 remaining: slow path, runs off the end
+  tail.varint();
+  EXPECT_FALSE(tail.ok());
+}
+
 TEST(Codec, StringsAndBytes) {
   Writer w;
   w.str("hello");

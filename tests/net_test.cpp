@@ -5,6 +5,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <memory>
 #include <mutex>
 #include <thread>
 
@@ -12,6 +13,7 @@
 #include "fastcast/amcast/fastcast.hpp"
 #include "fastcast/amcast/node.hpp"
 #include "fastcast/checker/checker.hpp"
+#include "fastcast/net/sharded_transport.hpp"
 #include "fastcast/net/tcp_cluster.hpp"
 #include "fastcast/net/timer_heap.hpp"
 
@@ -179,7 +181,35 @@ TEST(FrameParser, FlagsUndecodableBody) {
 
 /// End-to-end: two groups of three over real sockets, FastCast, one client
 /// sending global messages; checker verifies the resulting history.
-TEST(TcpCluster, RunsFastCastOverRealSockets) {
+/// Allocates a fresh 16-port block so concurrently-lingering sockets from
+/// earlier tests (TIME_WAIT) can never collide with a new listener.
+std::uint16_t next_port_block() {
+  static std::atomic<int> block{0};
+  return static_cast<std::uint16_t>(21000 + (::getpid() % 500) * 16 +
+                                    (block.fetch_add(1) % 512) * 16);
+}
+
+/// Shared base for every backend-parameterized suite: uring cases
+/// auto-skip when the kernel (or the build) lacks io_uring, so the same
+/// test list runs everywhere and reports skips instead of failures.
+class BackendParamTest : public ::testing::TestWithParam<BackendKind> {
+ protected:
+  void SetUp() override {
+    if (GetParam() == BackendKind::kUring && !uring_available()) {
+      GTEST_SKIP() << "io_uring not available in this build/kernel";
+    }
+    addresses_.base_port = next_port_block();
+  }
+  TransportOptions opts() const { return TransportOptions{GetParam()}; }
+  AddressBook addresses_;
+};
+
+std::string backend_param_name(
+    const ::testing::TestParamInfo<BackendKind>& info) {
+  return to_string(info.param);
+}
+
+void run_fastcast_over_real_sockets(BackendKind backend) {
   Membership membership;
   membership.add_group(3, {0, 0, 0});
   membership.add_group(3, {0, 0, 0});
@@ -187,7 +217,8 @@ TEST(TcpCluster, RunsFastCastOverRealSockets) {
 
   TcpCluster::Config cfg;
   cfg.membership = membership;
-  cfg.base_port = static_cast<std::uint16_t>(21000 + (::getpid() % 2000));
+  cfg.base_port = next_port_block();
+  cfg.backend = backend;
   TcpCluster cluster(std::move(cfg));
 
   std::mutex mu;
@@ -273,7 +304,7 @@ TEST(TcpCluster, RunsFastCastOverRealSockets) {
 
 /// A node is killed mid-run and restarted; no client message may be lost
 /// (the acceptance bar for the transport retry queues + cluster recovery).
-TEST(TcpCluster, SurvivesKilledAndRestartedNode) {
+void run_kill_restart_cluster(BackendKind backend) {
   Membership membership;
   membership.add_group(3, {0, 0, 0});
   membership.add_group(3, {0, 0, 0});
@@ -282,7 +313,8 @@ TEST(TcpCluster, SurvivesKilledAndRestartedNode) {
 
   TcpCluster::Config cfg;
   cfg.membership = membership;
-  cfg.base_port = static_cast<std::uint16_t>(26000 + (::getpid() % 2000));
+  cfg.base_port = next_port_block();
+  cfg.backend = backend;
   TcpCluster cluster(std::move(cfg));
 
   std::mutex mu;
@@ -386,6 +418,398 @@ TEST(TcpCluster, SurvivesKilledAndRestartedNode) {
   EXPECT_TRUE(report.ok) << (report.violations.empty() ? ""
                                                        : report.violations[0]);
 }
+
+// ===========================================================================
+// Backend conformance: every TransportBackend implementation must present
+// the same observable transport semantics. The whole protocol-over-cluster
+// path, plus targeted transport behaviours (stream reassembly, queue
+// shedding, reconnect accounting), run against each backend.
+// ===========================================================================
+
+class ClusterConformance : public BackendParamTest {};
+
+TEST_P(ClusterConformance, RunsFastCastOverRealSockets) {
+  run_fastcast_over_real_sockets(GetParam());
+}
+
+TEST_P(ClusterConformance, SurvivesKilledAndRestartedNode) {
+  run_kill_restart_cluster(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, ClusterConformance,
+                         ::testing::Values(BackendKind::kPoll,
+                                           BackendKind::kUring),
+                         backend_param_name);
+
+class TransportConformance : public BackendParamTest {};
+
+TEST_P(TransportConformance, ReportsResolvedBackendName) {
+  TcpTransport t(0, addresses_, opts());
+  EXPECT_STREQ(t.backend_name(), to_string(GetParam()));
+}
+
+TEST_P(TransportConformance, RebindsSamePortImmediatelyAfterDestroy) {
+  // Pending backend ops pin their sockets inside the kernel. If teardown
+  // does not cancel and reap them, the listen socket outlives the
+  // transport (io_uring frees deferred-teardown references on a kernel
+  // worker) and an immediate rebind of the same port throws EADDRINUSE —
+  // SO_REUSEADDR cannot override a socket still in LISTEN. Caught by
+  // back-to-back tcp_cluster runs on the uring backend.
+  for (int round = 0; round < 5; ++round) {
+    TcpTransport t(0, addresses_, opts());
+    ASSERT_NO_THROW(t.listen()) << "round " << round;
+    t.poll_once(0);  // arms the readiness watch on the listen socket
+  }  // the destructor must release the port synchronously
+}
+
+TEST_P(TransportConformance, DeliversBidirectionalTrafficInOrder) {
+  TcpTransport a(0, addresses_, opts());
+  TcpTransport b(1, addresses_, opts());
+  a.listen();
+  b.listen();
+
+  constexpr std::uint64_t kCount = 300;
+  std::vector<std::uint64_t> a_got, b_got;
+  a.set_receive([&](NodeId from, const Message& msg) {
+    EXPECT_EQ(from, 1u);
+    a_got.push_back(std::get<RmAck>(msg.payload).seq);
+  });
+  b.set_receive([&](NodeId from, const Message& msg) {
+    EXPECT_EQ(from, 0u);
+    b_got.push_back(std::get<RmAck>(msg.payload).seq);
+  });
+  for (std::uint64_t i = 0; i < kCount; ++i) {
+    a.send(1, Message{RmAck{0, i}});
+    b.send(0, Message{RmAck{1, i}});
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while ((a_got.size() < kCount || b_got.size() < kCount) &&
+         std::chrono::steady_clock::now() < deadline) {
+    a.poll_once(1);
+    b.poll_once(1);
+  }
+  ASSERT_EQ(a_got.size(), kCount);
+  ASSERT_EQ(b_got.size(), kCount);
+  // TCP + per-peer FIFO queues: sequences arrive exactly in send order.
+  for (std::uint64_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(a_got[i], i);
+    EXPECT_EQ(b_got[i], i);
+  }
+  a.close_all();
+  b.close_all();
+}
+
+TEST_P(TransportConformance, ReassemblesLargeAndCoalescedFrames) {
+  // Mixes >kMaxIov tiny frames (multi-sendmsg batching, head_offset
+  // bookkeeping) with multi-megabyte frames (bigger than the socket
+  // buffer, so the stream fragments and the parser must reassemble across
+  // many armed receives).
+  TcpTransport sender(0, addresses_, opts());
+  TcpTransport receiver(1, addresses_, opts());
+  sender.listen();
+  receiver.listen();
+
+  constexpr int kSmall = 200;  // > kMaxIov, forces several gather batches
+  constexpr int kLarge = 4;
+  const std::string blob(1 << 20, 'x');
+
+  std::mutex mu;
+  std::vector<std::uint64_t> small_seqs;
+  int large_ok = 0;
+  receiver.set_receive([&](NodeId from, const Message& msg) {
+    std::lock_guard<std::mutex> lock(mu);
+    EXPECT_EQ(from, 0u);
+    if (const auto* ack = std::get_if<RmAck>(&msg.payload)) {
+      small_seqs.push_back(ack->seq);
+      return;
+    }
+    const auto& data = std::get<RmData>(msg.payload);
+    const auto& mm = std::get<AmStart>(data.inner).msg;
+    if (mm.payload == blob) ++large_ok;
+  });
+
+  // Receiver drains on its own thread so the sender's blocking writes
+  // always make progress (each object stays single-threaded).
+  std::atomic<bool> stop{false};
+  std::thread rx([&] {
+    while (!stop.load()) receiver.poll_once(1);
+    receiver.close_all();
+  });
+
+  for (std::uint64_t i = 0; i < kSmall; ++i) {
+    sender.send(1, Message{RmAck{0, i}});
+  }
+  for (int i = 0; i < kLarge; ++i) {
+    RmData d;
+    d.origin = 0;
+    d.seq = static_cast<std::uint64_t>(i);
+    MulticastMessage mm;
+    mm.id = make_msg_id(0, static_cast<std::uint32_t>(i));
+    mm.sender = 0;
+    mm.dst = {0};
+    mm.payload = blob;
+    d.inner = AmStart{std::move(mm)};
+    sender.send(1, Message{std::move(d)});
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  bool done = false;
+  while (!done && std::chrono::steady_clock::now() < deadline) {
+    sender.poll_once(1);
+    std::lock_guard<std::mutex> lock(mu);
+    done = small_seqs.size() == kSmall && large_ok == kLarge;
+  }
+  stop.store(true);
+  rx.join();
+  sender.close_all();
+
+  std::lock_guard<std::mutex> lock(mu);
+  ASSERT_EQ(small_seqs.size(), static_cast<std::size_t>(kSmall));
+  for (std::uint64_t i = 0; i < kSmall; ++i) EXPECT_EQ(small_seqs[i], i);
+  EXPECT_EQ(large_ok, kLarge);
+}
+
+TEST_P(TransportConformance, ShedsQueueBeyondBudgetWhileUnreachable) {
+  TcpTransport sender(0, addresses_, opts());
+  RetryPolicy rp;
+  rp.base_backoff_ms = 1;
+  rp.max_queued_bytes = 4 * 1024;
+  sender.set_retry_policy(rp);
+  sender.listen();
+
+  // Peer 1 never listens: frames queue up to the budget, then shed.
+  for (std::uint64_t i = 0; i < 2000; ++i) {
+    sender.send(1, Message{RmAck{0, i}});
+  }
+  EXPECT_GT(sender.stats().connect_failures, 0u);
+  EXPECT_GT(sender.stats().tx_frames_dropped, 0u);
+  // The queue itself stays bounded (one in-flight frame of slack).
+  EXPECT_LE(sender.pending_bytes(), rp.max_queued_bytes + 256);
+  sender.close_all();
+}
+
+TEST_P(TransportConformance, ReconnectsWithBackoffAfterPeerRestart) {
+  TcpTransport sender(0, addresses_, opts());
+  RetryPolicy rp;
+  rp.base_backoff_ms = 1;
+  rp.max_backoff_ms = 20;
+  sender.set_retry_policy(rp);
+  sender.listen();
+
+  std::atomic<std::uint64_t> got{0};
+  auto make_receiver = [&] {
+    auto r = std::make_unique<TcpTransport>(1, addresses_, opts());
+    r->set_retry_policy(rp);
+    r->listen();
+    r->set_receive(
+        [&](NodeId, const Message&) { got.fetch_add(1); });
+    return r;
+  };
+
+  auto receiver = make_receiver();
+  sender.send(1, Message{RmAck{0, 1}});
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (got.load() == 0 && std::chrono::steady_clock::now() < deadline) {
+    sender.poll_once(1);
+    receiver->poll_once(1);
+  }
+  ASSERT_EQ(got.load(), 1u);
+
+  // Kill the receiver; keep sending until the sender notices the loss.
+  receiver->close_all();
+  receiver.reset();
+  deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  std::uint64_t seq = 2;
+  while (sender.stats().disconnects == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    sender.send(1, Message{RmAck{0, seq++}});
+    sender.poll_once(1);
+  }
+  ASSERT_GE(sender.stats().disconnects, 1u);
+
+  // Peer returns: backoff reconnect must flush the queued tail.
+  receiver = make_receiver();
+  const std::uint64_t before = got.load();
+  deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (got.load() == before &&
+         std::chrono::steady_clock::now() < deadline) {
+    sender.poll_once(1);
+    receiver->poll_once(1);
+  }
+  EXPECT_GT(got.load(), before);
+  EXPECT_GE(sender.stats().reconnects, 1u);
+  sender.close_all();
+  receiver->close_all();
+}
+
+/// Regression for a reconnect-accounting bug found while extracting the
+/// poll backend: try_connect consulted the *global* disconnect counter, so
+/// once any peer had dropped, a clean first-try connect to a brand-new
+/// peer was miscounted as a reconnect.
+TEST_P(TransportConformance, FirstConnectToNewPeerIsNotAReconnect) {
+  TcpTransport sender(0, addresses_, opts());
+  RetryPolicy rp;
+  rp.base_backoff_ms = 1;
+  sender.set_retry_policy(rp);
+  sender.listen();
+
+  std::atomic<std::uint64_t> got1{0}, got2{0};
+  {
+    TcpTransport rx1(1, addresses_, opts());
+    rx1.listen();
+    rx1.set_receive([&](NodeId, const Message&) { got1.fetch_add(1); });
+    sender.send(1, Message{RmAck{0, 1}});
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (got1.load() == 0 && std::chrono::steady_clock::now() < deadline) {
+      sender.poll_once(1);
+      rx1.poll_once(1);
+    }
+    ASSERT_EQ(got1.load(), 1u);
+    rx1.close_all();
+  }
+  // Provoke the disconnect so the global counter is non-zero.
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  std::uint64_t seq = 2;
+  while (sender.stats().disconnects == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    sender.send(1, Message{RmAck{0, seq++}});
+    sender.poll_once(1);
+  }
+  ASSERT_GE(sender.stats().disconnects, 1u);
+  const std::uint64_t reconnects_before = sender.stats().reconnects;
+
+  // Fresh peer 2, already listening: its first-try connect is clean and
+  // must not bump the reconnect counter.
+  TcpTransport rx2(2, addresses_, opts());
+  rx2.listen();
+  rx2.set_receive([&](NodeId, const Message&) { got2.fetch_add(1); });
+  sender.send(2, Message{RmAck{0, 100}});
+  deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (got2.load() == 0 && std::chrono::steady_clock::now() < deadline) {
+    sender.poll_once(1);
+    rx2.poll_once(1);
+  }
+  ASSERT_EQ(got2.load(), 1u);
+  EXPECT_EQ(sender.stats().reconnects, reconnects_before);
+  sender.close_all();
+  rx2.close_all();
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, TransportConformance,
+                         ::testing::Values(BackendKind::kPoll,
+                                           BackendKind::kUring),
+                         backend_param_name);
+
+// ===========================================================================
+// Sharded transport: peer ownership, hello-based fd handoff between
+// shards, SPSC delivery to the protocol thread, and the reply path.
+// ===========================================================================
+
+class ShardedConformance : public BackendParamTest {};
+
+TEST_P(ShardedConformance, RoutesPeersAcrossShardsBothDirections) {
+  constexpr int kSenders = 4;
+  constexpr std::uint64_t kPerSender = 150;
+
+  ShardedOptions so;
+  so.shards = 3;  // senders 1..4 spread over shards 1, 2, 0, 1
+  so.backend = GetParam();
+  ShardedTransport hub(0, addresses_, so);
+  hub.start();
+
+  struct Sender {
+    std::unique_ptr<TcpTransport> t;
+    std::atomic<std::uint64_t> acked{0};
+  };
+  std::vector<Sender> senders(kSenders);
+  for (int i = 0; i < kSenders; ++i) {
+    const NodeId id = static_cast<NodeId>(i + 1);
+    senders[i].t = std::make_unique<TcpTransport>(id, addresses_, opts());
+    senders[i].t->listen();  // the hub's reply path connects back here
+    senders[i].t->set_receive([&s = senders[i]](NodeId from, const Message& m) {
+      EXPECT_EQ(from, 0u);
+      EXPECT_EQ(std::get<RmAck>(m.payload).origin, 0u);
+      s.acked.fetch_add(1);
+    });
+    for (std::uint64_t seq = 0; seq < kPerSender; ++seq) {
+      senders[i].t->send(0, Message{RmAck{id, seq}});
+    }
+  }
+
+  // Protocol thread: drain deliveries, echo an ack per message, verify
+  // per-sender FIFO (sharding must not reorder within a connection).
+  std::vector<std::uint64_t> next_seq(kSenders + 1, 0);
+  std::uint64_t delivered = 0;
+  bool fifo_ok = true;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  auto all_acked = [&] {
+    for (auto& s : senders) {
+      if (s.acked.load() < kPerSender) return false;
+    }
+    return true;
+  };
+  while ((delivered < kSenders * kPerSender || !all_acked()) &&
+         std::chrono::steady_clock::now() < deadline) {
+    delivered += hub.poll_deliveries([&](NodeId from, const Message& msg) {
+      const auto& ack = std::get<RmAck>(msg.payload);
+      fifo_ok = fifo_ok && ack.seq == next_seq[from]++;
+      hub.send(from, Message{RmAck{0, ack.seq}});
+    });
+    for (auto& s : senders) s.t->poll_once(0);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  EXPECT_EQ(delivered, kSenders * kPerSender);
+  EXPECT_EQ(hub.frames_received(), kSenders * kPerSender);
+  EXPECT_TRUE(fifo_ok);
+  for (int i = 0; i < kSenders; ++i) {
+    EXPECT_EQ(senders[i].acked.load(), kPerSender) << "sender " << i + 1;
+    senders[i].t->close_all();
+  }
+  hub.stop();
+}
+
+TEST_P(ShardedConformance, SpscRingBackpressuresInsteadOfDropping) {
+  // Tiny rings + a burst far bigger than their capacity: every message
+  // must still arrive (send() and the shard receive path spin instead of
+  // shedding).
+  ShardedOptions so;
+  so.shards = 2;
+  so.backend = GetParam();
+  so.ring_capacity = 8;
+  ShardedTransport hub(0, addresses_, so);
+  hub.start();
+
+  TcpTransport peer(1, addresses_, opts());
+  peer.listen();
+  std::atomic<std::uint64_t> peer_got{0};
+  peer.set_receive([&](NodeId, const Message&) { peer_got.fetch_add(1); });
+
+  constexpr std::uint64_t kBurst = 500;
+  std::thread pump([&] {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(20);
+    while (peer_got.load() < kBurst &&
+           std::chrono::steady_clock::now() < deadline) {
+      peer.poll_once(1);
+    }
+  });
+  for (std::uint64_t i = 0; i < kBurst; ++i) {
+    hub.send(1, Message{RmAck{0, i}});  // blocks on the 8-entry ring
+  }
+  pump.join();
+  EXPECT_EQ(peer_got.load(), kBurst);
+  peer.close_all();
+  hub.stop();
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, ShardedConformance,
+                         ::testing::Values(BackendKind::kPoll,
+                                           BackendKind::kUring),
+                         backend_param_name);
 
 }  // namespace
 }  // namespace fastcast::net
