@@ -28,7 +28,9 @@
 /// Threading contract: one protocol thread calls send()/poll_deliveries()
 /// (the rings are single-producer/single-consumer by construction). Ring
 /// overflow applies backpressure (the pushing side yields until space),
-/// never drops.
+/// never drops — except once stop() has begun, when the opposite side may
+/// no longer be draining: pushers then bail out (dropping the item) so
+/// shutdown cannot deadlock on a full ring.
 
 namespace fastcast::net {
 

@@ -87,7 +87,9 @@ class TransportBackend {
 
   /// Drops all interest in fd: readiness watch and any armed receive. Must
   /// be called before closing an fd so a recycled fd number cannot inherit
-  /// stale completions.
+  /// stale completions. On return no in-flight operation references the
+  /// armed buffer any more — the caller may reclaim it immediately, so a
+  /// completion-based backend must cancel and reap synchronously here.
   virtual void remove(int fd) = 0;
 
   /// Synchronous gather write: sendmsg(2) over iov with MSG_NOSIGNAL.

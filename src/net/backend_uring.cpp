@@ -19,9 +19,11 @@
 ///     availability probe) so no timeout SQEs are needed.
 ///   * remove(fd) submits IORING_OP_ASYNC_CANCEL for the fd's in-flight
 ///     ops (pending ops hold a file reference, so closing the fd alone
-///     would strand them) and bumps a per-registration generation baked
-///     into every user_data; stale completions for a recycled fd number
-///     fail the generation check and are dropped.
+///     would strand them) and synchronously reaps CQEs until those ops
+///     have completed — the caller is allowed to free the armed receive
+///     buffer the moment remove() returns. A per-registration generation
+///     baked into every user_data drops stale completions for a recycled
+///     fd number.
 
 #if defined(FASTCAST_HAS_URING)
 
@@ -34,6 +36,7 @@
 #include <time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <cstdio>
@@ -166,11 +169,36 @@ class UringBackend final : public TransportBackend {
     const auto it = entries_.find(fd);
     if (it == entries_.end()) return;
     Entry& e = it->second;
-    // Pending ops pin the file; cancel them explicitly. Their -ECANCELED
-    // completions (and the cancel ops' own) are dropped by the gen check.
-    if (e.recv_inflight) push_cancel(make_tag(fd, OpKind::kRecv, e.gen));
-    if (e.watch_inflight) push_cancel(make_tag(fd, OpKind::kWatch, e.gen));
+    // Pending ops pin the file; cancel them explicitly. The contract lets
+    // the caller reclaim the armed receive buffer the moment remove()
+    // returns, so the cancels must be submitted and reaped *synchronously*
+    // here — a still-pending RECV can otherwise complete into freed memory
+    // (kernel-side write, invisible to ASan). Completions for other fds
+    // reaped along the way land in pending_ and surface at the next wait.
+    if (e.recv_inflight || e.watch_inflight) {
+      if (e.recv_inflight) push_cancel(make_tag(fd, OpKind::kRecv, e.gen));
+      if (e.watch_inflight) push_cancel(make_tag(fd, OpKind::kWatch, e.gen));
+      e.removing = true;  // drain_cq clears the flags but emits no events
+      // Cancels complete in microseconds; the cap only guards against a
+      // wedged kernel so remove() cannot hang.
+      for (int spin = 0; (e.recv_inflight || e.watch_inflight) && spin < 1000;
+           ++spin) {
+        submit_pending();
+        drain_cq(pending_);
+        if (!e.recv_inflight && !e.watch_inflight) break;
+        wait_for_cqe(/*timeout_ms=*/1);
+      }
+      if (e.recv_inflight || e.watch_inflight) {
+        ::fprintf(stderr,
+                  "[uring] remove(%d): in-flight ops failed to cancel\n", fd);
+      }
+    }
     entries_.erase(it);
+    // Drop buffered events for this fd: the number can be recycled before
+    // the next wait() flushes pending_.
+    pending_.erase(std::remove_if(pending_.begin(), pending_.end(),
+                                  [fd](const Event& ev) { return ev.fd == fd; }),
+                   pending_.end());
   }
 
   ssize_t send_gather(int fd, const struct iovec* iov, int iovcnt) override {
@@ -196,7 +224,8 @@ class UringBackend final : public TransportBackend {
       }
     }
 
-    std::size_t emitted = drain_cq(out);
+    std::size_t emitted = take_pending(out);
+    emitted += drain_cq(out);
     submit_pending();
     if (emitted > 0 || timeout_ms == 0) {
       // Events already pending (or a pure probe): no sleeping, just take
@@ -214,6 +243,7 @@ class UringBackend final : public TransportBackend {
     bool watched = false;
     bool watch_inflight = false;
     bool recv_inflight = false;
+    bool removing = false;  ///< remove() draining: reap but don't emit
   };
 
   bool fail() {
@@ -267,6 +297,14 @@ class UringBackend final : public TransportBackend {
     while (tail - sq_head_->load(std::memory_order_acquire) >= sq_entries_) {
       // SQ full: flush what we have so the kernel drains the ring.
       submit_pending();
+      if (tail - sq_head_->load(std::memory_order_acquire) < sq_entries_) break;
+      // Submit made no room (EBUSY/EAGAIN: CQ backpressure). Reap
+      // completions into the pending buffer so the kernel can retire ops —
+      // spinning on submit alone livelocks once in-flight ops exceed ring
+      // capacity.
+      drain_cq(pending_);
+      if (tail - sq_head_->load(std::memory_order_acquire) < sq_entries_) break;
+      wait_for_cqe(/*timeout_ms=*/1);
     }
     const std::uint32_t idx = tail & sq_mask_;
     sq_array_[idx] = idx;
@@ -319,6 +357,16 @@ class UringBackend final : public TransportBackend {
     }
   }
 
+  /// Moves events reaped outside wait() (remove()'s synchronous drain, SQ
+  /// backpressure in get_sqe) into the caller's event list.
+  std::size_t take_pending(std::vector<Event>& out) {
+    if (pending_.empty()) return 0;
+    const std::size_t n = pending_.size();
+    out.insert(out.end(), pending_.begin(), pending_.end());
+    pending_.clear();
+    return n;
+  }
+
   std::size_t drain_cq(std::vector<Event>& out) {
     std::size_t emitted = 0;
     std::uint32_t head = cq_head_->load(std::memory_order_relaxed);
@@ -337,14 +385,14 @@ class UringBackend final : public TransportBackend {
       Entry& e = it->second;
       if (kind == OpKind::kRecv) {
         e.recv_inflight = false;
-        if (cqe.res == -ECANCELED) continue;
+        if (e.removing || cqe.res == -ECANCELED) continue;
         out.push_back(Event{Event::Kind::kRecv, it->first,
                             cqe.res >= 0 ? static_cast<ssize_t>(cqe.res)
                                          : static_cast<ssize_t>(-1)});
         ++emitted;
       } else if (kind == OpKind::kWatch) {
         e.watch_inflight = false;  // one-shot; re-armed next wait
-        if (cqe.res < 0) continue;
+        if (e.removing || cqe.res < 0) continue;
         out.push_back(Event{Event::Kind::kReadable, it->first, 0});
         ++emitted;
       }
@@ -377,6 +425,7 @@ class UringBackend final : public TransportBackend {
 
   std::unordered_map<int, Entry> entries_;
   std::uint32_t next_gen_ = 1;
+  std::vector<Event> pending_;  ///< events reaped outside wait()
 };
 
 }  // namespace

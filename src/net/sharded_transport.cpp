@@ -47,11 +47,16 @@ void ShardedTransport::start() {
     if (shard.wake_fd < 0) throw std::runtime_error("eventfd() failed");
     shard.transport =
         std::make_unique<TcpTransport>(self_, addresses_, topt);
-    shard.transport->set_receive([&shard](NodeId from, const Message& msg) {
-      // Shard thread → protocol thread. Backpressure, never drop: the
-      // protocol side drains with poll_deliveries.
+    shard.transport->set_receive([this, &shard](NodeId from, const Message& msg) {
+      // Shard thread → protocol thread. Backpressure, never drop — except
+      // at shutdown: once running_ is false the protocol thread no longer
+      // drains rx, so spinning on a full ring would wedge this shard
+      // thread and deadlock stop()'s join.
       RxItem item{from, msg};
-      while (!shard.rx.push(std::move(item))) std::this_thread::yield();
+      while (!shard.rx.push(std::move(item))) {
+        if (!running_.load(std::memory_order_acquire)) return;
+        std::this_thread::yield();
+      }
       shard.received.fetch_add(1, std::memory_order_relaxed);
     });
   }
@@ -63,7 +68,15 @@ void ShardedTransport::start() {
     if (target == 0) return false;  // shard 0 keeps its own peers
     Shard& dst = *shards_[static_cast<std::size_t>(target)];
     Adopted handoff{fd, peer};
-    while (!dst.adopt.push(std::move(handoff))) std::this_thread::yield();
+    while (!dst.adopt.push(std::move(handoff))) {
+      if (!running_.load(std::memory_order_acquire)) {
+        // The target shard may already have done its final drain; parking
+        // the fd in its ring would strand the socket. We own it — close.
+        ::close(fd);
+        return true;
+      }
+      std::this_thread::yield();
+    }
     wake(dst);
     return true;
   });
@@ -105,7 +118,11 @@ void ShardedTransport::wake(Shard& shard) {
 void ShardedTransport::send(NodeId to, const Message& msg) {
   Shard& shard = *shards_[static_cast<std::size_t>(shard_of(to))];
   TxItem item{to, msg};
-  while (!shard.tx.push(std::move(item))) std::this_thread::yield();
+  while (!shard.tx.push(std::move(item))) {
+    // A stopped shard no longer drains tx; drop rather than spin forever.
+    if (!running_.load(std::memory_order_acquire)) return;
+    std::this_thread::yield();
+  }
   wake(shard);
 }
 

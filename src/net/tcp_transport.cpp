@@ -293,15 +293,21 @@ void TcpTransport::accept_one() {
 
 void TcpTransport::adopt_inbound(int fd, NodeId peer_id) {
   set_nodelay(fd);
+  if (const auto old = inbound_.find(fd); old != inbound_.end()) {
+    // fd numbers are unique among live descriptors, so a collision means
+    // the old entry's socket was closed without drop() and the number
+    // recycled: that entry is stale. Evict it (its fd now names *this*
+    // socket, so don't close) — keeping it would leak the adopted socket
+    // and leave the new peer's connection silently dead.
+    FC_WARN("node %u: adopt_inbound fd %d evicts a stale entry for node %u",
+            self_, fd, old->second.id);
+    backend_->remove(fd);
+    inbound_.erase(old);
+  }
   Peer peer;
   peer.fd = fd;
   peer.id = peer_id;
-  auto [it, inserted] = inbound_.emplace(fd, std::move(peer));
-  if (!inserted) {
-    FC_ERROR("node %u: adopt_inbound fd %d collides with a live peer", self_,
-             fd);
-    return;
-  }
+  const auto it = inbound_.emplace(fd, std::move(peer)).first;
   arm_peer_recv(it->second);
 }
 

@@ -3,11 +3,17 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <memory>
 #include <mutex>
 #include <thread>
+
+#include "fastcast/net/transport_backend.hpp"
 
 #include "fastcast/amcast/client_stub.hpp"
 #include "fastcast/amcast/fastcast.hpp"
@@ -697,6 +703,48 @@ TEST_P(TransportConformance, FirstConnectToNewPeerIsNotAReconnect) {
   rx2.close_all();
 }
 
+TEST_P(TransportConformance, RemoveReclaimsArmedReceiveBufferSynchronously) {
+  // Regression: the uring backend used to only *queue* cancel SQEs in
+  // remove() (not even submitted until the next wait), while the contract
+  // lets the caller reclaim the armed buffer the moment remove() returns —
+  // so the kernel could complete the still-in-flight RECV into memory the
+  // caller had already freed or reused (a kernel-side write ASan cannot
+  // see). remove() must cancel and reap synchronously: once it returns,
+  // nothing may touch the buffer and no event for the fd may surface.
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+
+  auto backend = make_backend(GetParam());
+  std::vector<std::byte> buf(256, std::byte{0x5a});
+  backend->arm_recv(sv[0], buf.data(), buf.size());
+
+  std::vector<TransportBackend::Event> events;
+  backend->wait(0, events);  // submits the armed receive; no data yet
+  EXPECT_TRUE(events.empty());
+
+  backend->remove(sv[0]);
+  // The caller reuses the memory...
+  std::fill(buf.begin(), buf.end(), std::byte{0xab});
+  // ...and only then does peer data arrive for the dead registration.
+  const char late[] = "late";
+  ASSERT_EQ(::write(sv[1], late, sizeof late),
+            static_cast<ssize_t>(sizeof late));
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(200);
+  while (std::chrono::steady_clock::now() < deadline) {
+    backend->wait(1, events);
+  }
+  EXPECT_TRUE(events.empty()) << "stale event surfaced for a removed fd";
+  const std::size_t clobbered = static_cast<std::size_t>(
+      std::count_if(buf.begin(), buf.end(),
+                    [](std::byte b) { return b != std::byte{0xab}; }));
+  EXPECT_EQ(clobbered, 0u) << "kernel wrote into a reclaimed receive buffer";
+
+  ::close(sv[0]);
+  ::close(sv[1]);
+}
+
 INSTANTIATE_TEST_SUITE_P(Backends, TransportConformance,
                          ::testing::Values(BackendKind::kPoll,
                                            BackendKind::kUring),
@@ -804,6 +852,32 @@ TEST_P(ShardedConformance, SpscRingBackpressuresInsteadOfDropping) {
   EXPECT_EQ(peer_got.load(), kBurst);
   peer.close_all();
   hub.stop();
+}
+
+TEST_P(ShardedConformance, StopDoesNotDeadlockWhenRxRingIsFullAtShutdown) {
+  // Regression: the shard→protocol rx push used to spin unconditionally on
+  // a full ring. With the protocol thread not draining (its prerogative —
+  // it is the one calling stop()), the shard thread spun forever inside
+  // poll_once and stop()'s join() hung. Once stop() begins, pushers must
+  // bail out instead of backpressuring against a consumer that is gone.
+  ShardedOptions so;
+  so.shards = 1;
+  so.backend = GetParam();
+  so.ring_capacity = 8;
+  ShardedTransport hub(0, addresses_, so);
+  hub.start();
+
+  TcpTransport peer(1, addresses_, opts());
+  peer.listen();
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    peer.send(0, Message{RmAck{1, i}});
+  }
+  peer.flush();
+  // Let the shard receive enough frames to fill the 8-entry rx ring and
+  // start spinning; this thread deliberately never calls poll_deliveries.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  hub.stop();  // must return promptly rather than hang on join()
+  peer.close_all();
 }
 
 INSTANTIATE_TEST_SUITE_P(Backends, ShardedConformance,
