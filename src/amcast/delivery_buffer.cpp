@@ -43,6 +43,17 @@ void DeliveryBuffer::restore_delivered(const std::set<MsgId>& delivered) {
 void DeliveryBuffer::restore_body(const MulticastMessage& msg) {
   if (delivered_.contains(msg.id)) return;
   auto& pm = msgs_[msg.id];
+  // Unlike store_body this does not attempt delivery when final_formed is
+  // set — and must not need to: restore_body runs only from
+  // restore_durable, before any add_entry, and timestamps are never
+  // persisted (see timestamp_base.cpp), so no restored message can have a
+  // formed FINAL yet. FINALs formed later by the consensus catch-up replay
+  // go through add_entry → try_deliver, which sees this body. The recover
+  // path additionally runs try_deliver as a backstop, so if this invariant
+  // is ever broken the message stalls a recovery sweep, not forever.
+  FC_ASSERT_MSG(!pm.final_formed,
+                "restore_body after a FINAL formed: restore must precede "
+                "consensus replay");
   if (!pm.body.has_value()) {
     pm.body = msg;
     if (!pm.dst_known) {

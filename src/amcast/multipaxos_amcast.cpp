@@ -4,8 +4,21 @@
 
 #include "fastcast/common/assert.hpp"
 #include "fastcast/obs/observability.hpp"
+#include "fastcast/storage/storage.hpp"
 
 namespace fastcast {
+
+namespace {
+
+bool addressed_to(const MulticastMessage& msg, GroupId g) {
+  return std::find(msg.dst.begin(), msg.dst.end(), g) != msg.dst.end();
+}
+
+bool addressed_to(const MpIdRecord& rec, GroupId g) {
+  return std::find(rec.dst.begin(), rec.dst.end(), g) != rec.dst.end();
+}
+
+}  // namespace
 
 MultiPaxosAmcast::MultiPaxosAmcast(Config config, NodeId self)
     : cfg_(std::move(config)), self_(self), cons_(cfg_.consensus, self) {
@@ -20,6 +33,23 @@ void MultiPaxosAmcast::restore_durable(const storage::DurableState& durable) {
   cons_.restore_durable(it == durable.groups.end() ? nullptr : &it->second);
   // Re-decided batches replayed by consensus catch-up must not re-deliver.
   delivered_.insert(durable.delivered.begin(), durable.delivered.end());
+  if (cfg_.ordering != Config::Ordering::kIds) return;
+  // Id mode logs every body on arrival (store_body): a decided record may
+  // still reference it after the leader's retransmissions stopped, so the
+  // WAL is the only place the payload survives a crash before delivery.
+  for (const auto& [mid, encoded] : durable.bodies) {
+    std::vector<MulticastMessage> batch;
+    if (!decode_msg_batch(encoded, batch)) continue;  // guarded by WAL CRC
+    for (MulticastMessage& m : batch) {
+      const MsgId id = m.id;
+      const bool deliverable_here = cfg_.my_group != kNoGroup &&
+                                    addressed_to(m, cfg_.my_group) &&
+                                    !delivered_.contains(id);
+      if (bodies_.emplace(id, std::move(m)).second && !deliverable_here) {
+        retain_delivered(id);  // serve pulls, but bounded
+      }
+    }
+  }
 }
 
 void MultiPaxosAmcast::on_start(Context& ctx) {
@@ -30,7 +60,12 @@ void MultiPaxosAmcast::on_start(Context& ctx) {
 void MultiPaxosAmcast::on_recover(Context& ctx) {
   ctx_ = &ctx;
   cons_.on_recover(ctx);
+  // All timers died with the crash; re-arm what the current state needs.
+  batch_timer_armed_ = false;
+  pull_armed_ = false;
+  pull_backoff_ = 1;
   flush(ctx);  // staged submissions from before the crash
+  drain_pending(ctx);  // restored bodies may unblock replayed records
 }
 
 bool MultiPaxosAmcast::handle(Context& ctx, NodeId from, const Message& msg) {
@@ -39,17 +74,114 @@ bool MultiPaxosAmcast::handle(Context& ctx, NodeId from, const Message& msg) {
     on_submit(ctx, submit->msg);
     return true;
   }
+  if (const auto* body = std::get_if<MpBody>(&msg.payload)) {
+    on_body(ctx, body->msg);
+    return true;
+  }
+  if (const auto* req = std::get_if<MpBodyRequest>(&msg.payload)) {
+    auto it = bodies_.find(req->mid);
+    if (it != bodies_.end()) {
+      ctx.send(from, Message{MpBody{it->second}});
+      if (auto* o = ctx.obs()) {
+        o->metrics.counter("multipaxos.body_pulls_served").inc();
+      }
+    }
+    return true;
+  }
   return false;
 }
 
 void MultiPaxosAmcast::on_submit(Context& ctx, const MulticastMessage& msg) {
   if (!cons_.is_leader(ctx)) return;  // client will retry against the leader
+  if (cfg_.ordering == Config::Ordering::kIds) {
+    if (!seen_submissions_.insert(msg.id).second) {
+      // Duplicate retry: the record is staged/ordered already, but the
+      // first dissemination may have been lost — re-send the body.
+      disseminate(ctx, msg);
+      return;
+    }
+    disseminate(ctx, msg);
+    store_body(ctx, msg);  // the leader's copy serves pull requests
+    if (staged_ids_.empty()) first_staged_at_ = ctx.now();
+    staged_ids_.push_back(MpIdRecord{msg.id, msg.sender, msg.dst});
+    flush(ctx);
+    return;
+  }
   if (!seen_submissions_.insert(msg.id).second) return;  // duplicate retry
   staged_.push_back(msg);
   flush(ctx);
 }
 
-void MultiPaxosAmcast::flush(Context& ctx) {
+void MultiPaxosAmcast::disseminate(Context& ctx, const MulticastMessage& msg) {
+  std::uint64_t copies = 0;
+  for (GroupId g : msg.dst) {
+    for (NodeId n : ctx.membership().members(g)) {
+      if (n == ctx.self()) continue;
+      ctx.send(n, Message{MpBody{msg}});
+      ++copies;
+    }
+  }
+  if (cfg_.my_group != kNoGroup && addressed_to(msg, cfg_.my_group)) {
+    store_body(ctx, msg);
+  }
+  if (auto* o = ctx.obs()) {
+    o->metrics.counter("multipaxos.bodies_sent").inc(copies);
+    o->metrics.counter("multipaxos.body_bytes_sent")
+        .inc(copies * msg.payload.size());
+  }
+}
+
+void MultiPaxosAmcast::store_body(Context& ctx, const MulticastMessage& msg) {
+  if (delivered_.contains(msg.id)) return;
+  if (!bodies_.emplace(msg.id, msg).second) return;
+  if (storage::NodeStorage* st = ctx.storage()) {
+    // Input, not externalization — logged unconditionally, no durability
+    // gate. Once the leader stops re-sending, this WAL record is the only
+    // copy a restarted node can still deliver (or serve to a peer).
+    st->log_body(msg.id, encode_msg_batch({msg}));
+    st->commit();
+  }
+  if (cfg_.my_group == kNoGroup || !addressed_to(msg, cfg_.my_group)) {
+    // Never delivered here (orderer / foreign destination): bound the copy
+    // through the retention ring immediately.
+    retain_delivered(msg.id);
+  }
+}
+
+void MultiPaxosAmcast::on_body(Context& ctx, const MulticastMessage& msg) {
+  if (delivered_.contains(msg.id)) return;
+  store_body(ctx, msg);
+  drain_pending(ctx);
+}
+
+void MultiPaxosAmcast::flush(Context& ctx, bool force) {
+  if (cfg_.ordering == Config::Ordering::kIds) {
+    // Accumulate under a size/time threshold: propose once the batch holds
+    // batch_fill records or batch_delay elapsed since its first record.
+    // batch_delay == 0 disables time-based holding entirely.
+    auto ripe = [&] {
+      return force || cfg_.batch_delay == 0 ||
+             staged_ids_.size() >= cfg_.batch_fill ||
+             ctx.now() - first_staged_at_ >= cfg_.batch_delay;
+    };
+    while (!staged_ids_.empty() && cons_.window_open() && ripe()) {
+      std::vector<MpIdRecord> batch;
+      const std::size_t n = std::min(staged_ids_.size(), cfg_.max_batch);
+      batch.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        batch.push_back(std::move(staged_ids_.front()));
+        staged_ids_.pop_front();
+      }
+      if (auto* o = ctx.obs()) {
+        o->metrics.histogram("multipaxos.batch_records")
+            .observe(static_cast<std::int64_t>(batch.size()));
+      }
+      cons_.propose(ctx, encode_id_batch(batch));
+      first_staged_at_ = ctx.now();  // next accumulation epoch
+    }
+    if (!staged_ids_.empty() && cfg_.batch_delay > 0) arm_batch_timer(ctx);
+    return;
+  }
   while (!staged_.empty() && cons_.window_open()) {
     std::vector<MulticastMessage> batch;
     const std::size_t n = std::min(staged_.size(), cfg_.max_batch);
@@ -62,24 +194,115 @@ void MultiPaxosAmcast::flush(Context& ctx) {
   }
 }
 
+void MultiPaxosAmcast::arm_batch_timer(Context& ctx) {
+  if (batch_timer_armed_) return;
+  batch_timer_armed_ = true;
+  const Time due = first_staged_at_ + cfg_.batch_delay;
+  const Duration wait = due > ctx.now() ? due - ctx.now() : Duration{1};
+  ctx.set_timer(wait, [this, &ctx] {
+    batch_timer_armed_ = false;
+    if (!staged_ids_.empty()) flush(ctx, /*force=*/true);
+  });
+}
+
 void MultiPaxosAmcast::on_decide(Context& ctx, const std::vector<std::byte>& value) {
   if (!value.empty()) {
-    std::vector<MulticastMessage> batch;
-    FC_ASSERT_MSG(decode_msg_batch(value, batch), "undecodable MultiPaxos batch");
-    for (const MulticastMessage& msg : batch) {
-      ++ordered_count_;
-      if (auto* o = ctx.obs()) {
-        o->metrics.counter("multipaxos.ordered").inc();
+    if (cfg_.ordering == Config::Ordering::kIds) {
+      std::vector<MpIdRecord> batch;
+      FC_ASSERT_MSG(decode_id_batch(value, batch), "undecodable id batch");
+      for (const MpIdRecord& rec : batch) {
+        ++ordered_count_;
+        if (auto* o = ctx.obs()) {
+          o->metrics.counter("multipaxos.ordered").inc();
+        }
+        if (cfg_.my_group == kNoGroup) continue;  // pure orderer
+        if (!addressed_to(rec, cfg_.my_group)) continue;
+        if (delivered_.contains(rec.mid)) continue;  // re-proposed duplicate
+        if (!pending_set_.insert(rec.mid).second) continue;
+        pending_order_.push_back(rec);
       }
-      if (cfg_.my_group == kNoGroup) continue;  // pure orderer delivers nothing
-      if (std::find(msg.dst.begin(), msg.dst.end(), cfg_.my_group) == msg.dst.end()) {
-        continue;  // not addressed to this replica's group
+      drain_pending(ctx);
+    } else {
+      std::vector<MulticastMessage> batch;
+      FC_ASSERT_MSG(decode_msg_batch(value, batch), "undecodable MultiPaxos batch");
+      for (const MulticastMessage& msg : batch) {
+        ++ordered_count_;
+        if (auto* o = ctx.obs()) {
+          o->metrics.counter("multipaxos.ordered").inc();
+        }
+        if (cfg_.my_group == kNoGroup) continue;  // pure orderer delivers nothing
+        if (!addressed_to(msg, cfg_.my_group)) continue;
+        if (!delivered_.insert(msg.id).second) continue;  // re-proposed duplicate
+        deliver(ctx, msg);
       }
-      if (!delivered_.insert(msg.id).second) continue;  // re-proposed duplicate
-      deliver(ctx, msg);
     }
   }
   flush(ctx);
+}
+
+void MultiPaxosAmcast::drain_pending(Context& ctx) {
+  // Deliver strictly in decision order; the queue head gates on its body.
+  bool progressed = false;
+  while (!pending_order_.empty()) {
+    const MsgId mid = pending_order_.front().mid;
+    auto it = bodies_.find(mid);
+    if (it == bodies_.end()) break;  // body still in flight; stall
+    const MulticastMessage body = it->second;
+    pending_order_.pop_front();
+    pending_set_.erase(mid);
+    delivered_.insert(mid);
+    retain_delivered(mid);
+    progressed = true;
+    deliver(ctx, body);
+  }
+  if (progressed) pull_backoff_ = 1;
+  if (!pending_order_.empty()) {
+    if (auto* o = ctx.obs()) {
+      o->metrics.gauge("multipaxos.stalled_deliveries")
+          .record_max(static_cast<std::int64_t>(pending_order_.size()));
+    }
+    arm_body_pull(ctx);
+  }
+}
+
+void MultiPaxosAmcast::retain_delivered(MsgId mid) {
+  retained_.push_back(mid);
+  while (retained_.size() > cfg_.retain_bodies) {
+    bodies_.erase(retained_.front());
+    retained_.pop_front();
+  }
+}
+
+void MultiPaxosAmcast::arm_body_pull(Context& ctx) {
+  if (pull_armed_ || pending_order_.empty()) return;
+  pull_armed_ = true;
+  ctx.set_timer(cfg_.body_pull_interval * pull_backoff_, [this, &ctx] {
+    pull_armed_ = false;
+    if (pending_order_.empty()) return;  // body arrived meanwhile
+    const MpIdRecord& head = pending_order_.front();
+    // Candidate holders: the ordering members (the leader stored a copy at
+    // submit time) and the other destination replicas (any that delivered
+    // still retains the body for a while). Rotate so a crashed candidate
+    // does not absorb every request.
+    std::vector<NodeId> candidates;
+    for (NodeId n : cfg_.consensus.members) {
+      if (n != ctx.self()) candidates.push_back(n);
+    }
+    for (GroupId g : head.dst) {
+      for (NodeId n : ctx.membership().members(g)) {
+        if (n != ctx.self()) candidates.push_back(n);
+      }
+    }
+    if (!candidates.empty()) {
+      const NodeId target = candidates[pull_rr_++ % candidates.size()];
+      ctx.send(target, Message{MpBodyRequest{head.mid}});
+      if (auto* o = ctx.obs()) {
+        o->metrics.counter("multipaxos.body_pulls").inc();
+      }
+    }
+    if (pull_backoff_ < 8) pull_backoff_ *= 2;
+    arm_body_pull(ctx);
+  });
 }
 
 }  // namespace fastcast

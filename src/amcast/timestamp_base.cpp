@@ -83,6 +83,11 @@ void TimestampProtocolBase::on_recover(Context& ctx) {
   // Anything still unordered was in flight when we crashed; queue it for
   // the next proposal round (the leader check inside flush() applies).
   restage_all(ctx);
+  // Backstop for the restore path: if restored state ever produced a
+  // deliverable FINAL whose body arrived via restore_body (which cannot
+  // retry delivery itself — no Context there), release it now instead of
+  // waiting for the next unrelated add_entry.
+  buffer_.try_deliver(ctx);
 }
 
 bool TimestampProtocolBase::handle(Context& ctx, NodeId from, const Message& msg) {

@@ -72,7 +72,20 @@ void ClientProcess::on_start(Context& ctx) {
   const Duration delay = config_.first_send_at > ctx.now()
                              ? config_.first_send_at - ctx.now()
                              : 0;
-  ctx.set_timer(delay, [this, &ctx] { send_next(ctx); });
+  if (config_.send_interval > 0) {
+    ctx.set_timer(delay, [this, &ctx] { open_loop_tick(ctx); });
+  } else {
+    ctx.set_timer(delay, [this, &ctx] { send_next(ctx); });
+  }
+}
+
+MulticastMessage ClientProcess::build_message(Context& ctx) {
+  MulticastMessage msg;
+  msg.id = make_msg_id(ctx.self(), next_seq_++);
+  msg.sender = ctx.self();
+  msg.dst = config_.dst(ctx.rng());
+  msg.payload.assign(config_.payload_size, 'x');
+  return msg;
 }
 
 void ClientProcess::send_next(Context& ctx) {
@@ -80,11 +93,7 @@ void ClientProcess::send_next(Context& ctx) {
     idle_ = true;
     return;
   }
-  MulticastMessage msg;
-  msg.id = make_msg_id(ctx.self(), next_seq_++);
-  msg.sender = ctx.self();
-  msg.dst = config_.dst(ctx.rng());
-  msg.payload.assign(config_.payload_size, 'x');
+  MulticastMessage msg = build_message(ctx);
   outstanding_ = msg.id;
   outstanding_dst_size_ = msg.dst.size();
   sent_at_ = ctx.now();
@@ -93,8 +102,32 @@ void ClientProcess::send_next(Context& ctx) {
   config_.stub->amulticast(ctx, msg);
 }
 
+void ClientProcess::open_loop_tick(Context& ctx) {
+  if (config_.stop_at >= 0 && ctx.now() >= config_.stop_at) {
+    idle_ = true;
+    return;
+  }
+  MulticastMessage msg = build_message(ctx);
+  in_flight_.emplace(msg.id, std::make_pair(ctx.now(), msg.dst.size()));
+  idle_ = false;
+  for (const auto& observer : observers_) observer(msg);
+  config_.stub->amulticast(ctx, msg);
+  ctx.set_timer(config_.send_interval, [this, &ctx] { open_loop_tick(ctx); });
+}
+
 void ClientProcess::on_message(Context& ctx, NodeId from, const Message& msg) {
   if (const auto* ack = std::get_if<AmAck>(&msg.payload)) {
+    if (config_.send_interval > 0) {
+      // Open loop: acks arrive in any order; latency is per message id.
+      auto it = in_flight_.find(ack->mid);
+      if (it != in_flight_.end()) {
+        metrics_->note_completion(it->second.first, ctx.now(),
+                                  it->second.second);
+        config_.stub->complete(ack->mid);
+        in_flight_.erase(it);
+      }
+      return;
+    }
     if (!idle_ && ack->mid == outstanding_) {
       metrics_->note_completion(sent_at_, ctx.now(), outstanding_dst_size_);
       config_.stub->complete(ack->mid);

@@ -65,6 +65,7 @@ Cluster::Cluster(const ExperimentConfig& config)
     cc.stub = make_stub();
     cc.dst = config_.dst_factory(i);
     cc.payload_size = config_.payload_size;
+    cc.send_interval = config_.open_loop_interval;
     // Stagger client starts across half the warm-up so load ramps smoothly.
     cc.first_send_at = static_cast<Time>(
         config_.warmup / 2 * static_cast<Duration>(i) /
@@ -150,6 +151,11 @@ std::shared_ptr<AtomicMulticast> Cluster::make_protocol(NodeId node, GroupId gro
     MultiPaxosAmcast::Config cfg;
     cfg.consensus = std::move(cons);
     cfg.my_group = group == deployment_.ordering_group ? kNoGroup : group;
+    cfg.ordering = config_.mp_ordering == ExperimentConfig::MpOrdering::kIds
+                       ? MultiPaxosAmcast::Config::Ordering::kIds
+                       : MultiPaxosAmcast::Config::Ordering::kPayload;
+    cfg.batch_fill = config_.mp_batch_fill;
+    cfg.batch_delay = config_.mp_batch_delay;
     return std::make_shared<MultiPaxosAmcast>(std::move(cfg), node);
   }
 
@@ -228,6 +234,12 @@ std::pair<std::uint64_t, std::uint64_t> Cluster::path_stats() const {
     }
   }
   return {fast, slow};
+}
+
+std::uint64_t Cluster::total_deliveries() const {
+  std::uint64_t total = 0;
+  for (const auto& r : replicas_) total += r->delivered_count();
+  return total;
 }
 
 namespace {
@@ -329,8 +341,10 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   sim.run_until(config.warmup);
   const Time window_end = config.warmup + config.measure;
   cluster.metrics().open_window(config.warmup, window_end, config.slice);
+  const std::uint64_t deliveries_at_open = cluster.total_deliveries();
   sim.run_until(window_end);
   cluster.metrics().close_window();
+  const std::uint64_t deliveries_at_close = cluster.total_deliveries();
 
   ExperimentResult result;
   const bool can_drain =
@@ -353,6 +367,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   const auto [fast, slow] = cluster.path_stats();
   result.fast_path_hits = fast;
   result.slow_path_hits = slow;
+  result.window_deliveries = deliveries_at_close - deliveries_at_open;
 
   if (auto obs = cluster.observability()) {
     result.obs = obs;

@@ -2,6 +2,7 @@
 
 #include <deque>
 #include <set>
+#include <unordered_map>
 
 #include "fastcast/amcast/atomic_multicast.hpp"
 #include "fastcast/paxos/group_consensus.hpp"
@@ -18,6 +19,21 @@
 /// broadcast lower bound. Throughput: the ordering group processes the
 /// whole system's load, so it saturates at a fixed rate no matter how many
 /// groups exist — the contrast Fig. 3 demonstrates.
+///
+/// Two ordering modes (Config::Ordering):
+///   * kPayload — full message batches flow through consensus (the paper's
+///     baseline): every P2a/P2b carries every payload byte, so the ordering
+///     group's bandwidth caps system throughput.
+///   * kIds — the Ring-Paxos-style dissemination/ordering split: the leader
+///     forwards bodies directly to the destination replicas (MpBody) while
+///     consensus orders compact MpIdRecord batches through its pipelined
+///     instance window. A replica delivers in decision order, stalling the
+///     queue head until its body arrives; lost bodies are recovered with
+///     pull requests (MpBodyRequest) against retained copies, and — when
+///     durability is on — bodies are WAL-logged on arrival so a restart
+///     keeps every payload a decided record may still reference.
+/// Ordering safety is identical in both modes: only what flows through
+/// consensus changes.
 
 namespace fastcast {
 
@@ -26,7 +42,29 @@ class MultiPaxosAmcast final : public AtomicMulticast {
   struct Config {
     paxos::GroupConsensus::Config consensus;  ///< the fixed ordering group
     GroupId my_group = kNoGroup;  ///< delivery filter; kNoGroup on orderers
-    std::size_t max_batch = 128;  ///< messages per proposed value
+    std::size_t max_batch = 128;  ///< messages/records per proposed value
+
+    enum class Ordering {
+      kPayload,  ///< full payload batches through consensus (baseline)
+      kIds,      ///< compact id records; bodies disseminated out-of-band
+    };
+    Ordering ordering = Ordering::kPayload;
+
+    /// Id-mode batch accumulation: a staged batch is proposed once it holds
+    /// batch_fill records or batch_delay elapsed since its first record,
+    /// whichever comes first. The defaults propose immediately (latency
+    /// first); throughput sweeps raise both to trade ~one batch_delay of
+    /// latency for fewer, fuller consensus instances.
+    std::size_t batch_fill = 1;
+    Duration batch_delay = 0;
+
+    /// Id-mode body recovery: a replica whose ordered id-record head has no
+    /// body yet re-requests it at this interval (backing off ×2 up to 8×).
+    Duration body_pull_interval = milliseconds(25);
+
+    /// Id-mode: delivered bodies retained (FIFO) to serve peers' pull
+    /// requests before being dropped.
+    std::size_t retain_bodies = 8192;
   };
 
   MultiPaxosAmcast(Config config, NodeId self);
@@ -39,21 +77,52 @@ class MultiPaxosAmcast final : public AtomicMulticast {
   const char* name() const override { return "MultiPaxos"; }
 
   std::uint64_t ordered_count() const { return ordered_count_; }
+  /// Id mode: decided records still waiting for their body (tests).
+  std::size_t stalled_deliveries() const { return pending_order_.size(); }
+  /// Id mode: bodies currently held (staged + retained) (tests).
+  std::size_t body_store_size() const { return bodies_.size(); }
 
  private:
   void on_submit(Context& ctx, const MulticastMessage& msg);
-  void flush(Context& ctx);
+  void flush(Context& ctx, bool force = false);
   void on_decide(Context& ctx, const std::vector<std::byte>& value);
+
+  // Id-mode machinery.
+  void disseminate(Context& ctx, const MulticastMessage& msg);
+  void store_body(Context& ctx, const MulticastMessage& msg);
+  void on_body(Context& ctx, const MulticastMessage& msg);
+  void drain_pending(Context& ctx);
+  void retain_delivered(MsgId mid);
+  void arm_batch_timer(Context& ctx);
+  void arm_body_pull(Context& ctx);
 
   Config cfg_;
   NodeId self_;
   paxos::GroupConsensus cons_;
   Context* ctx_ = nullptr;
 
-  std::deque<MulticastMessage> staged_;
+  std::deque<MulticastMessage> staged_;  // payload mode
   std::set<MsgId> seen_submissions_;  // leader-side dedup of client retries
   std::set<MsgId> delivered_;        // delivery dedup across leader changes
   std::uint64_t ordered_count_ = 0;
+
+  // Id mode: staged compact records awaiting proposal (leader only).
+  std::deque<MpIdRecord> staged_ids_;
+  Time first_staged_at_ = 0;
+  bool batch_timer_armed_ = false;
+
+  // Id mode: body store. Holds bodies awaiting their ordering record plus
+  // a bounded FIFO of already-delivered bodies kept to serve pulls.
+  std::unordered_map<MsgId, MulticastMessage> bodies_;
+  std::deque<MsgId> retained_;
+
+  // Id mode: decided records addressed to my_group, in decision order,
+  // whose delivery stalls until the head's body is present.
+  std::deque<MpIdRecord> pending_order_;
+  std::set<MsgId> pending_set_;
+  bool pull_armed_ = false;
+  std::uint32_t pull_backoff_ = 1;
+  std::size_t pull_rr_ = 0;  ///< rotates pull targets across candidates
 };
 
 }  // namespace fastcast

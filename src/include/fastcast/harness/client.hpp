@@ -8,9 +8,12 @@
 #include "fastcast/runtime/context.hpp"
 
 /// \file client.hpp
-/// Closed-loop benchmark client: one outstanding multicast at a time,
-/// completing on the first delivery ack, exactly how the paper's clients
-/// measure latency and generate load.
+/// Benchmark client. Default is the paper's closed loop: one outstanding
+/// multicast at a time, completing on the first delivery ack. With
+/// Config::send_interval > 0 it becomes an open loop instead: a timer
+/// injects a new multicast every interval regardless of outstanding acks,
+/// so offered load stays fixed while latency-under-load grows — the shape
+/// saturation benchmarks need.
 
 namespace fastcast::harness {
 
@@ -64,6 +67,9 @@ class ClientProcess final : public Process {
     std::size_t payload_size = 64;  ///< paper microbenchmark message size
     Time first_send_at = 0;         ///< staggered start
     Time stop_at = -1;              ///< no new sends after this (<0 = never)
+    /// >0 = open loop: send every interval, track acks per message id.
+    /// 0 = closed loop (one outstanding).
+    Duration send_interval = 0;
   };
 
   ClientProcess(Config config, std::shared_ptr<Metrics> metrics);
@@ -84,7 +90,9 @@ class ClientProcess final : public Process {
   void set_stop(Time at) { config_.stop_at = at; }
 
  private:
+  MulticastMessage build_message(Context& ctx);
   void send_next(Context& ctx);
+  void open_loop_tick(Context& ctx);
 
   Config config_;
   std::shared_ptr<Metrics> metrics_;
@@ -94,6 +102,8 @@ class ClientProcess final : public Process {
   std::size_t outstanding_dst_size_ = 0;
   Time sent_at_ = 0;
   bool idle_ = true;
+  /// Open loop only: send time + dst-group count of every unacked message.
+  std::map<MsgId, std::pair<Time, std::size_t>> in_flight_;
 };
 
 }  // namespace fastcast::harness

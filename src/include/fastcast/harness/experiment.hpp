@@ -51,12 +51,26 @@ struct ExperimentConfig {
 
   // Protocol knobs.
   std::size_t consensus_window = 32;
+  /// MultiPaxos ordering mode (mirrors MultiPaxosAmcast::Config::Ordering
+  /// without pulling in the protocol header): kPayload runs full message
+  /// batches through consensus, kIds disseminates bodies out-of-band and
+  /// orders compact id records.
+  enum class MpOrdering { kPayload, kIds };
+  MpOrdering mp_ordering = MpOrdering::kPayload;
+  /// Id-mode batch accumulation thresholds (see MultiPaxosAmcast::Config).
+  std::size_t mp_batch_fill = 1;
+  Duration mp_batch_delay = 0;
   /// State transfer + watermark pruning (src/repair). Off by default so
   /// baseline message counts are untouched; lag scenarios switch it on.
   repair::Options repair;
   TimestampProtocolBase::Config::HardSend hard_send =
       TimestampProtocolBase::Config::HardSend::kLeaderOnly;
   std::size_t payload_size = 64;
+  /// >0 switches every client to an open loop: a new multicast every
+  /// interval regardless of outstanding acks, so offered load is
+  /// clients / interval instead of tracking service rate. 0 keeps the
+  /// paper's closed loop.
+  Duration open_loop_interval = 0;
   /// Ablation: Algorithm-2-verbatim eager SYNC-HARD proposals in FastCast.
   bool fastcast_eager_hard = false;
 
@@ -99,6 +113,10 @@ struct ExperimentResult {
   std::uint64_t messages_sent = 0;
   std::uint64_t fast_path_hits = 0;  ///< FastCast Task-6 matches (all replicas)
   std::uint64_t slow_path_hits = 0;  ///< SYNC-HARDs ordered via consensus
+  /// A-deliveries externalized by all replicas during the measurement
+  /// window (completion-independent: open-loop saturation shows up here
+  /// even when ack latency grows without bound).
+  std::uint64_t window_deliveries = 0;
   /// Run-wide metrics/spans; null unless observe/trace/metrics_out was set.
   std::shared_ptr<obs::Observability> obs;
   /// Filled when trace is on and delta > 0.
@@ -132,6 +150,9 @@ class Cluster {
 
   /// Sums FastCast fast/slow path counters over all replicas.
   std::pair<std::uint64_t, std::uint64_t> path_stats() const;
+
+  /// Sums a-deliveries externalized so far over all replicas.
+  std::uint64_t total_deliveries() const;
 
   /// Null unless the config asked for durability.
   storage::StorageManager* storage() { return storage_.get(); }

@@ -55,6 +55,11 @@ class SpscRing {
       if (head == cached_tail_) return false;
     }
     out = std::move(slots_[head & mask_]);
+    // A moved-from T may still own memory (shared_ptr refcounts, vector
+    // capacity); reset the slot so an idle ring pins no freight. Must
+    // happen before publishing head_: afterwards the producer may claim
+    // the slot.
+    slots_[head & mask_] = T{};
     head_.store(head + 1, std::memory_order_release);
     return true;
   }

@@ -79,6 +79,14 @@ struct TransportOptions {
   /// supports it and falls back to poll(2) otherwise. kPoll is the default
   /// so existing single-threaded deployments are bit-for-bit unchanged.
   BackendKind backend = BackendKind::kPoll;
+  /// How long listen() retries bind() on EADDRINUSE. The retry exists for
+  /// one reason: io_uring's deferred ring-exit work can hold a just-closed
+  /// listen socket's last file reference a few ms past close(), so
+  /// back-to-back restarts on a fixed port need a grace window. -1 (auto)
+  /// scopes the retry to exactly that case — 500ms on the uring backend,
+  /// 0 on poll so a genuine port conflict fails fast instead of hanging
+  /// half a second. Set explicitly to override either way.
+  int bind_retry_ms = -1;
 };
 
 class TcpTransport {
@@ -156,6 +164,7 @@ class TcpTransport {
     std::uint64_t connect_failures = 0;  ///< failed connect attempts
     std::uint64_t disconnects = 0;       ///< established connections lost
     std::uint64_t tx_frames_dropped = 0;  ///< frames shed (overflow/budget)
+    std::uint64_t listen_retries = 0;  ///< EADDRINUSE bind retries in listen()
   };
   const Stats& stats() const { return stats_; }
 
@@ -202,6 +211,7 @@ class TcpTransport {
 
   NodeId self_;
   AddressBook addresses_;
+  TransportOptions options_;
   RetryPolicy retry_;
   std::unique_ptr<TransportBackend> backend_;
   int listen_fd_ = -1;
@@ -217,6 +227,7 @@ class TcpTransport {
   obs::Counter* c_connect_failures_ = nullptr;
   obs::Counter* c_disconnects_ = nullptr;
   obs::Counter* c_tx_dropped_ = nullptr;
+  obs::Counter* c_listen_retries_ = nullptr;
 
   std::vector<TransportBackend::Event> events_;  ///< reused per poll_once
 };

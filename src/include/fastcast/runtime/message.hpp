@@ -194,6 +194,33 @@ struct MpSubmit {
   MulticastMessage msg;
 };
 
+/// Out-of-band payload dissemination for the non-genuine protocol's
+/// id-ordering mode (Ring-Paxos style split): the ordering leader forwards
+/// the body directly to every destination replica while consensus orders
+/// only compact MpIdRecord batches. Also the reply to MpBodyRequest.
+struct MpBody {
+  MulticastMessage msg;
+};
+
+/// Pull-based body recovery: a replica whose ordered id-record stalled
+/// without its body (dissemination lost, leader crashed mid-send) asks a
+/// likely holder to re-send MpBody. The requester is the `from` of the
+/// envelope; any node still retaining the body answers.
+struct MpBodyRequest {
+  MsgId mid = 0;
+};
+
+/// Compact ordering record proposed to consensus in id mode: everything a
+/// replica needs to slot the message into the decision order and to locate
+/// its body. The payload itself never flows through Paxos.
+struct MpIdRecord {
+  MsgId mid = 0;
+  NodeId sender = kInvalidNode;
+  std::vector<GroupId> dst;
+
+  friend bool operator==(const MpIdRecord&, const MpIdRecord&) = default;
+};
+
 /// Sent by a destination replica to msg.sender when it a-delivers the
 /// message; closed-loop clients complete a request on the first ack.
 struct AmAck {
@@ -257,7 +284,7 @@ struct P2bMore {
 using Payload = std::variant<RmData, RmAck, P1a, P1b, P2a, P2b, PaxosNack,
                              P2bRequest, MpSubmit, AmAck, FdHeartbeat,
                              WatermarkAnnounce, RepairRequest, RepairSnapshot,
-                             P2bMore>;
+                             P2bMore, MpBody, MpBodyRequest>;
 
 struct Message {
   Payload payload;
@@ -265,6 +292,13 @@ struct Message {
 
 /// Human-readable payload-kind name (logging/tracing).
 const char* message_kind(const Message& m);
+
+/// Cheap estimate of the encoded wire size of a message: a fixed header
+/// allowance plus the dominant variable-length fields (application
+/// payloads, consensus values). Used by the simulator's optional per-byte
+/// CPU model to charge bandwidth-proportional cost without serializing
+/// every unicast; not byte-exact, but exact for the fields that dominate.
+std::size_t approx_wire_bytes(const Message& m);
 
 // ---------------------------------------------------------------------------
 // Serialization. encode/decode round-trip every payload; decode returns
@@ -303,5 +337,13 @@ void encode_msg_batch_into(const std::vector<MulticastMessage>& msgs,
                            std::vector<std::byte>& out);
 bool decode_msg_batch(std::span<const std::byte> bytes,
                       std::vector<MulticastMessage>& out);
+
+/// Encodes a batch of id records as an opaque consensus value for the
+/// non-genuine protocol's id-ordering mode (and back).
+std::vector<std::byte> encode_id_batch(const std::vector<MpIdRecord>& records);
+void encode_id_batch_into(const std::vector<MpIdRecord>& records,
+                          std::vector<std::byte>& out);
+bool decode_id_batch(std::span<const std::byte> bytes,
+                     std::vector<MpIdRecord>& out);
 
 }  // namespace fastcast

@@ -40,6 +40,12 @@ namespace sim {
 struct CpuModel {
   Duration per_message = 0;
   Duration per_send = 0;
+  /// Serialization/copy cost per estimated wire byte of each outbound
+  /// unicast (approx_wire_bytes). 0 — the default — keeps message size
+  /// free, preserving the historical model; throughput experiments that
+  /// care where payload *bytes* flow (dissemination/ordering splits) set
+  /// it to a NIC/memcpy-scale figure, e.g. 1ns/byte ≈ 1 GB/s per node.
+  Duration per_byte = 0;
 };
 
 struct SimConfig {

@@ -57,6 +57,7 @@ TcpTransport::TcpTransport(NodeId self, AddressBook addresses,
                            TransportOptions options)
     : self_(self),
       addresses_(addresses),
+      options_(options),
       backend_(make_backend(options.backend)),
       rng_(0xbacc0ffULL + self) {}
 
@@ -65,6 +66,7 @@ void TcpTransport::set_observability(obs::Observability* o) {
   c_connect_failures_ = o ? &o->metrics.counter("net.connect_failures") : nullptr;
   c_disconnects_ = o ? &o->metrics.counter("net.disconnects") : nullptr;
   c_tx_dropped_ = o ? &o->metrics.counter("net.tx_frames_dropped") : nullptr;
+  c_listen_retries_ = o ? &o->metrics.counter("net.listen_retries") : nullptr;
 }
 
 TcpTransport::~TcpTransport() { close_all(); }
@@ -81,15 +83,21 @@ void TcpTransport::listen() {
   addr.sin_family = AF_INET;
   addr.sin_port = htons(addresses_.port_of(self_));
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  // Bind with a short bounded retry. SO_REUSEADDR covers TIME_WAIT, but a
-  // just-exited process can hold the port a few milliseconds longer than
-  // that: accepted sockets draining through LAST_ACK, and — with io_uring —
-  // the kernel's deferred ring-exit work, which drops the ring's last file
-  // references ~5ms after close(ring) and which userspace cannot flush
-  // synchronously. Retrying makes back-to-back restarts on a fixed port
-  // reliable (observed: repeated tcp_cluster runs on the uring backend).
+  // Bind with a bounded EADDRINUSE retry, scoped to the one case that
+  // needs it. SO_REUSEADDR covers TIME_WAIT, but io_uring's deferred
+  // ring-exit work drops a just-closed ring's last file references ~5ms
+  // after close(ring) — userspace cannot flush it synchronously, so
+  // back-to-back restarts on a fixed port need a grace window (observed:
+  // repeated tcp_cluster runs on the uring backend). On poll there is no
+  // such deferral: retrying there would only turn a genuine port conflict
+  // (another live process owns the port) into a 500ms hang before the
+  // same error, so the auto default fails fast. bind_retry_ms overrides.
+  const int retry_ms =
+      options_.bind_retry_ms >= 0
+          ? options_.bind_retry_ms
+          : (std::strcmp(backend_->name(), "uring") == 0 ? 500 : 0);
   const auto bind_deadline =
-      std::chrono::steady_clock::now() + std::chrono::milliseconds(500);
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(retry_ms);
   while (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
          0) {
     if (errno != EADDRINUSE ||
@@ -99,6 +107,8 @@ void TcpTransport::listen() {
           std::to_string(addresses_.port_of(self_)) + ": " +
           std::strerror(errno));
     }
+    ++stats_.listen_retries;
+    if (c_listen_retries_ != nullptr) c_listen_retries_->inc();
     std::this_thread::sleep_for(std::chrono::milliseconds(2));
   }
   if (::listen(listen_fd_, 64) != 0) throw std::runtime_error("listen() failed");

@@ -2,6 +2,7 @@
 
 #include "fastcast/common/assert.hpp"
 #include "fastcast/common/logging.hpp"
+#include "fastcast/obs/observability.hpp"
 #include "fastcast/storage/storage.hpp"
 
 namespace fastcast::paxos {
@@ -101,6 +102,16 @@ void Proposer::open_instance(Context& ctx, InstanceId inst,
                              std::vector<std::byte> value) {
   P2a accept{config_.group, ballot_, inst, value};
   in_flight_.emplace(inst, std::move(value));
+  if (auto* o = ctx.obs()) {
+    // Pipeline depth: how many consensus instances this proposer keeps in
+    // flight simultaneously (bounded by config_.window), plus the size of
+    // each proposed value — together they show whether the ordering path
+    // is running id-batches through a deep pipeline or serialized payloads.
+    o->metrics.gauge("paxos.pipeline.in_flight")
+        .record_max(static_cast<std::int64_t>(in_flight_.size()));
+    o->metrics.histogram("paxos.pipeline.value_bytes")
+        .observe(static_cast<std::int64_t>(accept.value.size()));
+  }
   for (NodeId a : config_.acceptors) ctx.send(a, Message{accept});
   arm_retry(ctx);
 }

@@ -23,6 +23,8 @@ enum class WireTag : std::uint8_t {
   kRepairRequest = 13,
   kRepairSnapshot = 14,
   kP2bMore = 15,
+  kMpBody = 16,
+  kMpBodyRequest = 17,
 };
 
 enum class AmTag : std::uint8_t { kStart = 1, kSendSoft = 2, kSendHard = 3 };
@@ -138,8 +140,52 @@ const char* message_kind(const Message& m) {
     const char* operator()(const RepairRequest&) const { return "RepairRequest"; }
     const char* operator()(const RepairSnapshot&) const { return "RepairSnapshot"; }
     const char* operator()(const P2bMore&) const { return "P2bMore"; }
+    const char* operator()(const MpBody&) const { return "MpBody"; }
+    const char* operator()(const MpBodyRequest&) const { return "MpBodyRequest"; }
   };
   return std::visit(Visitor{}, m.payload);
+}
+
+namespace {
+
+// Member templates are illegal in local classes, so the visitor lives here.
+struct WireBytesVisitor {
+  std::size_t operator()(const RmData& d) const {
+    std::size_t n = 8 * d.dest_nodes.size() + d.dst_groups.size();
+    if (const auto* s = std::get_if<AmStart>(&d.inner)) {
+      n += s->msg.payload.size() + s->msg.dst.size();
+    }
+    return n;
+  }
+  std::size_t operator()(const P1b& p) const {
+    std::size_t n = 0;
+    for (const auto& e : p.accepted) n += 16 + e.value.size();
+    return n;
+  }
+  std::size_t operator()(const P2a& p) const { return p.value.size(); }
+  std::size_t operator()(const P2b& p) const { return p.value.size(); }
+  std::size_t operator()(const MpSubmit& s) const {
+    return s.msg.payload.size() + s.msg.dst.size();
+  }
+  std::size_t operator()(const MpBody& b) const {
+    return b.msg.payload.size() + b.msg.dst.size();
+  }
+  std::size_t operator()(const RepairSnapshot& s) const {
+    return s.payload.size();
+  }
+  template <typename T>
+  std::size_t operator()(const T&) const {
+    return 0;
+  }
+};
+
+}  // namespace
+
+std::size_t approx_wire_bytes(const Message& m) {
+  // Fixed allowance for the tag plus small scalar fields; only the fields
+  // that can dominate a frame are counted exactly.
+  constexpr std::size_t kBase = 16;
+  return kBase + std::visit(WireBytesVisitor{}, m.payload);
 }
 
 void encode(Writer& w, const MulticastMessage& m) {
@@ -231,6 +277,53 @@ bool decode_msg_batch(std::span<const std::byte> bytes,
     MulticastMessage m;
     if (!decode(r, m)) return false;
     out.push_back(std::move(m));
+  }
+  return r.at_end();
+}
+
+namespace {
+
+void encode_id_record(Writer& w, const MpIdRecord& rec) {
+  w.u64(rec.mid);
+  w.u32(rec.sender);
+  encode_groups(w, rec.dst);
+}
+
+bool decode_id_record(Reader& r, MpIdRecord& out) {
+  out.mid = r.u64();
+  out.sender = r.u32();
+  if (!decode_groups(r, out.dst)) return false;
+  return r.ok();
+}
+
+}  // namespace
+
+std::vector<std::byte> encode_id_batch(const std::vector<MpIdRecord>& records) {
+  std::vector<std::byte> out;
+  encode_id_batch_into(records, out);
+  return out;
+}
+
+void encode_id_batch_into(const std::vector<MpIdRecord>& records,
+                          std::vector<std::byte>& out) {
+  out.clear();
+  Writer w(std::move(out));
+  w.varint(records.size());
+  for (const MpIdRecord& rec : records) encode_id_record(w, rec);
+  out = w.take();
+}
+
+bool decode_id_batch(std::span<const std::byte> bytes,
+                     std::vector<MpIdRecord>& out) {
+  Reader r(bytes);
+  const std::uint64_t n = r.varint();
+  if (!r.ok() || n > bytes.size()) return false;
+  out.clear();
+  out.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    MpIdRecord rec;
+    if (!decode_id_record(r, rec)) return false;
+    out.push_back(std::move(rec));
   }
   return r.at_end();
 }
@@ -342,6 +435,14 @@ void encode(Writer& w, const Message& m) {
       w.u8(static_cast<std::uint8_t>(WireTag::kP2bMore));
       w.varint(m2.group);
       w.u64(m2.next_instance);
+    }
+    void operator()(const MpBody& b) const {
+      w.u8(static_cast<std::uint8_t>(WireTag::kMpBody));
+      encode(w, b.msg);
+    }
+    void operator()(const MpBodyRequest& q) const {
+      w.u8(static_cast<std::uint8_t>(WireTag::kMpBodyRequest));
+      w.u64(q.mid);
     }
   };
   std::visit(Visitor{w}, m.payload);
@@ -489,6 +590,18 @@ bool decode(Reader& r, Message& out) {
       m2.group = static_cast<GroupId>(r.varint());
       m2.next_instance = r.u64();
       out.payload = m2;
+      return r.ok();
+    }
+    case WireTag::kMpBody: {
+      MpBody b;
+      if (!decode(r, b.msg)) return false;
+      out.payload = std::move(b);
+      return r.ok();
+    }
+    case WireTag::kMpBodyRequest: {
+      MpBodyRequest q;
+      q.mid = r.u64();
+      out.payload = q;
       return r.ok();
     }
   }

@@ -244,9 +244,19 @@ bool Simulator::run_to_idle(Time limit) {
 void Simulator::run_handler(NodeState& node, Time at, EventFn&& body) {
   if (node.crashed) return;
   body();
-  const Duration cost =
+  Duration cost =
       node.cpu.per_message +
       node.cpu.per_send * static_cast<Duration>(node.ctx->pending_.size());
+  if (node.cpu.per_byte > 0) {
+    // Bandwidth-proportional term: big frames (payload batches through
+    // consensus, body dissemination) cost CPU/NIC time where small control
+    // messages stay cheap. Charged on the sender, where the copy happens.
+    std::uint64_t bytes = 0;
+    for (const auto& send : node.ctx->pending_) {
+      bytes += approx_wire_bytes(*send.msg);
+    }
+    cost += node.cpu.per_byte * static_cast<Duration>(bytes);
+  }
   const Time done = at + cost;
   node.busy_until = done;
   flush_sends(node, done);

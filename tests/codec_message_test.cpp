@@ -142,6 +142,54 @@ TEST(MessageCodec, MsgBatchRoundTrip) {
   EXPECT_EQ(out, batch);
 }
 
+TEST(MessageCodec, IdOrderingMessagesRoundTrip) {
+  const MpBody b = round_trip(MpBody{sample_msg()});
+  EXPECT_EQ(b.msg, sample_msg());
+  const MpBodyRequest q = round_trip(MpBodyRequest{make_msg_id(7, 42)});
+  EXPECT_EQ(q.mid, make_msg_id(7, 42));
+}
+
+TEST(MessageCodec, IdBatchRoundTrip) {
+  std::vector<MpIdRecord> batch = {
+      {make_msg_id(1, 1), 1, {0, 1, 2}},
+      {make_msg_id(2, 9), 2, {3}},
+      {make_msg_id(3, 77), 5, {}},
+  };
+  const auto bytes = encode_id_batch(batch);
+  std::vector<MpIdRecord> out;
+  ASSERT_TRUE(decode_id_batch(bytes, out));
+  EXPECT_EQ(out, batch);
+}
+
+TEST(MessageCodec, IdBatchRejectsTruncation) {
+  const auto bytes = encode_id_batch({{make_msg_id(4, 4), 3, {0, 1}}});
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    std::vector<std::byte> cut(bytes.begin(),
+                               bytes.begin() + static_cast<std::ptrdiff_t>(len));
+    std::vector<MpIdRecord> out;
+    EXPECT_FALSE(decode_id_batch(cut, out)) << "prefix " << len;
+  }
+}
+
+TEST(MessageCodec, ApproxWireBytesTracksDominantFields) {
+  // The estimate only needs to rank frames: a payload-carrying frame must
+  // dwarf a control frame, and grow with its payload.
+  MulticastMessage small = sample_msg();
+  MulticastMessage big = sample_msg();
+  big.payload = std::string(4096, 'q');
+  const auto small_body = approx_wire_bytes(Message{MpBody{small}});
+  const auto big_body = approx_wire_bytes(Message{MpBody{big}});
+  const auto ack = approx_wire_bytes(Message{AmAck{small.id, 0, 1}});
+  EXPECT_GT(small_body, ack);
+  EXPECT_GE(big_body, small_body + 4000);
+  // P2a/P2b cost tracks the proposed value, the heart of the
+  // payload-vs-id ordering contrast.
+  const auto fat = approx_wire_bytes(
+      Message{P2a{0, {}, 1, std::vector<std::byte>(1000)}});
+  const auto thin = approx_wire_bytes(Message{P2a{0, {}, 1, {}}});
+  EXPECT_GE(fat, thin + 1000);
+}
+
 TEST(MessageCodec, DecodeRejectsTruncation) {
   const auto bytes = encode_message(Message{MpSubmit{sample_msg()}});
   for (std::size_t cut = 0; cut < bytes.size(); ++cut) {

@@ -187,6 +187,131 @@ TEST(Codec, VarintRejectsOverlongOnBothDecodePaths) {
   EXPECT_FALSE(tail.ok());
 }
 
+// ---------------------------------------------------------------------------
+// Adversarial varint fuzzing. Reader::varint has three routes — the 1-byte
+// fast path, the bounds-check-free unrolled decoder (>=10 bytes remaining)
+// and the per-byte tail loop — which must accept/reject exactly the same
+// byte strings with the same value and consumed length. The oracle below is
+// a third, deliberately naive LEB128 decoder written straight from the spec,
+// so a shared bug in the two production paths still gets caught.
+
+struct VarintOracle {
+  std::uint64_t value = 0;
+  std::size_t consumed = 0;
+  bool ok = false;
+};
+
+VarintOracle reference_varint(std::span<const std::byte> in) {
+  VarintOracle out;
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    if (i >= 10) return out;  // an 11th byte would need shift > 63
+    const auto b = static_cast<std::uint8_t>(in[i]);
+    v |= static_cast<std::uint64_t>(b & 0x7f) << (7 * i);
+    if ((b & 0x80) == 0) {
+      out.value = v;
+      out.consumed = i + 1;
+      out.ok = true;
+      return out;
+    }
+  }
+  return out;  // ran off the end with the continuation bit still set
+}
+
+TEST(Codec, VarintFuzzRoundTripBothPaths) {
+  Rng rng(0x5eed);
+  for (int iter = 0; iter < 20000; ++iter) {
+    // Mask to a random bit width so every encoded length 1..10 shows up.
+    const auto bits = 1 + static_cast<unsigned>(rng.uniform(64));
+    std::uint64_t v = rng.next();
+    if (bits < 64) v &= (1ULL << bits) - 1;
+    Writer w;
+    w.varint(v);
+    // Exact-size buffer: multi-byte values take the per-byte tail loop.
+    Reader tail(w.data());
+    ASSERT_EQ(tail.varint(), v);
+    ASSERT_TRUE(tail.ok());
+    ASSERT_TRUE(tail.at_end());
+    // Adversarial 0xff padding (continuation bit everywhere): the unrolled
+    // path must stop at the value's own terminator, never read on.
+    std::vector<std::byte> padded(w.data().begin(), w.data().end());
+    padded.resize(padded.size() + 10, std::byte{0xff});
+    Reader fast(padded);
+    ASSERT_EQ(fast.varint(), v);
+    ASSERT_TRUE(fast.ok());
+    ASSERT_EQ(fast.remaining(), 10u);
+  }
+}
+
+TEST(Codec, VarintFuzzRandomBytesMatchOracle) {
+  Rng rng(0xfacade);
+  for (int iter = 0; iter < 20000; ++iter) {
+    // Continuation-biased bytes reach the deep unroll tiers far more often
+    // than uniform bytes would (a uniform byte terminates half the time).
+    const auto len = static_cast<std::size_t>(1 + rng.uniform(14));
+    std::vector<std::byte> buf(len);
+    for (auto& slot : buf) {
+      auto b = static_cast<std::uint8_t>(rng.next());
+      if (rng.uniform(4) != 0) b |= 0x80;
+      slot = std::byte{b};
+    }
+    const VarintOracle want = reference_varint(buf);
+    Reader r(buf);  // len >= 10 takes the unrolled path, < 10 the tail loop
+    const std::uint64_t got = r.varint();
+    ASSERT_EQ(r.ok(), want.ok) << "len " << len;
+    if (!want.ok) continue;
+    ASSERT_EQ(got, want.value);
+    ASSERT_EQ(buf.size() - r.remaining(), want.consumed);
+    // The same logical bytes must decode identically however much trails
+    // them: exact size (tail loop) vs >=10 spare bytes (unrolled).
+    std::vector<std::byte> exact(buf.begin(),
+                                 buf.begin() + static_cast<std::ptrdiff_t>(
+                                                   want.consumed));
+    Reader t(exact);
+    ASSERT_EQ(t.varint(), want.value);
+    ASSERT_TRUE(t.ok());
+    exact.resize(want.consumed + 10, std::byte{0xff});
+    Reader f(exact);
+    ASSERT_EQ(f.varint(), want.value);
+    ASSERT_TRUE(f.ok());
+    ASSERT_EQ(f.remaining(), 10u);
+  }
+}
+
+TEST(Codec, VarintFuzzBoundaryTruncations) {
+  Rng rng(0xb0b);
+  for (int iter = 0; iter < 5000; ++iter) {
+    const std::uint64_t v = rng.next() >> rng.uniform(64);
+    Writer w;
+    w.varint(v);
+    const auto& wire = w.data();
+    for (std::size_t k = 0; k < wire.size(); ++k) {
+      // Every proper prefix ends on a continuation byte. The exact-size
+      // reader (tail loop) must fail cleanly...
+      std::vector<std::byte> prefix(wire.begin(),
+                                    wire.begin() + static_cast<std::ptrdiff_t>(k));
+      Reader t(prefix);
+      t.varint();
+      ASSERT_FALSE(t.ok()) << "prefix " << k << " of " << wire.size();
+      // ...while the same prefix with garbage appended (unrolled path once
+      // >=10 bytes remain) must agree with the oracle byte-for-byte —
+      // whether that means failing or decoding a different value.
+      prefix.resize(k + 11);
+      for (std::size_t i = k; i < prefix.size(); ++i) {
+        prefix[i] = std::byte{static_cast<std::uint8_t>(rng.next())};
+      }
+      const VarintOracle want = reference_varint(prefix);
+      Reader f(prefix);
+      const std::uint64_t got = f.varint();
+      ASSERT_EQ(f.ok(), want.ok);
+      if (want.ok) {
+        ASSERT_EQ(got, want.value);
+        ASSERT_EQ(prefix.size() - f.remaining(), want.consumed);
+      }
+    }
+  }
+}
+
 TEST(Codec, StringsAndBytes) {
   Writer w;
   w.str("hello");

@@ -215,5 +215,36 @@ TEST_F(DeliveryBufferTest, ManyMessagesDeliverInTimestampOrder) {
   for (std::size_t i = 0; i < 50; ++i) EXPECT_EQ(delivered[i], sorted[i].second);
 }
 
+TEST_F(DeliveryBufferTest, RestoredBodyDeliversViaConsensusReplay) {
+  // The durable-recovery shape: restore_durable re-installs delivered ids
+  // and persisted bodies first, THEN the consensus catch-up replays tuples
+  // through add_entry. The restored body (restore_body deliberately never
+  // attempts delivery itself) must satisfy the FINAL formed by the replay.
+  buffer.restore_delivered({7});
+  buffer.restore_body(msg(1, {0}));
+  buffer.restore_body(msg(7, {0}));  // already delivered: must stay dropped
+  EXPECT_TRUE(buffer.has_body(1));
+  EXPECT_FALSE(buffer.has_body(7));
+  EXPECT_TRUE(delivered.empty());
+  buffer.add_entry(ctx, EntryKind::kSyncHard, 0, 5, 1);
+  EXPECT_EQ(delivered, (std::vector<MsgId>{1}));
+  // Replayed tuples of the already-delivered message change nothing.
+  buffer.add_entry(ctx, EntryKind::kSyncHard, 0, 6, 7);
+  EXPECT_EQ(delivered, (std::vector<MsgId>{1}));
+}
+
+TEST_F(DeliveryBufferTest, RestoreBodyAfterFinalFormedAborts) {
+  // restore_body cannot retry delivery (no Context), so it relies on the
+  // invariant that restore precedes any FINAL formation. This pins the
+  // assert that turns a silent stalled-forever delivery into a loud crash
+  // if the restore ordering is ever broken.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  buffer.note_dst(1, {0});
+  buffer.add_entry(ctx, EntryKind::kSyncHard, 0, 5, 1);  // FINAL, no body
+  EXPECT_EQ(buffer.undelivered_count(), 1u);
+  EXPECT_TRUE(delivered.empty());  // stalled on the missing body
+  EXPECT_DEATH(buffer.restore_body(msg(1, {0})), "restore must precede");
+}
+
 }  // namespace
 }  // namespace fastcast

@@ -6,6 +6,7 @@
 #include <map>
 
 #include "fastcast/amcast/multipaxos_amcast.hpp"
+#include "fastcast/harness/chaos.hpp"
 #include "fastcast/harness/experiment.hpp"
 
 namespace fastcast::harness {
@@ -155,6 +156,129 @@ TEST(MultiPaxosAmcast, ScalesPoorlyVsGenuineForLocalTraffic) {
     tput[i++] = r.throughput.mean_per_sec;
   }
   EXPECT_GT(tput[0], tput[1] * 1.5) << "genuine should scale out";
+}
+
+// ---------------------------------------------------------------------------
+// Id-ordering mode: bodies disseminated out-of-band, consensus orders
+// compact id records. Ordering safety must be indistinguishable from the
+// payload mode; only the wire traffic shape differs.
+
+TEST(MultiPaxosIdOrdering, DeliversWithAllProperties) {
+  auto cfg = mp_config(3, 6);
+  cfg.mp_ordering = ExperimentConfig::MpOrdering::kIds;
+  cfg.dst_factory = same_dst_for_all(random_subset(3, 2));
+  const auto r = run_experiment(cfg);
+  EXPECT_TRUE(r.drained);
+  EXPECT_TRUE(r.report.ok) << r.report.violations[0];
+  EXPECT_GT(r.report.delivery_count, 0u);
+}
+
+TEST(MultiPaxosIdOrdering, TotalOrderAcrossAllGroups) {
+  auto cfg = mp_config(2, 4);
+  cfg.mp_ordering = ExperimentConfig::MpOrdering::kIds;
+  cfg.dst_factory = same_dst_for_all(all_groups(2));
+  Cluster cluster(cfg);
+  std::map<NodeId, std::vector<MsgId>> orders;
+  for (NodeId n : cluster.deployment().membership.all_replicas()) {
+    cluster.replica(n).add_observer(
+        [&orders](Context& ctx, const MulticastMessage& msg) {
+          orders[ctx.self()].push_back(msg.id);
+        });
+  }
+  cluster.start();
+  cluster.stop_clients(milliseconds(100));
+  ASSERT_TRUE(cluster.simulator().run_to_idle(seconds(30)));
+  const auto& ref = orders[0];
+  EXPECT_FALSE(ref.empty());
+  for (NodeId n = 1; n < 6; ++n) EXPECT_EQ(orders[n], ref) << "node " << n;
+}
+
+TEST(MultiPaxosIdOrdering, BatchAccumulationStillDeliversEverything) {
+  // Size/time thresholds hold records back; the flush timer must release
+  // partial batches so nothing is stranded when load stops.
+  auto cfg = mp_config(2, 8);
+  cfg.mp_ordering = ExperimentConfig::MpOrdering::kIds;
+  cfg.mp_batch_fill = 8;
+  cfg.mp_batch_delay = milliseconds(2);
+  cfg.observe = true;
+  cfg.dst_factory = same_dst_for_all(all_groups(2));
+  const auto r = run_experiment(cfg);
+  EXPECT_TRUE(r.drained);
+  EXPECT_TRUE(r.report.ok) << r.report.violations[0];
+  ASSERT_NE(r.obs, nullptr);
+  const auto batches = r.obs->metrics.histograms();
+  const auto it = batches.find("multipaxos.batch_records");
+  ASSERT_NE(it, batches.end());
+  EXPECT_GT(it->second.count, 0u);
+}
+
+TEST(MultiPaxosIdOrdering, SurvivesLossyLinksViaBodyPulls) {
+  // 20% drop hits MpBody dissemination too: decided id records stall until
+  // the pull path (MpBodyRequest against retained copies) or the client
+  // stub's re-submission re-supplies the payload. Integrity + order must
+  // hold and the run must still complete messages.
+  auto cfg = mp_config(2, 2);
+  cfg.mp_ordering = ExperimentConfig::MpOrdering::kIds;
+  cfg.drop_probability = 0.2;
+  cfg.dst_factory = same_dst_for_all(all_groups(2));
+  cfg.measure = milliseconds(300);
+  const auto r = run_experiment(cfg);
+  EXPECT_TRUE(r.report.ok) << r.report.violations[0];
+  EXPECT_GT(r.report.delivery_count, 0u);
+}
+
+TEST(MultiPaxosIdOrdering, OrderersRetainOnlyBoundedBodies) {
+  // Orderer nodes store bodies solely to serve pulls; the retained FIFO
+  // must bound that store regardless of run length.
+  auto cfg = mp_config(2, 8);
+  cfg.mp_ordering = ExperimentConfig::MpOrdering::kIds;
+  cfg.dst_factory = same_dst_for_all(all_groups(2));
+  Cluster cluster(cfg);
+  cluster.start();
+  cluster.stop_clients(milliseconds(200));
+  ASSERT_TRUE(cluster.simulator().run_to_idle(seconds(30)));
+  const auto& m = cluster.deployment().membership;
+  for (NodeId n : m.all_replicas()) {
+    auto* mp = dynamic_cast<MultiPaxosAmcast*>(&cluster.replica(n).protocol());
+    ASSERT_NE(mp, nullptr);
+    EXPECT_EQ(mp->stalled_deliveries(), 0u) << "node " << n;
+    EXPECT_LE(mp->body_store_size(), 8192u) << "node " << n;
+  }
+}
+
+TEST(MultiPaxosIdOrdering, DurableChaosCampaignStaysSafe) {
+  // Real process deaths while bodies ride outside consensus: restarted
+  // replicas must restore WAL-logged bodies, replay decided id batches,
+  // and pull anything lost in the crash window.
+  for (std::uint64_t seed : {2u, 6u}) {
+    ChaosRunConfig cfg;
+    cfg.seed = seed;
+    cfg.experiment.topo.env = Environment::kLan;
+    cfg.experiment.topo.groups = 2;
+    cfg.experiment.topo.clients = 4;
+    cfg.experiment.topo.protocol = Protocol::kMultiPaxos;
+    cfg.experiment.mp_ordering = ExperimentConfig::MpOrdering::kIds;
+    cfg.experiment.warmup = milliseconds(20);
+    cfg.experiment.measure = milliseconds(400);
+    cfg.experiment.slice = milliseconds(20);
+    cfg.experiment.check_level = Checker::Level::kFull;
+    cfg.experiment.dst_factory = same_dst_for_all(random_subset(2, 2));
+    cfg.experiment.drop_probability = 0.01;
+    cfg.experiment.heartbeats = true;
+    cfg.experiment.durability.durable = true;
+    cfg.experiment.durability.snapshot_every = 512;
+    cfg.faults.crashes = 2;
+    cfg.faults.leader_bias = 0.5;
+    cfg.faults.min_downtime = milliseconds(40);
+    cfg.faults.max_downtime = milliseconds(80);
+    const ChaosRunResult result = run_chaos(cfg);
+    ASSERT_TRUE(result.report.ok)
+        << "seed " << seed << "\n"
+        << result.to_string() << "\nschedule:\n"
+        << result.schedule.describe();
+    EXPECT_GT(result.completions, 0u) << "seed " << seed;
+    EXPECT_EQ(result.recoveries, result.crashes);
+  }
 }
 
 }  // namespace

@@ -20,6 +20,7 @@
 #include "fastcast/amcast/node.hpp"
 #include "fastcast/checker/checker.hpp"
 #include "fastcast/net/sharded_transport.hpp"
+#include "fastcast/net/spsc_ring.hpp"
 #include "fastcast/net/tcp_cluster.hpp"
 #include "fastcast/net/timer_heap.hpp"
 
@@ -818,6 +819,42 @@ TEST_P(ShardedConformance, RoutesPeersAcrossShardsBothDirections) {
     senders[i].t->close_all();
   }
   hub.stop();
+}
+
+TEST(SpscRing, PopReleasesSlotFreight) {
+  // Regression: pop() move-assigned out of the slot but left the husk in
+  // place. A moved-from shared_ptr is guaranteed empty, but a moved-from
+  // vector/Message may legally keep its allocation — and even with
+  // shared_ptr, a slot that push() later overwrites is the only thing
+  // freeing it. Verify an idle ring holds no references to anything that
+  // passed through it.
+  SpscRing<std::shared_ptr<int>> ring(8);
+  auto probe = std::make_shared<int>(42);
+  std::weak_ptr<int> watch = probe;
+  ASSERT_TRUE(ring.push(std::move(probe)));
+  std::shared_ptr<int> out;
+  ASSERT_TRUE(ring.pop(out));
+  ASSERT_EQ(*out, 42);
+  out.reset();
+  // Ring is empty and the consumer dropped its copy: nothing may keep the
+  // object alive.
+  EXPECT_TRUE(ring.empty());
+  EXPECT_TRUE(watch.expired());
+
+  // Same through a full wrap: no slot may pin freight after its pop.
+  std::vector<std::weak_ptr<int>> watches;
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 8; ++i) {
+      auto p = std::make_shared<int>(i);
+      watches.push_back(p);
+      ASSERT_TRUE(ring.push(std::move(p)));
+    }
+    for (int i = 0; i < 8; ++i) {
+      ASSERT_TRUE(ring.pop(out));
+      out.reset();
+    }
+  }
+  for (const auto& w : watches) EXPECT_TRUE(w.expired());
 }
 
 TEST_P(ShardedConformance, SpscRingBackpressuresInsteadOfDropping) {
