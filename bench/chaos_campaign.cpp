@@ -45,6 +45,9 @@ using namespace fastcast::harness;
 struct Intensity {
   const char* name;
   sim::ChaosConfig faults;
+  /// --overload only: offered load as a multiple of the (deliberately
+  /// lowered) service capacity. 0 everywhere else.
+  double offered_multiplier = 0;
 };
 
 std::vector<Intensity> intensities() {
@@ -144,6 +147,66 @@ std::vector<Intensity> lag_intensities() {
   return out;
 }
 
+/// --overload scenario family: open-loop clients push offered load past
+/// the service capacity (lowered via a heavy per-message CPU cost) while
+/// leader-biased crashes land in the middle of the surge. The flow layer
+/// (DESIGN.md §14) is armed end to end — server admission + deadlines on
+/// the MultiPaxos side, advisory Busy + client backoff on the genuine
+/// side — and every seed asserts, on top of the safety verdict, the
+/// conservation law: every request reaches exactly one terminal state
+/// (completed / rejected / expired / timed out) with nothing left in
+/// flight after the settle window. Admitted messages are never silently
+/// lost, no matter how hard the cluster is pushed.
+std::vector<Intensity> overload_intensities() {
+  std::vector<Intensity> out;
+  {
+    Intensity i;
+    i.name = "surge";
+    i.offered_multiplier = 1.5;
+    i.faults.crashes = 1;
+    i.faults.leader_bias = 0.75;
+    i.faults.min_downtime = milliseconds(30);
+    i.faults.max_downtime = milliseconds(60);
+    i.faults.drop_bursts = 0;
+    i.faults.partitions = 0;
+    out.push_back(i);
+  }
+  {
+    Intensity i;
+    i.name = "surge-heavy";
+    i.offered_multiplier = 2.5;
+    i.faults.crashes = 2;
+    i.faults.leader_bias = 0.75;
+    i.faults.min_downtime = milliseconds(40);
+    i.faults.max_downtime = milliseconds(80);
+    i.faults.drop_bursts = 0;
+    i.faults.partitions = 0;
+    out.push_back(i);
+  }
+  {
+    Intensity i;
+    i.name = "surge-lossy";
+    i.offered_multiplier = 2.0;
+    i.faults.crashes = 1;
+    i.faults.leader_bias = 0.5;
+    i.faults.min_downtime = milliseconds(30);
+    i.faults.max_downtime = milliseconds(60);
+    i.faults.drop_bursts = 1;
+    i.faults.burst_drop_probability = 0.05;
+    i.faults.min_burst = milliseconds(20);
+    i.faults.max_burst = milliseconds(50);
+    i.faults.partitions = 0;
+    out.push_back(i);
+  }
+  return out;
+}
+
+/// Rough per-node service capacity under the --overload CPU model (50 us
+/// per handled message): each multicast costs the bottleneck node several
+/// protocol messages, so a low-thousands figure keeps the multipliers
+/// honest (1.5x is genuinely past the knee, 2.5x deep collapse territory).
+constexpr double kOverloadCapacityPerSec = 2000;
+
 ChaosRunConfig base_config(Protocol proto) {
   ChaosRunConfig cfg;
   cfg.experiment.topo.env = Environment::kLan;
@@ -183,6 +246,15 @@ struct CellResult {
   std::uint64_t repair_completed = 0;
   std::uint64_t repair_installed = 0;
   std::int64_t prune_watermark_max = 0;
+
+  // Overload-mode sums (zero when --overload is off).
+  std::uint64_t sent = 0;
+  std::uint64_t completions = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t timed_out = 0;
+  std::uint64_t suppressed = 0;
+  std::uint64_t retries = 0;
 };
 
 }  // namespace
@@ -197,18 +269,26 @@ int main(int argc, char** argv) {
   std::string json_path;
   bool durable = false;
   bool lag = false;
+  bool overload = false;
   std::string wal_dir;
   storage::FsyncPolicy fsync;
   const auto usage = [argv] {
     std::fprintf(stderr,
-                 "usage: %s [--smoke] [--lag] [--seeds N] [--json <path>]\n"
-                 "       [--durable] [--wal-dir <path>] [--fsync-policy <p>]\n"
+                 "usage: %s [--smoke] [--lag] [--overload] [--seeds N]\n"
+                 "       [--json <path>] [--durable] [--wal-dir <path>]\n"
+                 "       [--fsync-policy <p>]\n"
                  "  --smoke         3 seeds per cell (CI)\n"
                  "  --lag           lag-recovery scenario family: one replica\n"
                  "                  down for a long window then recovered;\n"
                  "                  repair (state transfer + pruning) enabled,\n"
                  "                  catch-up must complete and the prune\n"
                  "                  watermark must advance in every cell\n"
+                 "  --overload      overload scenario family: open-loop load\n"
+                 "                  past saturation plus leader-biased\n"
+                 "                  crashes, flow control armed; every seed\n"
+                 "                  asserts safety plus the terminal-state\n"
+                 "                  conservation law (admitted messages are\n"
+                 "                  never silently lost)\n"
                  "  --seeds         seeds per protocol x intensity cell "
                  "(default 20)\n"
                  "  --json          machine-readable campaign results\n"
@@ -226,6 +306,8 @@ int main(int argc, char** argv) {
       seeds = 3;
     } else if (std::strcmp(argv[i], "--lag") == 0) {
       lag = true;
+    } else if (std::strcmp(argv[i], "--overload") == 0) {
+      overload = true;
     } else if (std::strcmp(argv[i], "--seeds") == 0 && i + 1 < argc) {
       seeds = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
@@ -251,12 +333,20 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (lag && overload) {
+    std::fprintf(stderr, "chaos_campaign: --lag and --overload are separate "
+                         "scenario families; pick one\n");
+    return 2;
+  }
+
   const std::vector<Protocol> protocols = {
       Protocol::kBaseCast, Protocol::kFastCast, Protocol::kMultiPaxos};
   std::vector<CellResult> cells;
   bool all_ok = true;
 
-  const std::vector<Intensity> matrix = lag ? lag_intensities() : intensities();
+  const std::vector<Intensity> matrix = lag       ? lag_intensities()
+                                        : overload ? overload_intensities()
+                                                   : intensities();
   for (Protocol proto : protocols) {
     for (const Intensity& intensity : matrix) {
       CellResult cell;
@@ -271,6 +361,33 @@ int main(int argc, char** argv) {
           cfg.experiment.repair.lag_threshold = 32;
           // Bounded catch-up: the recovered replica must finish its transfer
           // well inside this settle window (asserted below).
+          cfg.cooldown = milliseconds(900);
+        }
+        if (overload) {
+          // Lower the service ceiling (50 us per handled message) so the
+          // open-loop rate below is genuinely past saturation, then arm
+          // the whole flow layer: server-side admission + deadline drops,
+          // client-side timeouts, capped backoff and a bounded retry
+          // budget.
+          cfg.experiment.cpu_override =
+              sim::CpuModel{microseconds(50), microseconds(5), 0};
+          const double offered =
+              kOverloadCapacityPerSec * intensity.offered_multiplier;
+          cfg.experiment.open_loop_interval = static_cast<Duration>(
+              static_cast<double>(kSecond) *
+              static_cast<double>(cfg.experiment.topo.clients) / offered);
+          cfg.experiment.flow.enable = true;
+          cfg.experiment.flow.target_delay = milliseconds(5);
+          cfg.experiment.flow.trigger_window = milliseconds(10);
+          cfg.experiment.client_flow.deadline = milliseconds(60);
+          cfg.experiment.client_flow.request_timeout = milliseconds(120);
+          cfg.experiment.client_flow.backoff_base = milliseconds(1);
+          cfg.experiment.client_flow.backoff_max = milliseconds(32);
+          cfg.experiment.client_flow.retry_budget = 0.25;
+          cfg.experiment.client_flow.max_retries = 2;
+          // Longer than the worst timeout+retry chain (3 x 120 ms plus
+          // backoff), so in_flight_end == 0 is a real assertion, not a
+          // race against unresolved timers.
           cfg.cooldown = milliseconds(900);
         }
         if (durable) {
@@ -293,20 +410,35 @@ int main(int argc, char** argv) {
         // learning), not been left permanently behind.
         const bool still_lagging =
             lag && r.end_max_lag >= cfg.experiment.repair.lag_threshold;
-        if (r.report.ok && !still_lagging) {
+        // Overload mode adds the conservation law: every primary send
+        // reached exactly one terminal state and nothing is left
+        // unresolved after the settle window. A violation means an
+        // admitted message (or its verdict) was silently lost.
+        const bool leaked =
+            overload &&
+            (r.sent != r.completions + r.rejected + r.expired + r.timed_out ||
+             r.in_flight_end != 0);
+        if (r.report.ok && !still_lagging && !leaked) {
           ++cell.passed;
         } else {
           all_ok = false;
           cell.failed_seeds.push_back(seed);
-          char lag_note[64] = "";
+          char note[96] = "";
           if (still_lagging) {
-            std::snprintf(lag_note, sizeof(lag_note),
+            std::snprintf(note, sizeof(note),
                           " (replica still lagging: end_max_lag=%llu)",
                           static_cast<unsigned long long>(r.end_max_lag));
+          } else if (leaked) {
+            std::snprintf(note, sizeof(note),
+                          " (conservation violated: sent=%llu resolved=%llu)",
+                          static_cast<unsigned long long>(r.sent),
+                          static_cast<unsigned long long>(
+                              r.completions + r.rejected + r.expired +
+                              r.timed_out));
           }
           std::fprintf(stderr, "FAIL %s/%s seed %llu%s\n%s\nschedule:\n%s\n",
                        cell.protocol, cell.intensity,
-                       static_cast<unsigned long long>(seed), lag_note,
+                       static_cast<unsigned long long>(seed), note,
                        r.to_string().c_str(), r.schedule.describe().c_str());
         }
         cell.availability_sum += r.availability;
@@ -324,6 +456,29 @@ int main(int argc, char** argv) {
         cell.repair_installed += r.repair_entries_installed;
         cell.prune_watermark_max =
             std::max(cell.prune_watermark_max, r.prune_watermark);
+        cell.sent += r.sent;
+        cell.completions += r.completions;
+        cell.rejected += r.rejected;
+        cell.expired += r.expired;
+        cell.timed_out += r.timed_out;
+        cell.suppressed += r.suppressed;
+        cell.retries += r.retries;
+      }
+      if (overload && cell.rejected + cell.expired + cell.suppressed +
+                              cell.timed_out ==
+                          0) {
+        // Past-saturation load with flow armed must visibly engage the
+        // control loop somewhere — explicit rejection/expiry on the
+        // MultiPaxos side, backoff suppression or timeouts on the
+        // advisory-only genuine side. All-zero means the scenario never
+        // actually overloaded anything.
+        all_ok = false;
+        std::fprintf(stderr,
+                     "FAIL %s/%s: overload control never engaged "
+                     "(sent=%llu completions=%llu)\n",
+                     cell.protocol, cell.intensity,
+                     static_cast<unsigned long long>(cell.sent),
+                     static_cast<unsigned long long>(cell.completions));
       }
       if (lag && (cell.repair_completed == 0 || cell.prune_watermark_max <= 0)) {
         // Across every seed of the cell at least one transfer must have
@@ -350,9 +505,14 @@ int main(int argc, char** argv) {
   if (lag) {
     headers.insert(headers.end(), {"transfers", "installed", "prune wm"});
   }
-  std::string title = std::string(lag ? "Lag-recovery" : "Chaos") +
-                      " campaigns (LAN, 2 groups, 4 clients; " +
-                      std::to_string(seeds) + " seeds per cell";
+  if (overload) {
+    headers.insert(headers.end(), {"sent", "rejected", "expired", "timed out",
+                                   "suppressed", "retries"});
+  }
+  std::string title =
+      std::string(lag ? "Lag-recovery" : overload ? "Overload" : "Chaos") +
+      " campaigns (LAN, 2 groups, 4 clients; " + std::to_string(seeds) +
+      " seeds per cell";
   if (durable) {
     title += "; durable, fsync " + fsync.to_string() +
              (wal_dir.empty() ? ", mem backend" : ", file backend");
@@ -384,6 +544,14 @@ int main(int argc, char** argv) {
       row.push_back(std::to_string(c.repair_installed));
       row.push_back(std::to_string(c.prune_watermark_max));
     }
+    if (overload) {
+      row.push_back(std::to_string(c.sent));
+      row.push_back(std::to_string(c.rejected));
+      row.push_back(std::to_string(c.expired));
+      row.push_back(std::to_string(c.timed_out));
+      row.push_back(std::to_string(c.suppressed));
+      row.push_back(std::to_string(c.retries));
+    }
     table.add_row(std::move(row));
   }
   table.print(
@@ -403,6 +571,7 @@ int main(int argc, char** argv) {
     w.kv("seeds_per_cell", seeds);
     w.kv("durable", durable);
     w.kv("lag", lag);
+    w.kv("overload", overload);
     if (durable) {
       w.kv("fsync_policy", fsync.to_string());
       w.kv("backend", wal_dir.empty() ? "mem" : "file");
@@ -431,6 +600,15 @@ int main(int argc, char** argv) {
         w.kv("repair_completed", c.repair_completed);
         w.kv("repair_installed", c.repair_installed);
         w.kv("prune_watermark_max", c.prune_watermark_max);
+      }
+      if (overload) {
+        w.kv("sent", c.sent);
+        w.kv("completions", c.completions);
+        w.kv("rejected", c.rejected);
+        w.kv("expired", c.expired);
+        w.kv("timed_out", c.timed_out);
+        w.kv("suppressed", c.suppressed);
+        w.kv("retries", c.retries);
       }
       w.key("failed_seeds").begin_array();
       for (const std::uint64_t s : c.failed_seeds) w.value(s);

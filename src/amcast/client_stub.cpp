@@ -25,7 +25,12 @@ void MultiPaxosClientStub::arm_retry(Context& ctx) {
     // Rotate through ordering members so a crashed leader is bypassed.
     retry_target_ = (retry_target_ + 1) % cfg_.ordering_members.size();
     const NodeId target = cfg_.ordering_members[retry_target_];
-    for (const auto& [mid, msg] : pending_) {
+    for (auto& [mid, msg] : pending_) {
+      // Fresh transmission, fresh stamp: the leader's arrival-lag estimate
+      // measures the path this frame took, not how old the request is (the
+      // deadline carries that). A stale stamp would keep the estimate — and
+      // the admission gate — pinned shut long after queues drained.
+      if (msg.sent_at > 0) msg.sent_at = ctx.now();
       ctx.send(target, Message{MpSubmit{msg}});
     }
     arm_retry(ctx);

@@ -21,7 +21,8 @@ bool addressed_to(const MpIdRecord& rec, GroupId g) {
 }  // namespace
 
 MultiPaxosAmcast::MultiPaxosAmcast(Config config, NodeId self)
-    : cfg_(std::move(config)), self_(self), cons_(cfg_.consensus, self) {
+    : cfg_(std::move(config)), self_(self), cons_(cfg_.consensus, self),
+      overload_(cfg_.flow) {
   cons_.set_decide([this](InstanceId, const std::vector<std::byte>& value) {
     FC_ASSERT_MSG(ctx_ != nullptr, "decision before on_start");
     on_decide(*ctx_, value);
@@ -94,22 +95,89 @@ bool MultiPaxosAmcast::handle(Context& ctx, NodeId from, const Message& msg) {
 void MultiPaxosAmcast::on_submit(Context& ctx, const MulticastMessage& msg) {
   if (!cons_.is_leader(ctx)) return;  // client will retry against the leader
   if (cfg_.ordering == Config::Ordering::kIds) {
-    if (!seen_submissions_.insert(msg.id).second) {
+    if (seen_submissions_.contains(msg.id)) {
       // Duplicate retry: the record is staged/ordered already, but the
       // first dissemination may have been lost — re-send the body.
+      // Already-accepted submissions bypass admission.
       disseminate(ctx, msg);
       return;
     }
+    if (!admit_submission(ctx, msg)) return;
+    seen_submissions_.insert(msg.id);
     disseminate(ctx, msg);
     store_body(ctx, msg);  // the leader's copy serves pull requests
     if (staged_ids_.empty()) first_staged_at_ = ctx.now();
     staged_ids_.push_back(MpIdRecord{msg.id, msg.sender, msg.dst});
+    staged_at_.push_back(ctx.now());
     flush(ctx);
     return;
   }
-  if (!seen_submissions_.insert(msg.id).second) return;  // duplicate retry
+  if (seen_submissions_.contains(msg.id)) return;  // duplicate retry
+  if (!admit_submission(ctx, msg)) return;
+  seen_submissions_.insert(msg.id);
   staged_.push_back(msg);
+  staged_at_.push_back(ctx.now());
   flush(ctx);
+}
+
+bool MultiPaxosAmcast::admit_submission(Context& ctx, const MulticastMessage& msg) {
+  if (!overload_.enabled()) return true;
+  const Time now = ctx.now();
+  auto& prop = cons_.proposer();
+  const std::size_t depth = staged_.size() + staged_ids_.size() +
+                            prop.queued() + prop.in_flight() +
+                            pending_order_.size();
+  overload_.note_depth(depth);
+  // Arrival lag (client send → leader receipt) is the third congestion
+  // signal, and the only one that sees queueing upstream of the protocol
+  // clock: transport tx queues and the leader's own unprocessed-event
+  // backlog. An overloaded receiver whose staging and propose→decide waits
+  // look healthy still saturates here, because messages arrive already
+  // stale.
+  const bool was_shedding = overload_.shedding();
+  if (msg.sent_at > 0) overload_.note_arrival_lag(now, now - msg.sent_at);
+  const bool shedding = overload_.overloaded(now);
+  auto* o = ctx.obs();
+  if (o) {
+    o->metrics.gauge("flow.pipeline_depth")
+        .record_max(static_cast<std::int64_t>(depth));
+    o->metrics.gauge("flow.estimated_delay_ns")
+        .record_max(overload_.total_delay());
+    o->metrics.gauge("flow.total_delay_now").set(overload_.total_delay());
+    o->metrics.gauge("flow.arrival_lag_now").set(overload_.arrival_lag());
+    if (shedding != was_shedding) {
+      o->metrics
+          .counter(shedding ? "flow.shed_entered" : "flow.shed_exited")
+          .inc();
+    }
+  }
+  // Deadline-aware early drop: if the current queueing-delay estimate
+  // already exceeds the client's deadline, ordering the message would burn
+  // a consensus slot on work guaranteed to miss.
+  if (msg.deadline > 0 && now + overload_.estimated_delay() > msg.deadline) {
+    if (o) o->metrics.counter("flow.expired").inc();
+    ctx.send(msg.sender, Message{Busy{msg.id, Busy::Reason::kExpired,
+                                      /*advisory=*/false, overload_.retry_after()}});
+    return false;
+  }
+  if (shedding) {
+    if (o) o->metrics.counter("flow.rejected").inc();
+    ctx.send(msg.sender, Message{Busy{msg.id, Busy::Reason::kOverload,
+                                      /*advisory=*/false, overload_.retry_after()}});
+    return false;
+  }
+  // ECN-style early mark: rejection is the only congestion signal a
+  // MultiPaxos client ever sees, and a signal that costs a request costs
+  // goodput. Marking (admit + advisory Busy) with probability proportional
+  // to the delay excess lets paced clients converge on capacity while the
+  // queue is still shallow, keeping the gate itself a rare backstop.
+  const double mark_p = overload_.mark_probability(now);
+  if (mark_p > 0 && (mark_p >= 1.0 || ctx.rng().bernoulli(mark_p))) {
+    if (o) o->metrics.counter("flow.marks").inc();
+    ctx.send(msg.sender, Message{Busy{msg.id, Busy::Reason::kOverload,
+                                      /*advisory=*/true, overload_.retry_after()}});
+  }
+  return true;
 }
 
 void MultiPaxosAmcast::disseminate(Context& ctx, const MulticastMessage& msg) {
@@ -162,7 +230,7 @@ void MultiPaxosAmcast::flush(Context& ctx, bool force) {
     auto ripe = [&] {
       return force || cfg_.batch_delay == 0 ||
              staged_ids_.size() >= cfg_.batch_fill ||
-             ctx.now() - first_staged_at_ >= cfg_.batch_delay;
+             ctx.now() - first_staged_at_ >= effective_batch_delay();
     };
     while (!staged_ids_.empty() && cons_.window_open() && ripe()) {
       std::vector<MpIdRecord> batch;
@@ -171,12 +239,17 @@ void MultiPaxosAmcast::flush(Context& ctx, bool force) {
       for (std::size_t i = 0; i < n; ++i) {
         batch.push_back(std::move(staged_ids_.front()));
         staged_ids_.pop_front();
+        if (!staged_at_.empty()) {
+          overload_.note_sojourn(ctx.now(), ctx.now() - staged_at_.front());
+          staged_at_.pop_front();
+        }
       }
       if (auto* o = ctx.obs()) {
         o->metrics.histogram("multipaxos.batch_records")
             .observe(static_cast<std::int64_t>(batch.size()));
       }
       cons_.propose(ctx, encode_id_batch(batch));
+      if (overload_.enabled()) proposed_at_.push_back(ctx.now());
       first_staged_at_ = ctx.now();  // next accumulation epoch
     }
     if (!staged_ids_.empty() && cfg_.batch_delay > 0) arm_batch_timer(ctx);
@@ -189,15 +262,34 @@ void MultiPaxosAmcast::flush(Context& ctx, bool force) {
     for (std::size_t i = 0; i < n; ++i) {
       batch.push_back(std::move(staged_.front()));
       staged_.pop_front();
+      if (!staged_at_.empty()) {
+        overload_.note_sojourn(ctx.now(), ctx.now() - staged_at_.front());
+        staged_at_.pop_front();
+      }
     }
     cons_.propose(ctx, encode_msg_batch(batch));
+    if (overload_.enabled()) proposed_at_.push_back(ctx.now());
   }
+}
+
+// Group commit under pressure: when admission is paced, arrivals slow down
+// and time-capped batches get *smaller* — raising per-instance overhead
+// exactly when capacity is scarcest. Stretching the accumulation window up
+// to 3x with load keeps batches full for a latency cost (sub-millisecond)
+// that is noise next to the congestion the fuller batches relieve.
+Duration MultiPaxosAmcast::effective_batch_delay() const {
+  if (!overload_.enabled()) return cfg_.batch_delay;
+  const auto target = static_cast<double>(overload_.options().target_delay);
+  const double load =
+      std::min(1.0, static_cast<double>(overload_.total_delay()) / target);
+  return static_cast<Duration>(static_cast<double>(cfg_.batch_delay) *
+                               (1.0 + 2.0 * load));
 }
 
 void MultiPaxosAmcast::arm_batch_timer(Context& ctx) {
   if (batch_timer_armed_) return;
   batch_timer_armed_ = true;
-  const Time due = first_staged_at_ + cfg_.batch_delay;
+  const Time due = first_staged_at_ + effective_batch_delay();
   const Duration wait = due > ctx.now() ? due - ctx.now() : Duration{1};
   ctx.set_timer(wait, [this, &ctx] {
     batch_timer_armed_ = false;
@@ -206,6 +298,18 @@ void MultiPaxosAmcast::arm_batch_timer(Context& ctx) {
 }
 
 void MultiPaxosAmcast::on_decide(Context& ctx, const std::vector<std::byte>& value) {
+  if (overload_.enabled()) {
+    // Propose→decide round trip is the second sojourn signal: it grows as
+    // the pipelined window and acceptor queues fill. Only the proposals of
+    // the *current* leadership stint are matched; a demoted leader's stale
+    // stamps would otherwise inflate the estimate after re-election.
+    if (!cons_.is_leader(ctx)) {
+      proposed_at_.clear();
+    } else if (!proposed_at_.empty()) {
+      overload_.note_sojourn(ctx.now(), ctx.now() - proposed_at_.front());
+      proposed_at_.pop_front();
+    }
+  }
   if (!value.empty()) {
     if (cfg_.ordering == Config::Ordering::kIds) {
       std::vector<MpIdRecord> batch;

@@ -9,10 +9,17 @@
 namespace fastcast {
 
 TimestampProtocolBase::TimestampProtocolBase(Config config, NodeId self)
-    : cfg_(std::move(config)), self_(self), rm_(cfg_.rmcast), cons_(cfg_.consensus, self) {
+    : cfg_(std::move(config)), self_(self), rm_(cfg_.rmcast), cons_(cfg_.consensus, self),
+      overload_(cfg_.flow) {
   FC_ASSERT(cfg_.group != kNoGroup);
 
   rm_.set_deliver([this](Context& ctx, NodeId origin, const AmcastPayload& payload) {
+    // The START is already reliably multicast, so it MUST be processed —
+    // a genuine protocol has no safe shedding point past this. The group
+    // leader can still tell the client to slow down.
+    if (const auto* start = std::get_if<AmStart>(&payload)) {
+      maybe_advise(ctx, start->msg);
+    }
     on_rdeliver(ctx, origin, payload);
   });
 
@@ -149,10 +156,43 @@ void TimestampProtocolBase::flush(Context& ctx) {
     o->metrics.counter("amcast.tuples_proposed").inc(batch.size());
   }
   cons_.propose(ctx, encode_tuples(batch));
+  if (overload_.enabled()) proposed_at_.push_back(ctx.now());
+}
+
+void TimestampProtocolBase::maybe_advise(Context& ctx, const MulticastMessage& msg) {
+  if (!overload_.enabled()) return;
+  overload_.note_depth(unordered_.size() + cons_.proposer().queued() +
+                       cons_.proposer().in_flight());
+  // Arrival lag (client send → START receipt) catches saturation upstream
+  // of the protocol clock — transport queues, unprocessed-event backlog —
+  // which propose→decide round trips alone never see.
+  if (msg.sent_at > 0) {
+    overload_.note_arrival_lag(ctx.now(), ctx.now() - msg.sent_at);
+  }
+  if (!cons_.is_leader(ctx)) return;  // one advisory per group, from its leader
+  // Advise with probability proportional to the delay excess — a genuine
+  // protocol has no rejection backstop, so advisories must land while the
+  // queue is still shallow, and probabilistic marking desynchronizes the
+  // resulting client backoffs.
+  const double mark_p = overload_.mark_probability(ctx.now());
+  if (mark_p <= 0 || (mark_p < 1.0 && !ctx.rng().bernoulli(mark_p))) return;
+  if (auto* o = ctx.obs()) o->metrics.counter("flow.advisories").inc();
+  ctx.send(msg.sender, Message{Busy{msg.id, Busy::Reason::kOverload,
+                                    /*advisory=*/true, overload_.retry_after()}});
 }
 
 void TimestampProtocolBase::on_decide(Context& ctx, InstanceId inst,
                                       const std::vector<std::byte>& value) {
+  if (overload_.enabled()) {
+    // Propose→decide round trip feeds the sojourn estimate; only the
+    // current leadership stint's proposals are matched (cf. MultiPaxos).
+    if (!cons_.is_leader(ctx)) {
+      proposed_at_.clear();
+    } else if (!proposed_at_.empty()) {
+      overload_.note_sojourn(ctx.now(), ctx.now() - proposed_at_.front());
+      proposed_at_.pop_front();
+    }
+  }
   settle_frontier_ = std::max(settle_frontier_, inst + 1);
   if (value.empty()) {
     flush(ctx);  // no-op gap filler from a leader change

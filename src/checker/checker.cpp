@@ -224,6 +224,7 @@ void Checker::check_agreement_validity(Report& r) const {
     const bool anyone = delivered_any.contains(mid);
     const bool sender_ok = !crashed_.contains(info.sender);
     if (!anyone && !sender_ok) continue;  // crashed sender: nothing required
+    if (!anyone && rejected_.contains(mid)) continue;  // explicitly rejected
     if (!anyone && sender_ok) {
       std::ostringstream os;
       os << "validity: message " << mid << " from surviving sender "

@@ -148,6 +148,16 @@ ChaosRunResult run_chaos(const ChaosRunConfig& config) {
   result.report = cluster.checker().check(/*quiesced=*/false, cfg.check_level);
 
   result.completions = cluster.metrics().completions_total();
+  if (cfg.flow.enable) {
+    const Metrics& m = cluster.metrics();
+    result.sent = cluster.total_sent();
+    result.rejected = m.rejected_total();
+    result.expired = m.expired_total();
+    result.timed_out = m.timeouts_total();
+    result.suppressed = m.suppressed_total();
+    result.retries = m.retries_total();
+    result.in_flight_end = cluster.total_in_flight();
+  }
   const auto& slices = cluster.metrics().slice_counts();
   if (!slices.empty()) {
     std::size_t live = 0;
@@ -225,6 +235,12 @@ std::string ChaosRunResult::to_string() const {
     out << " replayed=" << replayed_records
         << " snapshots=" << storage_snapshots
         << " durability_checks=" << durability_checks;
+  }
+  if (sent > 0) {
+    out << " sent=" << sent << " rejected=" << rejected
+        << " expired=" << expired << " timed_out=" << timed_out
+        << " suppressed=" << suppressed << " retries=" << retries
+        << " in_flight_end=" << in_flight_end;
   }
   if (repair_transfers > 0 || prune_watermark > 0) {
     out << " repair_transfers=" << repair_transfers << "/" << repair_completed

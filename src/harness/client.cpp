@@ -15,11 +15,14 @@ void Metrics::open_window(Time start, Time end, Duration slice) {
   slices_.assign(n, 0);
 }
 
-void Metrics::note_completion(Time sent, Time completed, std::size_t tag) {
+void Metrics::note_completion(Time sent, Time completed, std::size_t tag,
+                              bool deadline_met) {
   ++completions_total_;
+  if (!deadline_met) ++deadline_miss_total_;
   if (!window_open_ || completed < window_start_ || completed >= window_end_) return;
   latency_.add(completed - sent);
   by_tag_[tag].add(completed - sent);
+  if (deadline_met) ++window_goodput_;
   const auto idx = static_cast<std::size_t>((completed - window_start_) / slice_);
   if (idx < slices_.size()) ++slices_[idx];
 }
@@ -85,7 +88,30 @@ MulticastMessage ClientProcess::build_message(Context& ctx) {
   msg.sender = ctx.self();
   msg.dst = config_.dst(ctx.rng());
   msg.payload.assign(config_.payload_size, 'x');
+  if (config_.flow.deadline > 0) {
+    msg.deadline = ctx.now() + config_.flow.deadline;
+    msg.sent_at = ctx.now();  // re-stamped on every retransmission
+  }
   return msg;
+}
+
+void ClientProcess::track_and_send(Context& ctx, MulticastMessage msg) {
+  InFlight entry;
+  entry.sent_at = ctx.now();
+  entry.dst_size = msg.dst.size();
+  entry.deadline = msg.deadline;
+  if (retries_enabled()) entry.msg = msg;
+  const MsgId mid = msg.id;
+  in_flight_.emplace(mid, std::move(entry));
+  // Primary sends accrue retry tokens: the budget scales with offered
+  // load, so retries can never outnumber budget × primaries (no storm).
+  if (retries_enabled()) {
+    const double cap = std::max(1.0, config_.flow.retry_budget * 16.0);
+    retry_tokens_ = std::min(retry_tokens_ + config_.flow.retry_budget, cap);
+  }
+  for (const auto& observer : observers_) observer(msg);
+  config_.stub->amulticast(ctx, msg);
+  arm_timeout(ctx, mid, 0);
 }
 
 void ClientProcess::send_next(Context& ctx) {
@@ -95,11 +121,8 @@ void ClientProcess::send_next(Context& ctx) {
   }
   MulticastMessage msg = build_message(ctx);
   outstanding_ = msg.id;
-  outstanding_dst_size_ = msg.dst.size();
-  sent_at_ = ctx.now();
   idle_ = false;
-  for (const auto& observer : observers_) observer(msg);
-  config_.stub->amulticast(ctx, msg);
+  track_and_send(ctx, std::move(msg));
 }
 
 void ClientProcess::open_loop_tick(Context& ctx) {
@@ -107,36 +130,166 @@ void ClientProcess::open_loop_tick(Context& ctx) {
     idle_ = true;
     return;
   }
-  MulticastMessage msg = build_message(ctx);
-  in_flight_.emplace(msg.id, std::make_pair(ctx.now(), msg.dst.size()));
-  idle_ = false;
-  for (const auto& observer : observers_) observer(msg);
-  config_.stub->amulticast(ctx, msg);
+  if (ctx.now() < backoff_until_) {
+    // Backed off: this injection is shed at the source. The cadence timer
+    // keeps running so offered load resumes as soon as the window passes.
+    metrics_->note_suppressed();
+  } else if (pacing_enabled() && !ctx.rng().bernoulli(pace_)) {
+    metrics_->note_suppressed();
+  } else {
+    idle_ = false;
+    track_and_send(ctx, build_message(ctx));
+  }
   ctx.set_timer(config_.send_interval, [this, &ctx] { open_loop_tick(ctx); });
 }
 
 void ClientProcess::on_message(Context& ctx, NodeId from, const Message& msg) {
   if (const auto* ack = std::get_if<AmAck>(&msg.payload)) {
-    if (config_.send_interval > 0) {
-      // Open loop: acks arrive in any order; latency is per message id.
-      auto it = in_flight_.find(ack->mid);
-      if (it != in_flight_.end()) {
-        metrics_->note_completion(it->second.first, ctx.now(),
-                                  it->second.second);
-        config_.stub->complete(ack->mid);
-        in_flight_.erase(it);
-      }
-      return;
-    }
-    if (!idle_ && ack->mid == outstanding_) {
-      metrics_->note_completion(sent_at_, ctx.now(), outstanding_dst_size_);
-      config_.stub->complete(ack->mid);
-      idle_ = true;
-      send_next(ctx);
-    }
+    on_ack(ctx, *ack);
+    return;
+  }
+  if (const auto* busy = std::get_if<Busy>(&msg.payload)) {
+    on_busy(ctx, *busy);
     return;
   }
   config_.stub->handle(ctx, from, msg);
+}
+
+void ClientProcess::on_ack(Context& ctx, const AmAck& ack) {
+  // First terminal event wins: a late ack for a request that already
+  // timed out / was rejected finds no entry and is ignored, keeping the
+  // terminal buckets exclusive.
+  auto it = in_flight_.find(ack.mid);
+  if (it == in_flight_.end()) return;
+  const InFlight& e = it->second;
+  const bool met = e.deadline == 0 || ctx.now() <= e.deadline;
+  metrics_->note_completion(e.sent_at, ctx.now(), e.dst_size, met);
+  config_.stub->complete(ack.mid);
+  // Decay, don't reset: under saturation completions keep streaming, and a
+  // full reset would snap every client back to line rate the instant one
+  // request survives — re-flooding the very queue the Busy replies were
+  // draining. Halving recovers in a few RTTs once Busy actually stops.
+  backoff_ /= 2;
+  if (pacing_enabled()) {
+    pace_ = std::min(1.0, pace_ + config_.flow.pace_increase);
+  }
+  const bool was_outstanding = !idle_ && ack.mid == outstanding_;
+  in_flight_.erase(it);
+  if (config_.send_interval == 0 && was_outstanding) {
+    idle_ = true;
+    send_next(ctx);
+  }
+}
+
+void ClientProcess::on_busy(Context& ctx, const Busy& busy) {
+  metrics_->note_busy();
+  if (busy.advisory) {
+    // ECN-style mark: the request is still in flight; only slow down. For a
+    // paced client the cut alone is the right response — marks fire
+    // routinely near equilibrium, and a silence window per mark would
+    // duty-cycle the fleet. Without pacing the window is the only throttle.
+    if (pacing_enabled()) {
+      cut_pace(ctx);
+    } else {
+      apply_backoff(ctx, busy.retry_after);
+    }
+    return;
+  }
+  apply_backoff(ctx, busy.retry_after);
+  auto it = in_flight_.find(busy.mid);
+  if (it == in_flight_.end()) return;  // already resolved here
+  if (busy.reason == Busy::Reason::kOverload && try_retry(ctx, it)) return;
+  if (busy.reason == Busy::Reason::kExpired) {
+    metrics_->note_expired();
+  } else {
+    metrics_->note_rejected();
+  }
+  finish_failed(ctx, it);
+}
+
+void ClientProcess::arm_timeout(Context& ctx, MsgId mid, std::uint64_t gen) {
+  if (config_.flow.request_timeout <= 0) return;
+  ctx.set_timer(config_.flow.request_timeout, [this, &ctx, mid, gen] {
+    auto it = in_flight_.find(mid);
+    if (it == in_flight_.end() || it->second.timeout_gen != gen) return;
+    apply_backoff(ctx, 0);
+    if (try_retry(ctx, it)) return;
+    metrics_->note_timeout();
+    finish_failed(ctx, it);
+  });
+}
+
+bool ClientProcess::try_retry(Context& ctx, InFlightMap::iterator it) {
+  if (!retries_enabled()) return false;
+  InFlight& e = it->second;
+  if (e.retries >= config_.flow.max_retries) return false;
+  if (retry_tokens_ < 1.0) return false;
+  retry_tokens_ -= 1.0;
+  ++e.retries;
+  ++e.timeout_gen;  // ages out the pending timeout of the previous attempt
+  metrics_->note_retry();
+  const MsgId mid = it->first;
+  const Time resend_at = std::max(backoff_until_, ctx.now() + 1);
+  ctx.set_timer(resend_at - ctx.now(), [this, &ctx, mid] {
+    auto it2 = in_flight_.find(mid);
+    if (it2 == in_flight_.end()) return;  // resolved while waiting
+    // Fresh transmission, fresh stamp: sent_at feeds the server's
+    // arrival-lag estimate, and a retry that kept the original stamp would
+    // look tens of ms stale on arrival — poisoning the estimate the gate
+    // needs to see recover before it reopens. The deadline stays original
+    // (absolute), so expiry still judges the request's true age.
+    if (it2->second.msg.sent_at > 0) it2->second.msg.sent_at = ctx.now();
+    config_.stub->amulticast(ctx, it2->second.msg);
+    arm_timeout(ctx, mid, it2->second.timeout_gen);
+  });
+  return true;
+}
+
+void ClientProcess::finish_failed(Context& ctx, InFlightMap::iterator it) {
+  const MsgId mid = it->first;
+  config_.stub->complete(mid);  // stop stub-level retransmission
+  for (const auto& fn : reject_observers_) fn(mid);
+  const bool was_outstanding = !idle_ && mid == outstanding_;
+  in_flight_.erase(it);
+  if (config_.send_interval == 0 && was_outstanding) {
+    idle_ = true;
+    // Closed loop resumes after the backoff window (immediately if none).
+    const Time at = std::max(backoff_until_, ctx.now());
+    ctx.set_timer(at - ctx.now(), [this, &ctx] {
+      if (idle_) send_next(ctx);
+    });
+  }
+}
+
+void ClientProcess::apply_backoff(Context& ctx, Duration hint) {
+  if (config_.flow.backoff_base <= 0) return;
+  // One congestion signal per window: a single shed episode returns Busy for
+  // every in-flight request of this client nearly at once, and doubling per
+  // reply would escalate a 1 ms window to the cap in one episode — silencing
+  // the fleet far longer than the queues need to drain.
+  if (ctx.now() < backoff_until_) return;
+  Duration step = backoff_ > 0 ? backoff_ : config_.flow.backoff_base;
+  if (hint > step) step = std::min(hint, config_.flow.backoff_max);
+  // Jitter the window (half deterministic, half uniform): clients sharing a
+  // saturated node get their Busy replies nearly simultaneously, and
+  // identical windows would re-release them as one synchronized burst that
+  // re-saturates the queue they just drained.
+  const Duration window =
+      step / 2 + static_cast<Duration>(ctx.rng().uniform(
+                     static_cast<std::uint64_t>(step / 2 + 1)));
+  backoff_until_ = std::max(backoff_until_, ctx.now() + window);
+  backoff_ = std::min(step * 2, config_.flow.backoff_max);
+  cut_pace(ctx);
+}
+
+void ClientProcess::cut_pace(Context& ctx) {
+  if (!pacing_enabled()) return;
+  // One congestion event per guard window: a single overload episode
+  // produces a burst of marks/Busy replies, and cutting per reply would
+  // collapse the pace to its floor on one episode.
+  if (ctx.now() < pace_cut_until_) return;
+  pace_ = std::max(1.0 / 64.0, pace_ * 0.9);
+  pace_cut_until_ = ctx.now() + milliseconds(10);
 }
 
 }  // namespace fastcast::harness

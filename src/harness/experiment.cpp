@@ -66,6 +66,7 @@ Cluster::Cluster(const ExperimentConfig& config)
     cc.dst = config_.dst_factory(i);
     cc.payload_size = config_.payload_size;
     cc.send_interval = config_.open_loop_interval;
+    cc.flow = config_.client_flow;
     // Stagger client starts across half the warm-up so load ramps smoothly.
     cc.first_send_at = static_cast<Time>(
         config_.warmup / 2 * static_cast<Duration>(i) /
@@ -76,6 +77,10 @@ Cluster::Cluster(const ExperimentConfig& config)
       client->add_multicast_observer([checker](const MulticastMessage& msg) {
         checker->note_multicast(msg);
       });
+      // Explicitly failed requests (Busy rejection / expiry / timeout) are
+      // exempt from quiesced validity: "delivered or explicitly rejected".
+      client->add_reject_observer(
+          [checker](MsgId mid) { checker->note_rejected(mid); });
     }
     clients_.push_back(client);
     sim_->add_process(deployment_.clients[i], client);
@@ -156,6 +161,7 @@ std::shared_ptr<AtomicMulticast> Cluster::make_protocol(NodeId node, GroupId gro
                        : MultiPaxosAmcast::Config::Ordering::kPayload;
     cfg.batch_fill = config_.mp_batch_fill;
     cfg.batch_delay = config_.mp_batch_delay;
+    cfg.flow = config_.flow;
     return std::make_shared<MultiPaxosAmcast>(std::move(cfg), node);
   }
 
@@ -171,6 +177,7 @@ std::shared_ptr<AtomicMulticast> Cluster::make_protocol(NodeId node, GroupId gro
   cfg.rmcast.relay = config_.relay;
   cfg.hard_send = config_.hard_send;
   cfg.enable_repropose = !reliable || config_.heartbeats;
+  cfg.flow = config_.flow;
 
   switch (config_.topo.protocol) {
     case Protocol::kBaseCast:
@@ -242,6 +249,18 @@ std::uint64_t Cluster::total_deliveries() const {
   return total;
 }
 
+std::uint64_t Cluster::total_sent() const {
+  std::uint64_t total = 0;
+  for (const auto& c : clients_) total += c->sent_count();
+  return total;
+}
+
+std::uint64_t Cluster::total_in_flight() const {
+  std::uint64_t total = 0;
+  for (const auto& c : clients_) total += c->in_flight_count();
+  return total;
+}
+
 namespace {
 
 /// {"config": ..., "latency_ms": ..., "throughput": ..., "metrics": ...,
@@ -280,6 +299,20 @@ void write_metrics_file(const std::string& path, const ExperimentConfig& config,
   w.kv("mean_per_sec", result.throughput.mean_per_sec);
   w.kv("ci95_per_sec", result.throughput.ci95_per_sec);
   w.kv("total", result.throughput.total);
+  w.end_object();
+
+  w.key("overload").begin_object();
+  w.kv("sent", result.sent);
+  w.kv("completions", result.completions);
+  w.kv("window_goodput", result.window_goodput);
+  w.kv("rejected", result.rejected);
+  w.kv("expired", result.expired);
+  w.kv("timed_out", result.timed_out);
+  w.kv("deadline_miss", result.deadline_miss);
+  w.kv("suppressed", result.suppressed);
+  w.kv("retries", result.retries);
+  w.kv("busy_received", result.busy_received);
+  w.kv("in_flight_end", result.in_flight_end);
   w.end_object();
 
   if (result.obs) {
@@ -359,6 +392,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
 
   result.latency = cluster.metrics().latency();
   result.throughput = cluster.metrics().throughput();
+  result.slices = cluster.metrics().slice_counts();
   if (config.run_checker) {
     result.report = cluster.checker().check(result.drained, config.check_level);
   }
@@ -368,6 +402,19 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   result.fast_path_hits = fast;
   result.slow_path_hits = slow;
   result.window_deliveries = deliveries_at_close - deliveries_at_open;
+
+  const Metrics& m = cluster.metrics();
+  result.sent = cluster.total_sent();
+  result.completions = m.completions_total();
+  result.window_goodput = m.window_goodput();
+  result.rejected = m.rejected_total();
+  result.expired = m.expired_total();
+  result.timed_out = m.timeouts_total();
+  result.deadline_miss = m.deadline_miss_total();
+  result.suppressed = m.suppressed_total();
+  result.retries = m.retries_total();
+  result.busy_received = m.busy_total();
+  result.in_flight_end = cluster.total_in_flight();
 
   if (auto obs = cluster.observability()) {
     result.obs = obs;

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "fastcast/amcast/atomic_multicast.hpp"
+#include "fastcast/flow/overload.hpp"
 #include "fastcast/paxos/group_consensus.hpp"
 
 /// \file multipaxos_amcast.hpp
@@ -65,6 +66,13 @@ class MultiPaxosAmcast final : public AtomicMulticast {
     /// Id-mode: delivered bodies retained (FIFO) to serve peers' pull
     /// requests before being dropped.
     std::size_t retain_bodies = 8192;
+
+    /// Admission control (DESIGN.md §14). The ordering leader is the one
+    /// real admission point of the non-genuine protocol: a submission it
+    /// has not yet accepted is uncommitted, so rejecting it with Busy is
+    /// safe and authoritative. Duplicate retries of already-accepted
+    /// submissions bypass admission.
+    flow::Options flow;
   };
 
   MultiPaxosAmcast(Config config, NodeId self);
@@ -81,9 +89,12 @@ class MultiPaxosAmcast final : public AtomicMulticast {
   std::size_t stalled_deliveries() const { return pending_order_.size(); }
   /// Id mode: bodies currently held (staged + retained) (tests).
   std::size_t body_store_size() const { return bodies_.size(); }
+  /// Admission controller (tests / diagnostics).
+  const flow::OverloadController& overload() const { return overload_; }
 
  private:
   void on_submit(Context& ctx, const MulticastMessage& msg);
+  bool admit_submission(Context& ctx, const MulticastMessage& msg);
   void flush(Context& ctx, bool force = false);
   void on_decide(Context& ctx, const std::vector<std::byte>& value);
 
@@ -94,6 +105,7 @@ class MultiPaxosAmcast final : public AtomicMulticast {
   void drain_pending(Context& ctx);
   void retain_delivered(MsgId mid);
   void arm_batch_timer(Context& ctx);
+  Duration effective_batch_delay() const;
   void arm_body_pull(Context& ctx);
 
   Config cfg_;
@@ -103,6 +115,13 @@ class MultiPaxosAmcast final : public AtomicMulticast {
 
   std::deque<MulticastMessage> staged_;  // payload mode
   std::set<MsgId> seen_submissions_;  // leader-side dedup of client retries
+
+  // Overload control: staging arrival times (parallel to whichever staging
+  // deque the ordering mode uses) feed the controller's sojourn signal at
+  // flush; propose times feed it the propose→decide round trip.
+  flow::OverloadController overload_;
+  std::deque<Time> staged_at_;
+  std::deque<Time> proposed_at_;
   std::set<MsgId> delivered_;        // delivery dedup across leader changes
   std::uint64_t ordered_count_ = 0;
 

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <deque>
 #include <map>
 #include <set>
 #include <unordered_map>
@@ -7,6 +8,7 @@
 
 #include "fastcast/amcast/atomic_multicast.hpp"
 #include "fastcast/amcast/delivery_buffer.hpp"
+#include "fastcast/flow/overload.hpp"
 #include "fastcast/paxos/group_consensus.hpp"
 #include "fastcast/rmcast/reliable_multicast.hpp"
 
@@ -50,6 +52,14 @@ class TimestampProtocolBase : public AtomicMulticast {
     /// under message loss or leader re-election.
     bool enable_repropose = false;
     Duration repropose_interval = milliseconds(150);
+
+    /// Overload detection (DESIGN.md §14). Genuine protocols CANNOT shed a
+    /// message once it is reliably multicast — a tentative timestamp staged
+    /// in one destination group that never finalizes would stall every
+    /// other group's delivery buffer — so when the group leader detects
+    /// overload it sends an *advisory* Busy to the message's sender (the
+    /// message is still processed in full) and the client throttles.
+    flow::Options flow;
   };
 
   TimestampProtocolBase(Config config, NodeId self);
@@ -74,6 +84,8 @@ class TimestampProtocolBase : public AtomicMulticast {
 
   std::size_t unordered_count() const { return unordered_.size(); }
   paxos::GroupConsensus& consensus() { return cons_; }
+  /// Overload detector (tests / diagnostics).
+  const flow::OverloadController& overload() const { return overload_; }
 
  protected:
   /// Reliable-multicast delivery (START / SEND-SOFT / SEND-HARD).
@@ -132,6 +144,7 @@ class TimestampProtocolBase : public AtomicMulticast {
   void restage_all(Context& ctx);
   void arm_repropose(Context& ctx);
   void settle_note_delivered(MsgId mid);
+  void maybe_advise(Context& ctx, const MulticastMessage& msg);
 
   std::set<TupleId> known_;            // ever staged (ToOrder ∪ Ordered)
   std::set<TupleId> ordered_;          // Ordered
@@ -148,6 +161,11 @@ class TimestampProtocolBase : public AtomicMulticast {
   std::unordered_map<MsgId, std::vector<InstanceId>> settle_waiters_;
   bool repropose_armed_ = false;
   Context* decide_ctx_ = nullptr;  ///< bound at on_start
+
+  // Overload detection: the propose→decide round trip of the group's own
+  // consensus is the sojourn signal (tracked on the leader only).
+  flow::OverloadController overload_;
+  std::deque<Time> proposed_at_;
 };
 
 }  // namespace fastcast

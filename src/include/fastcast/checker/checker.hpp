@@ -45,6 +45,15 @@ class Checker {
   void note_delivery(NodeId node, MsgId mid);
   void note_crashed(NodeId node) { crashed_.insert(node); }
 
+  /// Marks a multicast as *explicitly* terminated without delivery: the
+  /// client received a non-advisory Busy (overload rejection / deadline
+  /// expiry) or gave up after a timeout. Such messages are exempt from the
+  /// quiesced validity check — "never silently lost" means every noted
+  /// multicast is either delivered or explicitly accounted for, which is
+  /// exactly what check() then verifies. Safety checks (integrity, order,
+  /// agreement) still apply in full if the message was delivered anywhere.
+  void note_rejected(MsgId mid) { rejected_.insert(mid); }
+
   struct Report {
     bool ok = true;
     std::vector<std::string> violations;
@@ -82,6 +91,7 @@ class Checker {
   std::unordered_map<MsgId, MsgInfo> multicast_;
   std::unordered_map<NodeId, std::vector<MsgId>> deliveries_;
   std::unordered_set<NodeId> crashed_;
+  std::unordered_set<MsgId> rejected_;
   std::uint64_t delivery_count_ = 0;
 };
 

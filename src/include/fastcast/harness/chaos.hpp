@@ -60,6 +60,19 @@ struct ChaosRunResult {
   /// re-read durable state. Violations land in report.violations.
   std::uint64_t durability_checks = 0;
 
+  // Overload extras (zero unless experiment.flow.enable). The terminal
+  // buckets are exclusive per request; overload campaigns assert the
+  // conservation law sent == completions + rejected + expired + timed_out
+  // with in_flight_end == 0 after the settle window — admitted messages
+  // are never silently lost.
+  std::uint64_t sent = 0;
+  std::uint64_t rejected = 0;    ///< terminal Busy/kOverload
+  std::uint64_t expired = 0;     ///< terminal Busy/kExpired
+  std::uint64_t timed_out = 0;   ///< client gave up waiting
+  std::uint64_t suppressed = 0;  ///< open-loop ticks shed during backoff
+  std::uint64_t retries = 0;     ///< budgeted resubmits
+  std::uint64_t in_flight_end = 0;  ///< unresolved at run end
+
   // Repair extras (zero unless experiment.repair.enable).
   std::uint64_t repair_transfers = 0;          ///< snapshot transfers started
   std::uint64_t repair_completed = 0;          ///< transfers fully installed

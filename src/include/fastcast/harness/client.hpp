@@ -5,6 +5,7 @@
 
 #include "fastcast/amcast/client_stub.hpp"
 #include "fastcast/common/stats.hpp"
+#include "fastcast/flow/overload.hpp"
 #include "fastcast/runtime/context.hpp"
 
 /// \file client.hpp
@@ -14,6 +15,14 @@
 /// injects a new multicast every interval regardless of outstanding acks,
 /// so offered load stays fixed while latency-under-load grows — the shape
 /// saturation benchmarks need.
+///
+/// With flow::ClientOptions set (Config::flow) the client additionally
+/// stamps deadlines, times out silent requests, backs off exponentially on
+/// Busy/timeout (open loop: injection ticks are suppressed — counted, not
+/// sent — while backed off), and retries rejected requests from a bounded
+/// budget. Every request then reaches exactly one terminal state: completed,
+/// rejected, expired, or timed out — the conservation law overload tests
+/// assert.
 
 namespace fastcast::harness {
 
@@ -26,7 +35,19 @@ class Metrics {
 
   /// `tag` buckets the sample (the harness uses the destination-group
   /// count, so Fig. 7 can report latency per follower spread).
-  void note_completion(Time sent, Time completed, std::size_t tag = 0);
+  /// `deadline_met` is false when the request completed past its stamped
+  /// deadline — it still counts as a completion (and a latency sample) but
+  /// not as goodput.
+  void note_completion(Time sent, Time completed, std::size_t tag = 0,
+                       bool deadline_met = true);
+
+  // Overload-control terminal/pacing events (see client flow machinery).
+  void note_rejected() { ++rejected_total_; }
+  void note_expired() { ++expired_total_; }
+  void note_timeout() { ++timeouts_total_; }
+  void note_suppressed() { ++suppressed_total_; }
+  void note_retry() { ++retries_total_; }
+  void note_busy() { ++busy_total_; }
 
   LatencyRecorder& latency() { return latency_; }
   const LatencyRecorder& latency() const { return latency_; }
@@ -34,6 +55,16 @@ class Metrics {
   const LatencyRecorder& latency_for_tag(std::size_t tag) const;
   ThroughputSummary throughput() const;
   std::uint64_t completions_total() const { return completions_total_; }
+  /// Windowed completions that met their deadline — the "goodput"
+  /// numerator benches report next to raw deliveries.
+  std::uint64_t window_goodput() const { return window_goodput_; }
+  std::uint64_t rejected_total() const { return rejected_total_; }
+  std::uint64_t expired_total() const { return expired_total_; }
+  std::uint64_t timeouts_total() const { return timeouts_total_; }
+  std::uint64_t deadline_miss_total() const { return deadline_miss_total_; }
+  std::uint64_t suppressed_total() const { return suppressed_total_; }
+  std::uint64_t retries_total() const { return retries_total_; }
+  std::uint64_t busy_total() const { return busy_total_; }
   /// Per-slice completion counts of the (closed) window; chaos campaigns
   /// derive availability from the fraction of slices with progress.
   const std::vector<std::uint64_t>& slice_counts() const { return slices_; }
@@ -47,6 +78,14 @@ class Metrics {
   Duration slice_ = kSecond;
   bool window_open_ = false;
   std::uint64_t completions_total_ = 0;
+  std::uint64_t window_goodput_ = 0;
+  std::uint64_t deadline_miss_total_ = 0;
+  std::uint64_t rejected_total_ = 0;
+  std::uint64_t expired_total_ = 0;
+  std::uint64_t timeouts_total_ = 0;
+  std::uint64_t suppressed_total_ = 0;
+  std::uint64_t retries_total_ = 0;
+  std::uint64_t busy_total_ = 0;
 };
 
 /// Picks the destination groups of each multicast.
@@ -70,6 +109,8 @@ class ClientProcess final : public Process {
     /// >0 = open loop: send every interval, track acks per message id.
     /// 0 = closed loop (one outstanding).
     Duration send_interval = 0;
+    /// Client-side overload robustness; default-constructed = all off.
+    flow::ClientOptions flow;
   };
 
   ClientProcess(Config config, std::shared_ptr<Metrics> metrics);
@@ -81,29 +122,79 @@ class ClientProcess final : public Process {
     observers_.push_back(std::move(fn));
   }
 
+  /// Observers invoked when a request terminates *without* delivery but
+  /// with explicit accounting (Busy rejection, deadline expiry, timeout).
+  /// The harness hooks the checker here so quiesced validity reads "every
+  /// multicast is delivered or explicitly rejected".
+  using RejectObserverFn = std::function<void(MsgId)>;
+  void add_reject_observer(RejectObserverFn fn) {
+    reject_observers_.push_back(std::move(fn));
+  }
+
   void on_start(Context& ctx) override;
   void on_message(Context& ctx, NodeId from, const Message& msg) override;
 
   std::uint64_t sent_count() const { return next_seq_; }
+  /// Requests awaiting a terminal state (conservation accounting).
+  std::size_t in_flight_count() const { return in_flight_.size(); }
 
   /// Forbids new sends at/after `at` (the closed loop goes idle).
   void set_stop(Time at) { config_.stop_at = at; }
 
  private:
+  /// A sent-but-unresolved request. `timeout_gen` invalidates stale
+  /// timeout timers after a retry (timers are not cancelled, just aged
+  /// out). `msg` is retained only when retries are possible.
+  struct InFlight {
+    Time sent_at = 0;          ///< original send; latency measured from here
+    std::size_t dst_size = 0;
+    Time deadline = 0;         ///< absolute, 0 = none
+    std::uint32_t retries = 0;
+    std::uint64_t timeout_gen = 0;
+    MulticastMessage msg;
+  };
+  using InFlightMap = std::map<MsgId, InFlight>;
+
   MulticastMessage build_message(Context& ctx);
   void send_next(Context& ctx);
   void open_loop_tick(Context& ctx);
+  void track_and_send(Context& ctx, MulticastMessage msg);
+  void on_ack(Context& ctx, const AmAck& ack);
+  void on_busy(Context& ctx, const Busy& busy);
+  void arm_timeout(Context& ctx, MsgId mid, std::uint64_t gen);
+  bool try_retry(Context& ctx, InFlightMap::iterator it);
+  void finish_failed(Context& ctx, InFlightMap::iterator it);
+  void apply_backoff(Context& ctx, Duration hint);
+  void cut_pace(Context& ctx);
+  bool retries_enabled() const {
+    return config_.flow.retry_budget > 0 && config_.flow.max_retries > 0;
+  }
+  bool pacing_enabled() const { return config_.flow.pace_increase > 0; }
 
   Config config_;
   std::shared_ptr<Metrics> metrics_;
   std::vector<MulticastObserverFn> observers_;
+  std::vector<RejectObserverFn> reject_observers_;
   std::uint32_t next_seq_ = 0;
   MsgId outstanding_ = 0;
-  std::size_t outstanding_dst_size_ = 0;
-  Time sent_at_ = 0;
   bool idle_ = true;
-  /// Open loop only: send time + dst-group count of every unacked message.
-  std::map<MsgId, std::pair<Time, std::size_t>> in_flight_;
+  /// Every unresolved request, open and closed loop alike (the closed loop
+  /// holds at most one entry).
+  InFlightMap in_flight_;
+
+  // Flow state: shared exponential backoff (Busy/timeout push it out,
+  // completions reset it) and the retry-token bucket (accrues
+  // flow.retry_budget per primary send, capped).
+  Time backoff_until_ = 0;
+  Duration backoff_ = 0;
+  double retry_tokens_ = 0;
+  // AIMD injection pacer (flow.pace_increase > 0): probability an open-loop
+  // tick outside a backoff window actually sends. Halved per Busy/timeout
+  // (at most once per backoff window, so a burst of rejections from one
+  // overload episode counts as one signal), raised additively on each
+  // completion.
+  double pace_ = 1.0;
+  Time pace_cut_until_ = 0;
 };
 
 }  // namespace fastcast::harness

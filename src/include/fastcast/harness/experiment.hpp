@@ -71,6 +71,12 @@ struct ExperimentConfig {
   /// clients / interval instead of tracking service rate. 0 keeps the
   /// paper's closed loop.
   Duration open_loop_interval = 0;
+  /// Server-side admission control (DESIGN.md §14): the MultiPaxos
+  /// ordering leader rejects with Busy when shedding; genuine group
+  /// leaders send advisory Busy. Off by default.
+  flow::Options flow;
+  /// Client-side robustness (deadlines, timeouts, backoff, retry budget).
+  flow::ClientOptions client_flow;
   /// Ablation: Algorithm-2-verbatim eager SYNC-HARD proposals in FastCast.
   bool fastcast_eager_hard = false;
 
@@ -117,6 +123,26 @@ struct ExperimentResult {
   /// window (completion-independent: open-loop saturation shows up here
   /// even when ack latency grows without bound).
   std::uint64_t window_deliveries = 0;
+
+  // Overload accounting (flow layer). `window_goodput` counts windowed
+  // completions that met their deadline — what benches report as goodput,
+  // distinct from raw deliveries. The terminal buckets are exclusive per
+  // request: sent == completions + rejected + expired + timed_out +
+  // in_flight_end (the conservation law overload chaos asserts).
+  std::uint64_t sent = 0;             ///< primary sends across all clients
+  std::uint64_t completions = 0;      ///< acked requests (window-independent)
+  std::uint64_t window_goodput = 0;
+  std::uint64_t rejected = 0;         ///< terminal Busy/kOverload
+  std::uint64_t expired = 0;          ///< terminal Busy/kExpired
+  std::uint64_t timed_out = 0;        ///< client gave up waiting
+  std::uint64_t deadline_miss = 0;    ///< completed but past deadline
+  std::uint64_t suppressed = 0;       ///< open-loop ticks shed during backoff
+  std::uint64_t retries = 0;          ///< budgeted resubmits
+  std::uint64_t busy_received = 0;    ///< Busy frames seen (incl. advisory)
+  std::uint64_t in_flight_end = 0;    ///< unresolved at run end
+  /// Per-slice completion counts of the measurement window (the data behind
+  /// `throughput`); lets callers see duty-cycling a mean would hide.
+  std::vector<std::uint64_t> slices;
   /// Run-wide metrics/spans; null unless observe/trace/metrics_out was set.
   std::shared_ptr<obs::Observability> obs;
   /// Filled when trace is on and delta > 0.
@@ -147,6 +173,12 @@ class Cluster {
   ReplicaNode& replica(NodeId node);
   ClientProcess& client(std::size_t idx);
   std::size_t replica_count() const { return replicas_.size(); }
+  std::size_t client_count() const { return clients_.size(); }
+
+  /// Sums sent counts / unresolved requests over all clients (overload
+  /// conservation accounting).
+  std::uint64_t total_sent() const;
+  std::uint64_t total_in_flight() const;
 
   /// Sums FastCast fast/slow path counters over all replicas.
   std::pair<std::uint64_t, std::uint64_t> path_stats() const;

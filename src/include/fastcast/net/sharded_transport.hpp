@@ -80,6 +80,14 @@ class ShardedTransport {
   /// Resolved event engine (all shards share one kind).
   const char* backend_name() const;
 
+  /// Attaches one registry to every shard transport (degradation counters
+  /// add across shards; net.tx_queued_bytes reflects whichever shard wrote
+  /// last, its _hwm the max over per-shard totals) and arms the
+  /// net.shard_ring_hwm gauge: running high-water of SPSC ring occupancy
+  /// (tx and rx) — the cross-thread handoff's backpressure signal. Callable
+  /// before or after start(); pass null to detach.
+  void set_observability(obs::Observability* o);
+
   /// Total frames received across shards (atomic; readable any time).
   std::uint64_t frames_received() const;
 
@@ -122,6 +130,8 @@ class ShardedTransport {
   ShardedOptions options_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<bool> running_{false};
+  obs::Observability* obs_ = nullptr;
+  obs::Gauge* g_ring_hwm_ = nullptr;
 };
 
 }  // namespace fastcast::net

@@ -73,6 +73,15 @@ class SpscRing {
 
   std::size_t capacity() const { return mask_ + 1; }
 
+  /// Approximate occupancy: exact from either endpoint's own thread,
+  /// momentarily stale from the other (both loads are relaxed). Good
+  /// enough for the backpressure gauges that sample it.
+  std::size_t size_approx() const {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    return tail - head;
+  }
+
  private:
   std::vector<T> slots_;
   std::size_t mask_ = 0;

@@ -17,6 +17,7 @@
 namespace fastcast::obs {
 class Observability;
 class Counter;
+class Gauge;
 }  // namespace fastcast::obs
 
 /// \file tcp_transport.hpp
@@ -109,7 +110,10 @@ class TcpTransport {
   void set_retry_policy(const RetryPolicy& policy) { retry_ = policy; }
 
   /// Wires degradation counters (net.reconnects, net.connect_failures,
-  /// net.disconnects, net.tx_frames_dropped). Pass null to detach.
+  /// net.disconnects, net.tx_frames_dropped) plus the backpressure gauges
+  /// net.tx_queued_bytes (current total queued across peers, the signal
+  /// admission control samples) and net.tx_queued_bytes_hwm (run
+  /// high-water mark). Pass null to detach.
   void set_observability(obs::Observability* o);
 
   /// Frames and queues one message. The frame leaves the socket at the next
@@ -208,6 +212,9 @@ class TcpTransport {
   void arm_peer_recv(Peer& peer);
   bool write_pending(Outbound& ob);           ///< false = connection died
   void advance_written(Outbound& ob, std::size_t n);
+  /// Applies a queued-bytes change (signed) to the running total and
+  /// mirrors it into the tx-queue gauges when attached.
+  void note_queued_delta(std::ptrdiff_t delta);
 
   NodeId self_;
   AddressBook addresses_;
@@ -228,6 +235,11 @@ class TcpTransport {
   obs::Counter* c_disconnects_ = nullptr;
   obs::Counter* c_tx_dropped_ = nullptr;
   obs::Counter* c_listen_retries_ = nullptr;
+  obs::Gauge* g_tx_queued_ = nullptr;
+  obs::Gauge* g_tx_queued_hwm_ = nullptr;
+  /// Incremental sum of every peer's queued_bytes (kept so gauge updates
+  /// are O(1) on the send hot path, not a map walk).
+  std::size_t total_queued_ = 0;
 
   std::vector<TransportBackend::Event> events_;  ///< reused per poll_once
 };

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "fastcast/common/codec.hpp"
+#include "fastcast/common/time.hpp"
 #include "fastcast/runtime/ids.hpp"
 
 /// \file message.hpp
@@ -32,6 +33,22 @@ struct MulticastMessage {
   NodeId sender = kInvalidNode;       ///< node to send the delivery ack to
   std::vector<GroupId> dst;           ///< destination groups, sorted, unique
   std::string payload;
+
+  /// Absolute completion deadline (0 = none). Stamped by the client; hops
+  /// with admission authority may reject the message early (Busy/kExpired)
+  /// when their estimated residual queueing delay already exceeds it. On
+  /// the wire this rides as an optional trailing varint of the client-facing
+  /// frames (MpSubmit/MpBody/RmData-with-AmStart) so pre-deadline frames
+  /// still decode (deadline = 0) and batch codecs stay byte-stable.
+  Time deadline = 0;
+
+  /// Client send timestamp (0 = none), stamped alongside the deadline. The
+  /// admission point turns `now - sent_at` into a sojourn sample, so the
+  /// overload estimate sees queueing the protocol clock cannot — transport
+  /// queues and the receiver's own event backlog — not just staging and
+  /// propose→decide waits. Second optional trailing varint after deadline
+  /// (both are emitted whenever either is set, so the pair stays ordered).
+  Time sent_at = 0;
 
   bool is_global() const { return dst.size() > 1; }
   friend bool operator==(const MulticastMessage&, const MulticastMessage&) = default;
@@ -229,6 +246,27 @@ struct AmAck {
   NodeId deliverer = kInvalidNode;
 };
 
+/// Overload-control reply to a client (src/flow/). Non-advisory Busy is a
+/// terminal verdict from a node with admission authority (the MultiPaxos
+/// ordering leader): the message was NOT accepted and will never be
+/// delivered — the client should back off and, budget permitting, retry.
+/// Advisory Busy (genuine protocols, which cannot renege on a message once
+/// it is reliably multicast) only asks the client to slow down; the message
+/// is still processed. `retry_after` is the server's current queueing-delay
+/// estimate, a backoff hint.
+struct Busy {
+  enum class Reason : std::uint8_t {
+    kOverload = 0,  ///< admission controller is shedding
+    kExpired = 1,   ///< deadline unmeetable given estimated queueing delay
+  };
+  MsgId mid = 0;
+  Reason reason = Reason::kOverload;
+  bool advisory = false;
+  Duration retry_after = 0;
+
+  friend bool operator==(const Busy&, const Busy&) = default;
+};
+
 /// Failure-detector heartbeat (leader election oracle).
 struct FdHeartbeat {
   GroupId group = kNoGroup;
@@ -284,7 +322,7 @@ struct P2bMore {
 using Payload = std::variant<RmData, RmAck, P1a, P1b, P2a, P2b, PaxosNack,
                              P2bRequest, MpSubmit, AmAck, FdHeartbeat,
                              WatermarkAnnounce, RepairRequest, RepairSnapshot,
-                             P2bMore, MpBody, MpBodyRequest>;
+                             P2bMore, MpBody, MpBodyRequest, Busy>;
 
 struct Message {
   Payload payload;

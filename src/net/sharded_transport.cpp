@@ -8,6 +8,7 @@
 
 #include "fastcast/common/logging.hpp"
 #include "fastcast/net/cpu_affinity.hpp"
+#include "fastcast/obs/observability.hpp"
 
 namespace fastcast::net {
 
@@ -29,6 +30,14 @@ const char* ShardedTransport::backend_name() const {
              : to_string(resolve_backend(options_.backend));
 }
 
+void ShardedTransport::set_observability(obs::Observability* o) {
+  obs_ = o;
+  g_ring_hwm_ = o ? &o->metrics.gauge("net.shard_ring_hwm") : nullptr;
+  for (auto& shard : shards_) {
+    if (shard->transport) shard->transport->set_observability(o);
+  }
+}
+
 std::uint64_t ShardedTransport::frames_received() const {
   std::uint64_t total = 0;
   for (const auto& shard : shards_) {
@@ -47,6 +56,7 @@ void ShardedTransport::start() {
     if (shard.wake_fd < 0) throw std::runtime_error("eventfd() failed");
     shard.transport =
         std::make_unique<TcpTransport>(self_, addresses_, topt);
+    if (obs_ != nullptr) shard.transport->set_observability(obs_);
     shard.transport->set_receive([this, &shard](NodeId from, const Message& msg) {
       // Shard thread → protocol thread. Backpressure, never drop — except
       // at shutdown: once running_ is false the protocol thread no longer
@@ -58,6 +68,10 @@ void ShardedTransport::start() {
         std::this_thread::yield();
       }
       shard.received.fetch_add(1, std::memory_order_relaxed);
+      if (g_ring_hwm_ != nullptr) {
+        g_ring_hwm_->record_max(
+            static_cast<std::int64_t>(shard.rx.size_approx()));
+      }
     });
   }
   // Shard 0 is the acceptor: every inbound connection lands here, and its
@@ -122,6 +136,9 @@ void ShardedTransport::send(NodeId to, const Message& msg) {
     // A stopped shard no longer drains tx; drop rather than spin forever.
     if (!running_.load(std::memory_order_acquire)) return;
     std::this_thread::yield();
+  }
+  if (g_ring_hwm_ != nullptr) {
+    g_ring_hwm_->record_max(static_cast<std::int64_t>(shard.tx.size_approx()));
   }
   wake(shard);
 }

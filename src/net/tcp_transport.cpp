@@ -67,6 +67,21 @@ void TcpTransport::set_observability(obs::Observability* o) {
   c_disconnects_ = o ? &o->metrics.counter("net.disconnects") : nullptr;
   c_tx_dropped_ = o ? &o->metrics.counter("net.tx_frames_dropped") : nullptr;
   c_listen_retries_ = o ? &o->metrics.counter("net.listen_retries") : nullptr;
+  g_tx_queued_ = o ? &o->metrics.gauge("net.tx_queued_bytes") : nullptr;
+  g_tx_queued_hwm_ = o ? &o->metrics.gauge("net.tx_queued_bytes_hwm") : nullptr;
+  if (g_tx_queued_ != nullptr) {
+    g_tx_queued_->set(static_cast<std::int64_t>(total_queued_));
+    g_tx_queued_hwm_->record_max(static_cast<std::int64_t>(total_queued_));
+  }
+}
+
+void TcpTransport::note_queued_delta(std::ptrdiff_t delta) {
+  total_queued_ = static_cast<std::size_t>(
+      static_cast<std::ptrdiff_t>(total_queued_) + delta);
+  if (g_tx_queued_ != nullptr) {
+    g_tx_queued_->set(static_cast<std::int64_t>(total_queued_));
+    g_tx_queued_hwm_->record_max(static_cast<std::int64_t>(total_queued_));
+  }
 }
 
 TcpTransport::~TcpTransport() { close_all(); }
@@ -192,6 +207,7 @@ void TcpTransport::disconnect(NodeId to, Outbound& ob) {
   // The partially-written head frame must be resent in full on the next
   // connection (the peer's parser starts fresh), so re-account its prefix.
   ob.queued_bytes += ob.head_offset;
+  note_queued_delta(static_cast<std::ptrdiff_t>(ob.head_offset));
   ob.head_offset = 0;
   ++stats_.disconnects;
   if (c_disconnects_) c_disconnects_->inc();
@@ -205,6 +221,7 @@ void TcpTransport::shed_queue(Outbound& ob) {
   if (c_tx_dropped_) c_tx_dropped_->inc(ob.frames.size());
   for (auto& frame : ob.frames) pool_.release(std::move(frame));
   ob.frames.clear();
+  note_queued_delta(-static_cast<std::ptrdiff_t>(ob.queued_bytes));
   ob.queued_bytes = 0;
   ob.head_offset = 0;
 }
@@ -221,6 +238,7 @@ void TcpTransport::send(NodeId to, const Message& msg) {
   std::vector<std::byte> frame = pool_.acquire();
   frame_message_into(msg, frame);
   ob.queued_bytes += frame.size();
+  note_queued_delta(static_cast<std::ptrdiff_t>(frame.size()));
   ob.frames.push_back(std::move(frame));
   if (!try_connect(to, ob)) return;  // queued; backoff flush will deliver
   if (ob.queued_bytes >= kFlushThresholdBytes && !write_pending(ob)) {
@@ -269,6 +287,7 @@ bool TcpTransport::write_pending(Outbound& ob) {
 
 void TcpTransport::advance_written(Outbound& ob, std::size_t n) {
   ob.queued_bytes -= n;
+  note_queued_delta(-static_cast<std::ptrdiff_t>(n));
   while (n > 0) {
     std::vector<std::byte>& head = ob.frames.front();
     const std::size_t left = head.size() - ob.head_offset;

@@ -25,6 +25,7 @@ enum class WireTag : std::uint8_t {
   kP2bMore = 15,
   kMpBody = 16,
   kMpBodyRequest = 17,
+  kBusy = 18,
 };
 
 enum class AmTag : std::uint8_t { kStart = 1, kSendSoft = 2, kSendHard = 3 };
@@ -142,6 +143,7 @@ const char* message_kind(const Message& m) {
     const char* operator()(const P2bMore&) const { return "P2bMore"; }
     const char* operator()(const MpBody&) const { return "MpBody"; }
     const char* operator()(const MpBodyRequest&) const { return "MpBodyRequest"; }
+    const char* operator()(const Busy&) const { return "Busy"; }
   };
   return std::visit(Visitor{}, m.payload);
 }
@@ -344,6 +346,14 @@ void encode(Writer& w, const Message& m) {
         w.varint(d.dest_seqs[i]);
       }
       encode_amcast(w, d.inner);
+      // Optional trailing deadline + sent_at: only meaningful for START
+      // envelopes, and only emitted when set, so pre-deadline golden bytes
+      // still hold. The pair is written together to keep positions fixed.
+      if (const auto* s = std::get_if<AmStart>(&d.inner);
+          s != nullptr && (s->msg.deadline > 0 || s->msg.sent_at > 0)) {
+        w.varint(static_cast<std::uint64_t>(s->msg.deadline));
+        w.varint(static_cast<std::uint64_t>(s->msg.sent_at));
+      }
     }
     void operator()(const RmAck& a) const {
       w.u8(static_cast<std::uint8_t>(WireTag::kRmAck));
@@ -397,6 +407,10 @@ void encode(Writer& w, const Message& m) {
     void operator()(const MpSubmit& s) const {
       w.u8(static_cast<std::uint8_t>(WireTag::kMpSubmit));
       encode(w, s.msg);
+      if (s.msg.deadline > 0 || s.msg.sent_at > 0) {
+        w.varint(static_cast<std::uint64_t>(s.msg.deadline));
+        w.varint(static_cast<std::uint64_t>(s.msg.sent_at));
+      }
     }
     void operator()(const AmAck& a) const {
       w.u8(static_cast<std::uint8_t>(WireTag::kAmAck));
@@ -439,10 +453,21 @@ void encode(Writer& w, const Message& m) {
     void operator()(const MpBody& b) const {
       w.u8(static_cast<std::uint8_t>(WireTag::kMpBody));
       encode(w, b.msg);
+      if (b.msg.deadline > 0 || b.msg.sent_at > 0) {
+        w.varint(static_cast<std::uint64_t>(b.msg.deadline));
+        w.varint(static_cast<std::uint64_t>(b.msg.sent_at));
+      }
     }
     void operator()(const MpBodyRequest& q) const {
       w.u8(static_cast<std::uint8_t>(WireTag::kMpBodyRequest));
       w.u64(q.mid);
+    }
+    void operator()(const Busy& b) const {
+      w.u8(static_cast<std::uint8_t>(WireTag::kBusy));
+      w.u64(b.mid);
+      w.u8(static_cast<std::uint8_t>(b.reason));
+      w.u8(b.advisory ? 1 : 0);
+      w.varint(static_cast<std::uint64_t>(b.retry_after));
     }
   };
   std::visit(Visitor{w}, m.payload);
@@ -466,6 +491,11 @@ bool decode(Reader& r, Message& out) {
         d.dest_seqs[i] = r.varint();
       }
       if (!decode_amcast(r, d.inner)) return false;
+      if (auto* s = std::get_if<AmStart>(&d.inner);
+          s != nullptr && r.remaining() > 0) {
+        s->msg.deadline = static_cast<Time>(r.varint());
+        if (r.remaining() > 0) s->msg.sent_at = static_cast<Time>(r.varint());
+      }
       out.payload = std::move(d);
       return r.ok();
     }
@@ -537,6 +567,10 @@ bool decode(Reader& r, Message& out) {
     case WireTag::kMpSubmit: {
       MpSubmit s;
       if (!decode(r, s.msg)) return false;
+      if (r.remaining() > 0) {
+        s.msg.deadline = static_cast<Time>(r.varint());
+        if (r.remaining() > 0) s.msg.sent_at = static_cast<Time>(r.varint());
+      }
       out.payload = std::move(s);
       return r.ok();
     }
@@ -595,6 +629,10 @@ bool decode(Reader& r, Message& out) {
     case WireTag::kMpBody: {
       MpBody b;
       if (!decode(r, b.msg)) return false;
+      if (r.remaining() > 0) {
+        b.msg.deadline = static_cast<Time>(r.varint());
+        if (r.remaining() > 0) b.msg.sent_at = static_cast<Time>(r.varint());
+      }
       out.payload = std::move(b);
       return r.ok();
     }
@@ -602,6 +640,20 @@ bool decode(Reader& r, Message& out) {
       MpBodyRequest q;
       q.mid = r.u64();
       out.payload = q;
+      return r.ok();
+    }
+    case WireTag::kBusy: {
+      Busy b;
+      b.mid = r.u64();
+      const std::uint8_t reason = r.u8();
+      if (!r.ok() || reason > static_cast<std::uint8_t>(Busy::Reason::kExpired))
+        return false;
+      b.reason = static_cast<Busy::Reason>(reason);
+      const std::uint8_t advisory = r.u8();
+      if (!r.ok() || advisory > 1) return false;
+      b.advisory = advisory != 0;
+      b.retry_after = static_cast<Duration>(r.varint());
+      out.payload = b;
       return r.ok();
     }
   }

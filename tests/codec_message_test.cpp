@@ -262,5 +262,134 @@ TEST(MessageCodec, MsgIdPacking) {
   EXPECT_EQ(msg_id_seq(id), 0x1234u);
 }
 
+// --- Overload control: Busy frames and deadline/sent_at stamps -------------
+
+TEST(MessageCodec, BusyRoundTrip) {
+  for (const auto reason : {Busy::Reason::kOverload, Busy::Reason::kExpired}) {
+    for (const bool advisory : {false, true}) {
+      Busy b;
+      b.mid = make_msg_id(3, 77);
+      b.reason = reason;
+      b.advisory = advisory;
+      b.retry_after = milliseconds(7);
+      EXPECT_EQ(round_trip(b), b);
+    }
+  }
+}
+
+TEST(MessageCodec, BusyGoldenBytes) {
+  Busy b;
+  b.mid = 0x0102030405060708;
+  b.reason = Busy::Reason::kExpired;
+  b.advisory = true;
+  b.retry_after = 300;
+  const std::vector<std::byte> expect = {
+      std::byte{18},                                       // WireTag::kBusy
+      std::byte{0x08}, std::byte{0x07}, std::byte{0x06},   // mid, u64 LE
+      std::byte{0x05}, std::byte{0x04}, std::byte{0x03},
+      std::byte{0x02}, std::byte{0x01},
+      std::byte{1},                                        // kExpired
+      std::byte{1},                                        // advisory
+      std::byte{0xAC}, std::byte{0x02},                    // varint 300
+  };
+  EXPECT_EQ(encode_message(Message{b}), expect);
+}
+
+TEST(MessageCodec, BusyRejectsTruncation) {
+  Busy b;
+  b.mid = make_msg_id(1, 9);
+  b.retry_after = 300;  // 2-byte varint, so the last cut lands mid-varint
+  const auto bytes = encode_message(Message{b});
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    Message out;
+    EXPECT_FALSE(decode_message(std::span(bytes.data(), cut), out))
+        << "prefix of length " << cut << " decoded successfully";
+  }
+}
+
+TEST(MessageCodec, BusyRejectsInvalidEnums) {
+  Busy b;
+  b.mid = make_msg_id(1, 9);
+  auto bytes = encode_message(Message{b});
+  // Layout: tag (1) + mid (8) + reason (1) + advisory (1) + retry_after.
+  auto patched = bytes;
+  patched[9] = std::byte{2};  // beyond kExpired
+  Message out;
+  EXPECT_FALSE(decode_message(patched, out));
+  patched = bytes;
+  patched[10] = std::byte{2};  // advisory must be 0 or 1
+  EXPECT_FALSE(decode_message(patched, out));
+}
+
+MulticastMessage stamped_msg() {
+  MulticastMessage m = sample_msg();
+  m.deadline = 50'000'000;   // 50 ms, absolute
+  m.sent_at = 49'900'000;
+  return m;
+}
+
+TEST(MessageCodec, StampedMessagesRoundTrip) {
+  // All three client-facing carriers, with both stamps, and with each stamp
+  // alone (the pair is emitted whenever either is set).
+  for (const auto& msg :
+       {stamped_msg(),
+        [] { auto m = stamped_msg(); m.sent_at = 0; return m; }(),
+        [] { auto m = stamped_msg(); m.deadline = 0; return m; }()}) {
+    EXPECT_EQ(round_trip(MpSubmit{msg}).msg, msg);
+    EXPECT_EQ(round_trip(MpBody{msg}).msg, msg);
+    RmData d;
+    d.origin = 9;
+    d.seq = 4;
+    d.dst_groups = {0, 1};
+    d.inner = AmStart{msg};
+    EXPECT_EQ(std::get<AmStart>(round_trip(d).inner).msg, msg);
+  }
+}
+
+TEST(MessageCodec, StampPairIsTrailingSuffix) {
+  // The stamps ride as two trailing varints appended to the pre-stamp
+  // encoding, which is what keeps old decoders' view of the frame intact
+  // and the batch codecs byte-stable.
+  const MulticastMessage stamped = stamped_msg();
+  MulticastMessage plain = stamped;
+  plain.deadline = 0;
+  plain.sent_at = 0;
+  auto expect = encode_message(Message{MpSubmit{plain}});
+  Writer w{std::move(expect)};
+  w.varint(static_cast<std::uint64_t>(stamped.deadline));
+  w.varint(static_cast<std::uint64_t>(stamped.sent_at));
+  EXPECT_EQ(encode_message(Message{MpSubmit{stamped}}), w.take());
+}
+
+TEST(MessageCodec, StampedFrameTruncationAndBackwardCompat) {
+  // Truncating a stamped frame at the pre-stamp boundary yields exactly a
+  // legacy frame: it must decode, with zeroed stamps. One varint further is
+  // a deadline-only frame (sent_at optional). Every other cut must fail.
+  const MulticastMessage stamped = stamped_msg();
+  MulticastMessage plain = stamped;
+  plain.deadline = 0;
+  plain.sent_at = 0;
+  const auto bytes = encode_message(Message{MpSubmit{stamped}});
+  const std::size_t plain_len = encode_message(Message{MpSubmit{plain}}).size();
+  Writer w;
+  w.varint(static_cast<std::uint64_t>(stamped.deadline));
+  const std::size_t deadline_len = w.take().size();
+
+  for (std::size_t cut = 0; cut <= bytes.size(); ++cut) {
+    Message out;
+    const bool ok = decode_message(std::span(bytes.data(), cut), out);
+    if (cut == plain_len || cut == plain_len + deadline_len ||
+        cut == bytes.size()) {
+      ASSERT_TRUE(ok) << "cut " << cut;
+      const auto& m = std::get<MpSubmit>(out.payload).msg;
+      EXPECT_EQ(m.id, stamped.id);
+      EXPECT_EQ(m.deadline, cut > plain_len ? stamped.deadline : 0);
+      EXPECT_EQ(m.sent_at, cut == bytes.size() ? stamped.sent_at : 0);
+    } else {
+      EXPECT_FALSE(ok) << "cut " << cut;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace fastcast

@@ -23,6 +23,7 @@
 #include "fastcast/net/spsc_ring.hpp"
 #include "fastcast/net/tcp_cluster.hpp"
 #include "fastcast/net/timer_heap.hpp"
+#include "fastcast/obs/observability.hpp"
 
 namespace fastcast::net {
 namespace {
@@ -596,6 +597,54 @@ TEST_P(TransportConformance, ShedsQueueBeyondBudgetWhileUnreachable) {
   sender.close_all();
 }
 
+TEST_P(TransportConformance, ShedExportsCountersAndGaugesThenRecovers) {
+  // The backpressure telemetry contract: while a peer is unreachable the
+  // tx queue gauge tracks pending bytes up to the budget, overflow lands
+  // in net.tx_frames_dropped, and once the peer appears the queue drains —
+  // gauge back to zero, frames delivered — without recreating the
+  // transport.
+  obs::Observability obs;
+  TcpTransport sender(0, addresses_, opts());
+  RetryPolicy rp;
+  rp.base_backoff_ms = 1;
+  rp.max_backoff_ms = 20;
+  rp.max_queued_bytes = 4 * 1024;
+  sender.set_retry_policy(rp);
+  sender.set_observability(&obs);
+  sender.listen();
+
+  for (std::uint64_t i = 0; i < 2000; ++i) {
+    sender.send(1, Message{RmAck{0, i}});
+  }
+  EXPECT_GT(obs.metrics.counter_value("net.tx_frames_dropped"), 0u);
+  EXPECT_EQ(obs.metrics.gauge_value("net.tx_queued_bytes"),
+            static_cast<std::int64_t>(sender.pending_bytes()));
+  EXPECT_GT(obs.metrics.gauge_value("net.tx_queued_bytes"), 0);
+  EXPECT_LE(obs.metrics.gauge_value("net.tx_queued_bytes"),
+            static_cast<std::int64_t>(rp.max_queued_bytes + 256));
+  EXPECT_GE(obs.metrics.gauge_value("net.tx_queued_bytes_hwm"),
+            obs.metrics.gauge_value("net.tx_queued_bytes"));
+
+  // Peer appears: the surviving queue must flush and the gauge drain to 0.
+  TcpTransport receiver(1, addresses_, opts());
+  receiver.listen();
+  std::atomic<std::uint64_t> got{0};
+  receiver.set_receive([&](NodeId, const Message&) { got.fetch_add(1); });
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while ((got.load() == 0 || sender.pending_bytes() > 0) &&
+         std::chrono::steady_clock::now() < deadline) {
+    sender.poll_once(1);
+    receiver.poll_once(1);
+  }
+  EXPECT_GT(got.load(), 0u);
+  EXPECT_EQ(sender.pending_bytes(), 0u);
+  EXPECT_EQ(obs.metrics.gauge_value("net.tx_queued_bytes"), 0);
+  EXPECT_GT(obs.metrics.gauge_value("net.tx_queued_bytes_hwm"), 0);
+  sender.close_all();
+  receiver.close_all();
+}
+
 TEST_P(TransportConformance, ReconnectsWithBackoffAfterPeerRestart) {
   TcpTransport sender(0, addresses_, opts());
   RetryPolicy rp;
@@ -887,6 +936,44 @@ TEST_P(ShardedConformance, SpscRingBackpressuresInsteadOfDropping) {
   }
   pump.join();
   EXPECT_EQ(peer_got.load(), kBurst);
+  peer.close_all();
+  hub.stop();
+}
+
+TEST_P(ShardedConformance, RecordsRingOccupancyHighWater) {
+  // Tiny rings guarantee the burst actually queues; the hwm gauge must see
+  // a nonzero occupancy and never exceed the ring capacity.
+  obs::Observability obs;
+  ShardedOptions so;
+  so.shards = 2;
+  so.backend = GetParam();
+  so.ring_capacity = 8;
+  ShardedTransport hub(0, addresses_, so);
+  hub.set_observability(&obs);
+  hub.start();
+
+  TcpTransport peer(1, addresses_, opts());
+  peer.listen();
+  std::atomic<std::uint64_t> peer_got{0};
+  peer.set_receive([&](NodeId, const Message&) { peer_got.fetch_add(1); });
+
+  constexpr std::uint64_t kBurst = 500;
+  std::thread pump([&] {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(20);
+    while (peer_got.load() < kBurst &&
+           std::chrono::steady_clock::now() < deadline) {
+      peer.poll_once(1);
+    }
+  });
+  for (std::uint64_t i = 0; i < kBurst; ++i) {
+    hub.send(1, Message{RmAck{0, i}});
+  }
+  pump.join();
+  EXPECT_EQ(peer_got.load(), kBurst);
+  const std::int64_t hwm = obs.metrics.gauge_value("net.shard_ring_hwm");
+  EXPECT_GT(hwm, 0);
+  EXPECT_LE(hwm, static_cast<std::int64_t>(so.ring_capacity));
   peer.close_all();
   hub.stop();
 }
